@@ -1,0 +1,48 @@
+"""Ablation — number of hash functions (Section 5.3's k=1 argument).
+
+Paper claim: with filter entries fixed at the cache line count, using
+multiple hash functions saturates the bit vectors (like presence bits do
+for heavy users) and would "render the technique ineffective"; k>1 would
+only help with a much larger hardware budget.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.utils.tables import format_table
+
+
+def _fill_fraction(k: int, entries_pow: int = 12, inserts: int = 3000) -> float:
+    unit = SignatureUnit(
+        SignatureConfig(
+            num_cores=1,
+            num_sets=1 << (entries_pow - 3),
+            ways=8,
+            num_hashes=k,
+            counter_bits=8,
+        )
+    )
+    blocks = np.random.default_rng(0).integers(0, 1 << 30, inserts)
+    unit.record_fill_batch(0, blocks)
+    return unit.core_occupancy(0) / unit.num_entries
+
+
+def bench_ablation_hash_count(benchmark, report, full_scale):
+    ks = (1, 2, 3, 4) if full_scale else (1, 2, 4)
+    fills = run_once(benchmark, lambda: {k: _fill_fraction(k) for k in ks})
+    report(
+        "ablation_hash_count",
+        format_table(
+            ["hash functions (k)", "filter fill fraction"],
+            [[k, f] for k, f in fills.items()],
+            title="Ablation: k hash functions vs filter saturation "
+            "(entries = cache lines, 3000 insertions into 4096 entries)",
+            float_digits=3,
+        ),
+    )
+    values = list(fills.values())
+    # Shape: saturation grows monotonically with k; k=1 keeps headroom.
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert fills[1] < 0.65
+    assert fills[max(ks)] > 0.85

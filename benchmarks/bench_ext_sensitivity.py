@@ -1,0 +1,69 @@
+"""Extension — sensitivity of the headline result to the timing model.
+
+The reproduction's conclusion ("co-locating mcf with its polluter buys
+tens of percent, and the signature policy finds that schedule") must not
+hinge on one lucky choice of memory latency or bus-queueing strength.
+This harness sweeps the two most influential timing parameters and checks
+the conclusion's direction survives across the span.
+"""
+
+from conftest import run_once
+
+from repro.analysis.sensitivity import sweep_timing_parameter
+from repro.utils.tables import format_table
+
+
+def bench_ext_sensitivity(benchmark, report, full_scale):
+    def compute():
+        out = {}
+        out["mem_cycles"] = sweep_timing_parameter(
+            "mem_cycles",
+            multipliers=(0.5, 1.0, 2.0) if not full_scale else (0.5, 0.75, 1.0, 1.5, 2.0),
+        )
+        out["queue_coeff"] = sweep_timing_parameter(
+            "queue_coeff",
+            multipliers=(0.0, 1.0, 2.0) if not full_scale else (0.0, 0.5, 1.0, 2.0),
+        )
+        return out
+
+    sweeps = run_once(benchmark, compute)
+    rows = []
+    for parameter, points in sweeps.items():
+        for p in points:
+            rows.append(
+                [
+                    parameter,
+                    p.multiplier,
+                    100 * p.chosen_improvement,
+                    100 * p.oracle_improvement,
+                    str(p.policy_found_it),
+                ]
+            )
+    report(
+        "ext_sensitivity",
+        format_table(
+            ["parameter", "multiplier", "chosen %", "oracle %", "policy found it"],
+            rows,
+            title="Extension: mcf improvement vs timing-model perturbations "
+            "(mix: mcf+povray+libquantum+gobmk)",
+            float_digits=1,
+        ),
+    )
+
+    # Shape: the *phenomenon* survives every perturbation (the oracle
+    # improvement stays large), and the policy captures it at the
+    # calibrated point and at most perturbed points. Individual off-default
+    # points can lose to majority-vote variance (the votes run 10-10-8 at
+    # some settings) — the paper's own methodology has that property, so it
+    # is reported rather than hidden.
+    all_points = [p for pts in sweeps.values() for p in pts]
+    for p in all_points:
+        assert p.oracle_improvement > 0.10, (p.parameter, p.multiplier)
+    for pts in sweeps.values():
+        at_default = [p for p in pts if p.multiplier == 1.0]
+        assert all(p.policy_found_it for p in at_default)
+    found = sum(p.policy_found_it for p in all_points)
+    assert found >= (2 * len(all_points)) // 3, f"{found}/{len(all_points)}"
+    # Longer memory latency -> more at stake (monotone oracle).
+    mem = sweeps["mem_cycles"]
+    assert mem[-1].oracle_improvement > mem[0].oracle_improvement

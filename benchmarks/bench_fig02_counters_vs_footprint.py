@@ -1,0 +1,26 @@
+"""Figure 2 — event counters do not reveal the working set.
+
+Paper claim (Section 2.2): L2-miss, TLB-miss and page-fault counters show
+little correlation with an application's working-set size over time.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import figure2_counters_vs_footprint
+from repro.analysis.report import render_counter_series
+
+
+def bench_figure2_counters(benchmark, report, full_scale):
+    laps = 4 if full_scale else 2
+    series = run_once(
+        benchmark, lambda: figure2_counters_vs_footprint(laps=laps)
+    )
+    report("fig02_counters_vs_footprint", render_counter_series(series))
+    # Shape assertions: no counter is a good working-set proxy...
+    for counter in ("l2_misses", "page_faults"):
+        assert abs(series.correlation(counter)) < 0.75
+    # ...while the CBF tracks the measured cache footprint far better than
+    # the miss counter tracks the working set (the joint Fig 2+5 story).
+    assert series.correlation("occupancy_weight", "resident_lines") > abs(
+        series.correlation("l2_misses")
+    )

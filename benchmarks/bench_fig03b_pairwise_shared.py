@@ -1,0 +1,39 @@
+"""Figure 3(b) — pairs on different cores sharing the Core 2 Duo L2.
+
+Paper claim: despite the shared L2 being twice the size of the P4's
+private one, concurrent pairs degrade far more (up to 67%, worst pair
+mcf+libquantum) — scheduling-sensitive contention the private machine
+does not show.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import figure3b_shared_pairs
+from repro.analysis.report import render_pairwise
+from repro.utils.tables import format_percent
+from repro.workloads.spec import spec_profile_names
+
+
+def bench_figure3b_shared(benchmark, report, full_scale):
+    pool = spec_profile_names() if full_scale else [
+        "mcf", "libquantum", "povray", "gobmk", "hmmer", "omnetpp",
+    ]
+    instructions = 6_000_000 if full_scale else 3_000_000
+    result = run_once(
+        benchmark,
+        lambda: figure3b_shared_pairs(pool, instructions=instructions),
+    )
+    text = render_pairwise(
+        result, "Figure 3(b): worst-case degradation, shared L2 (Core 2 Duo)"
+    )
+    mcf_partner, mcf_worst = result.worst_degradation("mcf")
+    text += (
+        f"\n\nheadline: mcf's worst partner is {mcf_partner} "
+        f"({format_percent(mcf_worst)} degradation; paper: libquantum, 67%)"
+    )
+    report("fig03b_pairwise_shared", text)
+    # Shape: shared-cache degradations dwarf the private-cache ones, and
+    # mcf's worst partner is the streaming polluter.
+    assert mcf_worst > 0.4
+    assert mcf_partner in ("libquantum", "hmmer")
+    assert result.worst_degradation("povray")[1] < 0.10

@@ -1,0 +1,36 @@
+"""Figure 5 — the CBF occupancy weight follows the cache footprint.
+
+Paper claim (Section 2.4): "the occupancy weight follows the cache
+footprint size more closely" than event counters do. We quantify it as
+the mean relative error between the per-core filter popcount and the true
+resident-line count, plus their correlation.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import figure5_occupancy_tracking
+from repro.utils.tables import format_table
+
+
+def bench_figure5_occupancy(benchmark, report, full_scale):
+    laps = 4 if full_scale else 2
+    series = run_once(
+        benchmark, lambda: figure5_occupancy_tracking(laps=laps)
+    )
+    corr = series.correlation("occupancy_weight", "resident_lines")
+    err = series.tracking_error()
+    report(
+        "fig05_occupancy_tracking",
+        format_table(
+            ["metric", "value"],
+            [
+                ["corr(occupancy weight, resident lines)", corr],
+                ["mean relative tracking error", err],
+                ["windows observed", len(series.resident_lines)],
+            ],
+            title="Figure 5: CBF occupancy weight vs true cache footprint",
+            float_digits=3,
+        ),
+    )
+    assert corr > 0.4
+    assert err < 0.6

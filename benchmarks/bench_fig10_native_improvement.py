@@ -1,0 +1,50 @@
+"""Figure 10 — per-benchmark max/avg improvement, native execution.
+
+Paper claims: weighted-interference-graph scheduling improves mcf by up to
+54% and omnetpp by up to 49% over their worst-case mappings; compute-bound
+(povray) and bandwidth-bound (hmmer) benchmarks see little benefit; the
+average across the pool's maxima is ~22%.
+
+The paper sweeps all C(12,4)=495 mixes on hardware; the default harness
+uses a stratified subset (every benchmark in >= 3 mixes; REPRO_FULL=1
+raises the coverage).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.alloc import WeightedInterferenceGraphPolicy
+from repro.analysis.figures import figure10_native_sweep
+from repro.analysis.report import render_sweep
+from repro.utils.tables import format_percent
+
+
+def bench_figure10_native(benchmark, report, full_scale):
+    mixes_per_benchmark = 6 if full_scale else 3
+    sweep = run_once(
+        benchmark,
+        lambda: figure10_native_sweep(
+            policy=WeightedInterferenceGraphPolicy(),
+            mixes_per_benchmark=mixes_per_benchmark,
+            seed=3,
+        ),
+    )
+    text = render_sweep(
+        sweep, "Figure 10: max/avg improvement per benchmark (native)"
+    )
+    pool_avg_of_max = float(
+        np.mean([sweep.max_improvement(n) for n in sweep.benchmarks()])
+    )
+    text += (
+        f"\n\npool average of per-benchmark max improvements: "
+        f"{format_percent(pool_avg_of_max)} (paper: ~22%)"
+    )
+    report("fig10_native_improvement", text)
+
+    # Shape assertions: the cache-sensitive benchmarks lead, the
+    # compute/bandwidth-bound ones trail near zero.
+    assert sweep.max_improvement("mcf") > 0.25
+    assert sweep.max_improvement("mcf") >= sweep.max_improvement("povray")
+    assert sweep.max_improvement("povray") < 0.05
+    assert sweep.max_improvement("hmmer") < 0.35
+    assert pool_avg_of_max > 0.05

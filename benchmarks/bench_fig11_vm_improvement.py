@@ -1,0 +1,51 @@
+"""Figure 11 — the same sweep inside Xen-like VMs.
+
+Paper claims: VM encapsulation dampens the improvements (mcf 26% vs 54%
+native; pool average 9.5% vs 22%) while preserving the relative ordering
+of winners.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.alloc import WeightedInterferenceGraphPolicy
+from repro.analysis.figures import SHOWCASE_MIXES
+from repro.analysis.report import render_sweep
+from repro.perf.experiment import stratified_mixes
+from repro.perf.machine import core2duo
+from repro.utils.tables import format_percent
+from repro.virt import vm_mix_sweep
+from repro.workloads.spec import spec_profile_names
+
+
+def bench_figure11_vm(benchmark, report, full_scale):
+    sampled = stratified_mixes(
+        spec_profile_names(),
+        mixes_per_benchmark=4 if full_scale else 2,
+        seed=3,
+    )
+    showcase = {tuple(sorted(m)) for m in SHOWCASE_MIXES}
+    mixes = list(SHOWCASE_MIXES) + [
+        m for m in sampled if tuple(sorted(m)) not in showcase
+    ]
+    sweep = run_once(
+        benchmark,
+        lambda: vm_mix_sweep(
+            core2duo(), mixes, WeightedInterferenceGraphPolicy(), seed=3
+        ),
+    )
+    text = render_sweep(
+        sweep, "Figure 11: max/avg improvement per benchmark (inside VMs)"
+    )
+    pool_avg_of_max = float(
+        np.mean([sweep.max_improvement(n) for n in sweep.benchmarks()])
+    )
+    text += (
+        f"\n\npool average of per-benchmark max improvements: "
+        f"{format_percent(pool_avg_of_max)} (paper: ~9.5%; native ~22%)"
+    )
+    report("fig11_vm_improvement", text)
+
+    # Shape: mcf still leads but below its native figure; trend preserved.
+    assert 0.05 < sweep.max_improvement("mcf") < 0.45
+    assert sweep.max_improvement("povray") < 0.05

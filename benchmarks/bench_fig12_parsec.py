@@ -1,0 +1,48 @@
+"""Figure 12 — multithreaded PARSEC mixes under the two-phase policy.
+
+Paper claims: improvements are modest compared with SPEC (smaller, more
+compute-bound working sets); ferret leads at ~10.1%.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import figure12_parsec_sweep
+from repro.analysis.report import render_sweep
+
+MIXES_DEFAULT = [
+    ("ferret", "streamcluster", "blackscholes", "bodytrack"),
+    ("ferret", "canneal", "swaptions", "x264"),
+    ("dedup", "streamcluster", "blackscholes", "swaptions"),
+    ("ferret", "dedup", "canneal", "bodytrack"),
+]
+
+MIXES_FULL = MIXES_DEFAULT + [
+    ("canneal", "streamcluster", "x264", "bodytrack"),
+    ("ferret", "x264", "blackscholes", "dedup"),
+    ("swaptions", "bodytrack", "canneal", "dedup"),
+    ("ferret", "streamcluster", "canneal", "swaptions"),
+]
+
+
+def bench_figure12_parsec(benchmark, report, full_scale):
+    mixes = MIXES_FULL if full_scale else MIXES_DEFAULT
+    sweep = run_once(
+        benchmark,
+        lambda: figure12_parsec_sweep(
+            mixes, instructions_per_thread=1_500_000, seed=3
+        ),
+    )
+    report(
+        "fig12_parsec_improvement",
+        render_sweep(
+            sweep,
+            "Figure 12: max/avg improvement per application "
+            "(4-thread PARSEC-like, two-phase policy)",
+        ),
+    )
+    # Shape: gains modest overall; ferret competitive; compute-bound apps flat.
+    assert sweep.max_improvement("ferret") > 0.02
+    assert sweep.max_improvement("blackscholes") < 0.05
+    assert max(
+        sweep.max_improvement(n) for n in sweep.benchmarks()
+    ) < 0.45

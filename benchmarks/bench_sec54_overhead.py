@@ -1,0 +1,72 @@
+"""Section 5.4 — implementation overheads.
+
+Paper claims: per the printed formula the signature hardware costs 8.5%
+of the L2 for a dual-core, reduced to ~2.13% by 25% set sampling; the
+software bookkeeping (three 32-bit words per process, an allocator run of
+hundreds of instructions every 100 ms, 1 KB RBV transfers) is negligible.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.overhead import (
+    bits_accurate_overhead,
+    paper_hardware_overhead,
+    software_overhead,
+)
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.utils.tables import format_percent, format_table
+
+
+def bench_sec54_overheads(benchmark, report):
+    def compute():
+        rows = []
+        for cores in (2, 4, 8):
+            for denom in (1, 4):
+                rows.append(
+                    (
+                        cores,
+                        denom,
+                        paper_hardware_overhead(cores, sampling_denominator=denom),
+                        bits_accurate_overhead(cores, sampling_denominator=denom),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = format_table(
+        ["cores", "sampling 1/k", "paper formula", "bits-accurate"],
+        [
+            [c, d, format_percent(p, 2), format_percent(b, 2)]
+            for c, d, p, b in rows
+        ],
+        title="Section 5.4: signature hardware cost as a fraction of the L2",
+    )
+
+    # Measured state of the default dual-core unit, sampled and not.
+    full = SignatureUnit(SignatureConfig(num_cores=2, num_sets=4096, ways=16))
+    sampled = SignatureUnit(
+        SignatureConfig(num_cores=2, num_sets=4096, ways=16, sampling_denominator=4)
+    )
+    so = software_overhead(num_cores=2, num_entries=full.num_entries, num_processes=4)
+    table += "\n\n" + format_table(
+        ["quantity", "value"],
+        [
+            ["unsampled hardware state (bits)", full.state_bits()],
+            ["25%-sampled hardware state (bits)", sampled.state_bits()],
+            ["per-process context (bytes)", so.context_bytes_per_process],
+            ["RBV size (bytes)", so.rbv_bytes],
+            ["allocator CPU fraction", f"{so.allocator_cpu_fraction:.2e}"],
+        ],
+        title="measured signature-unit state and software costs",
+    )
+    report("sec54_overhead", table)
+
+    # The paper's two headline numbers.
+    assert paper_hardware_overhead(2) == pytest.approx(0.0854, abs=0.001)
+    assert paper_hardware_overhead(2, sampling_denominator=4) == pytest.approx(
+        0.0213, abs=0.0005
+    )
+    # Sampling shrinks measured state 4x; software cost is negligible.
+    assert full.state_bits() == 4 * sampled.state_bits()
+    assert so.allocator_cpu_fraction < 1e-5

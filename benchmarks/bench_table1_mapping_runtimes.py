@@ -1,0 +1,38 @@
+"""Table 1 — povray/gobmk/libquantum/hmmer under all three mappings.
+
+Paper claims for this mix: the {gobmk,libquantum} co-location mapping is
+best; libquantum improves ~11% over its worst mapping; povray and hmmer
+are schedule-insensitive.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import table1_mapping_runtimes
+from repro.analysis.report import render_table1
+from repro.perf.machine import core2duo
+from repro.utils.tables import format_percent
+
+
+def bench_table1(benchmark, report, full_scale):
+    instructions = 12_000_000 if full_scale else 6_000_000
+    names, times = run_once(
+        benchmark, lambda: table1_mapping_runtimes(instructions=instructions)
+    )
+    machine = core2duo()
+    text = render_table1(names, times, machine.clock_hz)
+
+    def spread(name):
+        values = [t[name] for t in times.values()]
+        return (max(values) - min(values)) / max(values)
+
+    text += "\n\nper-benchmark best-vs-worst spread:"
+    for name in names:
+        text += f"\n  {name:11s} {format_percent(spread(name))}"
+    report("table1_mapping_runtimes", text)
+
+    # Shape: the bandwidth pair (libquantum, hmmer) is schedule-sensitive,
+    # the light pair (povray, gobmk) is not.
+    assert spread("libquantum") > 0.02
+    assert spread("hmmer") > 0.02
+    assert spread("povray") < 0.02
+    assert spread("gobmk") < 0.05

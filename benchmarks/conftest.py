@@ -1,0 +1,40 @@
+"""Shared fixtures for the figure/table reproduction harnesses.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation section: it computes the series at a default scale (set
+``REPRO_FULL=1`` for the paper's full sweep sizes), prints the paper-style
+rows, saves them under ``benchmarks/results/``, and times the computation
+with a single pedantic round (these are experiments, not microbenchmarks —
+re-running them dozens of times would be pointless).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run the paper's full sweep sizes."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture()
+def report():
+    """Print a rendered report block and persist it under results/."""
+
+    def _report(name: str, text: str) -> None:
+        banner = "=" * 72
+        print(f"\n{banner}\n{name}\n{banner}\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: thread-aware two-phase allocation for PARSEC-like apps.
+
+Two four-thread applications share a Core 2 Duo. Naive interference-graph
+allocation would read intra-process data *sharing* as interference and
+scatter sibling threads; the paper's two-phase algorithm (Section 3.3.4)
+first groups each process's threads by occupancy weight, then runs the
+weighted interference MIN-CUT with those groups pinned.
+
+Run:  python examples/multithreaded_parsec.py  [--fast]
+"""
+
+import sys
+
+from repro.alloc import TwoPhasePolicy
+from repro.perf import core2duo
+from repro.perf.experiment import parsec_two_phase
+from repro.utils.tables import format_percent, format_table
+
+MIX = ["ferret", "streamcluster", "blackscholes", "bodytrack"]
+
+
+def main(fast: bool = False) -> None:
+    machine = core2duo()
+    result = parsec_two_phase(
+        machine,
+        MIX,
+        instructions_per_thread=800_000 if fast else 2_000_000,
+        seed=3,
+        phase1_min_wall=60_000_000.0 if fast else 160_000_000.0,
+    )
+
+    print(f"applications: {', '.join(MIX)}  (4 threads each, 16 tasks on 2 cores)")
+    print(f"phase-1 decisions: {len(result.decisions)}")
+    print(f"chosen thread placement: {result.chosen_mapping}\n")
+
+    rows = [
+        [
+            name,
+            machine.seconds(result.worst_time(name)),
+            machine.seconds(result.chosen_time(name)),
+            format_percent(result.improvement(name)),
+        ]
+        for name in MIX
+    ]
+    print(
+        format_table(
+            ["application", "worst (s)", "chosen (s)", "improvement"],
+            rows,
+            title="per-application user time (slowest thread, simulated s)",
+            float_digits=4,
+        )
+    )
+    print(
+        "\nReading: gains are modest relative to the single-threaded mixes "
+        "— the paper's\nFigure 12 observation (PARSEC working sets are "
+        "smaller and more compute-bound)."
+    )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,49 @@
+"""Allocation-policy interface.
+
+A policy maps the monitor's snapshot of task signature contexts to a
+process-to-core :class:`~repro.sched.affinity.Mapping`. The paper's three
+policies (Sections 3.3.1–3.3.3) plus the two-phase multithreaded adaptation
+(Section 3.3.4) implement this interface; the user-level monitor invokes
+whichever one it was configured with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+from repro.errors import AllocationError
+from repro.sched.affinity import Mapping
+from repro.sched.syscall import TaskView
+
+__all__ = ["AllocationPolicy", "group_sizes", "require_valid_views"]
+
+
+class AllocationPolicy(Protocol):
+    """Protocol all allocation policies satisfy."""
+
+    #: short identifier used in results/figures
+    name: str
+
+    def allocate(self, tasks: Sequence[TaskView], num_cores: int) -> Mapping:
+        """Compute a mapping for *tasks* onto *num_cores* cores."""
+        ...
+
+
+def group_sizes(num_tasks: int, num_cores: int) -> List[int]:
+    """Per-core group sizes: ``ceil(P/N)`` first, as in Section 3.3.1."""
+    if num_tasks < 0 or num_cores <= 0:
+        raise AllocationError("need num_tasks >= 0 and num_cores > 0")
+    base = num_tasks // num_cores
+    extra = num_tasks % num_cores
+    return [base + 1 if c < extra else base for c in range(num_cores)]
+
+
+def require_valid_views(tasks: Sequence[TaskView]) -> None:
+    """Reject allocation requests before every task has a signature."""
+    if not tasks:
+        raise AllocationError("no tasks to allocate")
+    invalid = [t.name for t in tasks if not t.valid]
+    if invalid:
+        raise AllocationError(
+            f"tasks without signature samples yet: {invalid}"
+        )

@@ -1,0 +1,81 @@
+"""The user-level monitoring process (paper Section 3.2).
+
+Periodically queries the OS through the syscall interface for the per-task
+signature contexts, runs the configured allocation policy, and (optionally)
+pushes the resulting mapping back by setting affinity bits. It also keeps
+the decision history so the evaluation methodology's majority vote
+("the allocation picked by the simulated allocator majority of the times is
+considered to be the chosen schedule", Section 4.1) can be computed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from repro.alloc.base import AllocationPolicy
+from repro.errors import AllocationError
+from repro.sched.affinity import Mapping
+from repro.sched.syscall import SyscallInterface
+
+__all__ = ["UserLevelMonitor"]
+
+
+class UserLevelMonitor:
+    """Periodic policy driver.
+
+    Parameters
+    ----------
+    policy:
+        The allocation policy to run.
+    interval_cycles:
+        Invocation period in simulated cycles (the paper's 100 ms allocator
+        period, scaled to the compressed budgets — the simulator reads this
+        attribute).
+    apply:
+        Whether decisions are pushed back via affinity bits during the run
+        (phase-1 behaviour) or merely recorded.
+    """
+
+    def __init__(
+        self,
+        policy: AllocationPolicy,
+        interval_cycles: float = 4_000_000.0,
+        apply: bool = True,
+    ):
+        if interval_cycles <= 0:
+            raise AllocationError("interval_cycles must be positive")
+        self.policy = policy
+        self.interval_cycles = float(interval_cycles)
+        self.apply = apply
+        self.decisions: List[Mapping] = []
+        self.skipped_invocations = 0
+
+    def invoke(self, syscall: SyscallInterface) -> Optional[Mapping]:
+        """One allocator invocation.
+
+        Returns the decided mapping, or ``None`` while any task still lacks
+        a signature sample (early in the run, before its first context
+        switch).
+        """
+        tasks = syscall.query_tasks()
+        if not tasks or any(not t.valid for t in tasks):
+            self.skipped_invocations += 1
+            return None
+        mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
+        self.decisions.append(mapping)
+        if self.apply:
+            syscall.apply_mapping(mapping)
+        return mapping
+
+    def majority_mapping(self) -> Optional[Mapping]:
+        """The most frequent decision so far (the paper's chosen schedule)."""
+        if not self.decisions:
+            return None
+        counts = Counter(self.decisions)
+        return counts.most_common(1)[0][0]
+
+    def reset(self) -> None:
+        """Clear decision history."""
+        self.decisions.clear()
+        self.skipped_invocations = 0

@@ -1,0 +1,102 @@
+"""Two-phase allocation for multithreaded applications (paper Sec 3.3.4).
+
+Threads of one process share data intensely, so their mutual "interference"
+metric is really sharing and must not push them apart. The paper's fix:
+
+* **Phase 1** — per multithreaded process, run the occupancy-weight sorting
+  algorithm over that process's threads alone, forming intra-process thread
+  groups of size ``ceil(T/N)`` (threads grouped together should share a
+  core).
+* **Phase 2** — run the weighted interference-graph algorithm over *all*
+  threads, with edges between threads of the same process overridden:
+  a very large weight if phase 1 put them in the same group (MIN-CUT will
+  then never separate them), zero if it put them in different groups
+  (MIN-CUT gains nothing by uniting them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.alloc.base import group_sizes, require_valid_views
+from repro.alloc.graph import interference_matrix
+from repro.alloc.mincut import partition_min_cut
+from repro.sched.affinity import Mapping, canonical_mapping
+from repro.sched.syscall import TaskView
+
+__all__ = ["TwoPhasePolicy", "PIN_WEIGHT"]
+
+#: Edge weight forcing two threads into the same MIN-CUT group.
+PIN_WEIGHT = 1e9
+
+
+class TwoPhasePolicy:
+    """Thread-aware two-phase allocation (Section 3.3.4).
+
+    Parameters
+    ----------
+    method:
+        MIN-CUT solver for phase 2 ('auto'/'exhaustive'/'kl'/'spectral').
+    """
+
+    name = "two_phase_multithreaded"
+
+    def __init__(self, method: str = "auto", seed: int = 0):
+        self.method = method
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def thread_groups(
+        self, tasks: Sequence[TaskView], num_cores: int
+    ) -> List[List[int]]:
+        """Phase 1: weight-sort threads within each multithreaded process.
+
+        Returns the intra-process groups (singletons for single-threaded
+        processes), as lists of tids.
+        """
+        require_valid_views(tasks)
+        by_process: Dict[int, List[TaskView]] = defaultdict(list)
+        for t in tasks:
+            by_process[t.process_id].append(t)
+        groups: List[List[int]] = []
+        for pid in sorted(by_process):
+            threads = by_process[pid]
+            if len(threads) == 1:
+                groups.append([threads[0].tid])
+                continue
+            ranked = sorted(threads, key=lambda t: (-t.occupancy, t.tid))
+            sizes = group_sizes(len(ranked), num_cores)
+            cursor = 0
+            for size in sizes:
+                if size == 0:
+                    continue
+                groups.append([t.tid for t in ranked[cursor : cursor + size]])
+                cursor += size
+        return groups
+
+    def allocate(self, tasks: Sequence[TaskView], num_cores: int) -> Mapping:
+        """Phase 2: pinned-edge weighted interference MIN-CUT over threads."""
+        tids, weights = interference_matrix(tasks, weighted=True)
+        index_of = {tid: i for i, tid in enumerate(tids)}
+        group_of: Dict[int, int] = {}
+        for g, members in enumerate(self.thread_groups(tasks, num_cores)):
+            for tid in members:
+                group_of[tid] = g
+        process_of = {t.tid: t.process_id for t in tasks}
+        n = len(tids)
+        for i in range(n):
+            for j in range(i + 1, n):
+                ti, tj = tids[i], tids[j]
+                if process_of[ti] != process_of[tj]:
+                    continue  # cross-process edges keep their weighted metric
+                if group_of[ti] == group_of[tj]:
+                    weights[i, j] = weights[j, i] = PIN_WEIGHT
+                else:
+                    weights[i, j] = weights[j, i] = 0.0
+        index_groups = partition_min_cut(
+            weights, num_cores, method=self.method, seed=self.seed
+        )
+        return canonical_mapping(
+            [[tids[i] for i in group] for group in index_groups]
+        )

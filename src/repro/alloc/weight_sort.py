@@ -1,0 +1,35 @@
+"""The Weight Sorting algorithm (paper Section 3.3.1).
+
+Sort processes by RBV occupancy weight, then pack consecutive runs of
+``ceil(P/N)`` into the same core group: heavyweight cache users land
+together, so they timeshare instead of thrashing each other's footprint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.alloc.base import group_sizes, require_valid_views
+from repro.sched.affinity import Mapping, canonical_mapping
+from repro.sched.syscall import TaskView
+
+__all__ = ["WeightSortPolicy"]
+
+
+class WeightSortPolicy:
+    """Occupancy-weight sorting allocation (Section 3.3.1)."""
+
+    name = "weight_sort"
+
+    def allocate(self, tasks: Sequence[TaskView], num_cores: int) -> Mapping:
+        """Group the heaviest ``ceil(P/N)`` tasks per core, descending."""
+        require_valid_views(tasks)
+        # Deterministic tie-break on tid keeps the policy reproducible.
+        ranked = sorted(tasks, key=lambda t: (-t.occupancy, t.tid))
+        sizes = group_sizes(len(ranked), num_cores)
+        groups: List[List[int]] = []
+        cursor = 0
+        for size in sizes:
+            groups.append([t.tid for t in ranked[cursor : cursor + size]])
+            cursor += size
+        return canonical_mapping(groups)

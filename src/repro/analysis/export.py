@@ -1,0 +1,77 @@
+"""CSV export of figure series (for external plotting).
+
+The harnesses print ASCII tables; anyone wanting real plots (matplotlib,
+gnuplot, a spreadsheet) can export the same series as CSV with these
+helpers. No plotting dependency is taken.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["write_csv", "counter_series_to_csv", "sweep_to_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, header: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Write rows to *path* as CSV, creating parent directories."""
+    for row in rows:
+        if len(row) != len(header):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(header)}"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def counter_series_to_csv(series, path: PathLike) -> Path:
+    """Export a Figure 2/5 :class:`CounterSeries` as one row per window."""
+    header = [
+        "window",
+        "true_footprint",
+        "resident_lines",
+        "l2_misses",
+        "tlb_misses",
+        "page_faults",
+        "occupancy_weight",
+        "rbv_occupancy",
+    ]
+    rows = [
+        [
+            i,
+            series.true_footprint[i],
+            series.resident_lines[i],
+            series.l2_misses[i],
+            series.tlb_misses[i],
+            series.page_faults[i],
+            series.occupancy_weight[i],
+            series.rbv_occupancy[i],
+        ]
+        for i in range(len(series.true_footprint))
+    ]
+    return write_csv(path, header, rows)
+
+
+def sweep_to_csv(sweep, path: PathLike) -> Path:
+    """Export a Figure 10/11/12 :class:`SweepResult` (one row/benchmark)."""
+    header = ["benchmark", "max_improvement", "avg_improvement", "mixes"]
+    rows = [
+        [
+            name,
+            sweep.max_improvement(name),
+            sweep.avg_improvement(name),
+            len(sweep.improvements[name]),
+        ]
+        for name in sweep.benchmarks()
+    ]
+    return write_csv(path, header, rows)

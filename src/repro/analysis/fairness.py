@@ -1,0 +1,72 @@
+"""Fairness metrics.
+
+The paper lists fairness among its keywords and argues its scheme provides
+fairness across workloads (Section 1); unlike prior work it does not define
+a bespoke metric, so we provide the standard ones used to evaluate
+contention-aware schedulers: Jain's fairness index over normalised
+progress, and the max/min slowdown spread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["jain_index", "slowdowns", "unfairness", "fairness_report"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``; 1.0 = perfectly fair."""
+    x = np.asarray(values, dtype=np.float64)
+    if len(x) == 0:
+        raise ConfigurationError("jain_index needs at least one value")
+    if (x < 0).any():
+        raise ConfigurationError("values must be non-negative")
+    denom = len(x) * float((x**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(x.sum()) ** 2 / denom
+
+
+def slowdowns(
+    shared_times: Mapping[str, float], solo_times: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-benchmark slowdown: shared time / solo time (>= ~1)."""
+    missing = set(shared_times) - set(solo_times)
+    if missing:
+        raise ConfigurationError(f"missing solo baselines for {sorted(missing)}")
+    out = {}
+    for name, shared in shared_times.items():
+        solo = solo_times[name]
+        if solo <= 0:
+            raise ConfigurationError(f"non-positive solo time for {name}")
+        out[name] = shared / solo
+    return out
+
+
+def unfairness(slowdown_map: Mapping[str, float]) -> float:
+    """Max/min slowdown ratio: 1.0 = all benchmarks suffer equally."""
+    values = list(slowdown_map.values())
+    if not values:
+        raise ConfigurationError("unfairness needs at least one slowdown")
+    low = min(values)
+    if low <= 0:
+        raise ConfigurationError("slowdowns must be positive")
+    return max(values) / low
+
+
+def fairness_report(
+    shared_times: Mapping[str, float], solo_times: Mapping[str, float]
+) -> Dict[str, float]:
+    """Bundle: Jain index over normalised progress + unfairness spread."""
+    sd = slowdowns(shared_times, solo_times)
+    progress = [1.0 / v for v in sd.values()]  # normalised progress rates
+    return {
+        "jain_index": jain_index(progress),
+        "unfairness": unfairness(sd),
+        "max_slowdown": max(sd.values()),
+        "min_slowdown": min(sd.values()),
+    }

@@ -1,0 +1,528 @@
+"""Series builders for every table and figure in the paper's evaluation.
+
+Each ``figureNN_*`` function computes exactly the data the corresponding
+paper figure plots, at a configurable scale; the benchmark harnesses under
+``benchmarks/`` call these and print the paper-style rows. Keeping the
+logic here makes the figures scriptable from examples and tests too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.alloc import (
+    InterferenceGraphPolicy,
+    UserLevelMonitor,
+    WeightedInterferenceGraphPolicy,
+    WeightSortPolicy,
+)
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, CacheGeometry, core2duo_l2, tiny_cache
+from repro.cache.tlb import TLB, PageFaultTracker
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.perf.experiment import (
+    MixResult,
+    SweepResult,
+    mix_sweep,
+    pairwise_private_timeshare,
+    pairwise_shared,
+    parsec_two_phase,
+    run_all_mappings,
+    stratified_mixes,
+    two_phase,
+)
+from repro.perf.machine import MachineConfig, core2duo, p4xeon
+from repro.perf.runner import (
+    DEFAULT_INSTRUCTIONS,
+    build_tasks,
+    default_signature_config,
+    run_mix,
+)
+from repro.sched.affinity import canonical_mapping
+from repro.sched.os_model import SchedulerConfig
+from repro.workloads.aim9 import aim9_phases, make_aim9_generator
+from repro.workloads.base import BLOCK_BYTES
+from repro.workloads.patterns import StreamGenerator, StridedGenerator
+from repro.workloads.spec import spec_profile_names
+
+__all__ = [
+    "figure1_concept",
+    "CounterSeries",
+    "figure2_counters_vs_footprint",
+    "figure3a_private_pairs",
+    "figure3b_shared_pairs",
+    "figure5_occupancy_tracking",
+    "table1_mapping_runtimes",
+    "figure10_native_sweep",
+    "figure12_parsec_sweep",
+    "figure13_algorithm_comparison",
+    "figure14_hash_comparison",
+    "Fig14Entry",
+    "POLICIES",
+]
+
+#: The three paper policies, keyed as in Figure 13.
+POLICIES = {
+    "weight_sort": WeightSortPolicy,
+    "interference_graph": InterferenceGraphPolicy,
+    "weighted_interference_graph": WeightedInterferenceGraphPolicy,
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — same miss rate, different footprint (conceptual)
+# ---------------------------------------------------------------------------
+def figure1_concept(accesses: int = 64) -> Dict[str, Dict[str, float]]:
+    """Two strided patterns on an 8-set direct-mapped cache (Figure 1).
+
+    Application A conflicts within a single set (footprint 1 line);
+    application B cycles over four sets (footprint 4 lines); both miss on
+    every access.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for label, stride, sets_touched in [("A", 8, 1), ("B", 1, 4)]:
+        cache = SetAssociativeCache(tiny_cache(sets=8, ways=1))
+        if label == "A":
+            gen = StridedGenerator(accesses * 8, 8, seed=0)  # all set 0
+        else:
+            # Distinct tags per lap over sets 0..3.
+            blocks = np.asarray(
+                [8 * lap + s for lap in range(accesses // 4) for s in range(4)],
+                dtype=np.int64,
+            )
+            gen = None
+        if gen is not None:
+            blocks = gen.next_batch(accesses)
+        result = cache.access_batch(0, blocks)
+        out[label] = {
+            "miss_rate": result.misses / result.accesses,
+            "footprint_lines": float(cache.footprint_lines()),
+            "expected_footprint": float(sets_touched),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 & 5 — counters vs footprint over time
+# ---------------------------------------------------------------------------
+@dataclass
+class CounterSeries:
+    """Windowed time series for the aim9-like workload (Figures 2 and 5).
+
+    ``occupancy_weight`` is the Section 2.4 metric — the number of set bits
+    in the (counter-backed) Bloom filter, i.e. the tracked resident
+    footprint; ``resident_lines`` is the exact resident-line ground truth it
+    should follow (Figure 5); ``true_footprint`` is the program's live
+    working set, which the Figure 2 counters fail to reveal;
+    ``rbv_occupancy`` is the per-window RBV popcount used by the scheduling
+    algorithms.
+    """
+
+    window_accesses: int
+    true_footprint: List[int] = field(default_factory=list)
+    resident_lines: List[int] = field(default_factory=list)
+    l2_misses: List[int] = field(default_factory=list)
+    tlb_misses: List[int] = field(default_factory=list)
+    page_faults: List[int] = field(default_factory=list)
+    occupancy_weight: List[int] = field(default_factory=list)
+    rbv_occupancy: List[int] = field(default_factory=list)
+
+    def correlation(self, series: str, reference: str = "true_footprint") -> float:
+        """Pearson correlation of a named series with a reference series.
+
+        Figure 2's claim is low ``correlation(counter)`` against the true
+        working set; Figure 5's claim is high
+        ``correlation("occupancy_weight", "resident_lines")`` — the CBF
+        tracks the process's *cache footprint*.
+        """
+        y = np.asarray(getattr(self, series), dtype=np.float64)
+        x = np.asarray(getattr(self, reference), dtype=np.float64)
+        if x.std() == 0 or y.std() == 0:
+            return 0.0
+        return float(np.corrcoef(x, y)[0, 1])
+
+    def tracking_error(self) -> float:
+        """Mean relative error of the occupancy weight vs resident lines.
+
+        The Figure 5 fidelity number: how closely the CBF follows the true
+        cache footprint. Nonzero error comes from hash aliasing at the
+        paper's load factor (filter entries == cache lines) plus the
+        documented stale-bit clearing lag.
+        """
+        occ = np.asarray(self.occupancy_weight, dtype=np.float64)
+        res = np.asarray(self.resident_lines, dtype=np.float64)
+        return float(np.mean(np.abs(occ - res) / np.maximum(res, 1.0)))
+
+
+def figure2_counters_vs_footprint(
+    window_accesses: int = 2500,
+    laps: int = 2,
+    seed: int = 0,
+    machine_l2=None,
+    scrubber_accesses_per_window: int = 4000,
+) -> CounterSeries:
+    """Drive the aim9-like workload and record the Figure 2/5 series.
+
+    Per window: the phase's true live working set, the L2 miss count, TLB
+    miss count, page-fault count, the CBF occupancy weight (the monitored
+    core's filter popcount, Section 2.4) and the per-window RBV popcount.
+
+    Two environment choices mirror the paper's measurement conditions:
+
+    * the cache is shared with a streaming *scrubber* on the second core —
+      a cache with no other occupants never evicts a process's dead lines,
+      so no occupancy metric could track a footprint *decrease*; in the
+      paper's runs the co-scheduled processes provide that pressure;
+    * the measurement cache defaults to 1 MB, matching the scaled-down
+      footprints (32–768 KB) of the aim9 phases.
+    """
+    l2_config = machine_l2 or CacheConfig(
+        name="fig2-l2",
+        geometry=CacheGeometry(size_bytes=1024 * 1024, line_bytes=64, ways=16),
+    )
+    cache = SetAssociativeCache(l2_config, num_cores=2)
+    geometry = l2_config.geometry
+    sig = SignatureUnit(
+        SignatureConfig(
+            num_cores=2, num_sets=geometry.num_sets, ways=geometry.ways
+        )
+    )
+    tlb = TLB(entries=64, page_bytes=4096)
+    faults = PageFaultTracker(page_bytes=4096)
+    gen = make_aim9_generator(seed=seed)
+    scrubber = StreamGenerator(1 << 26, base_block=1 << 30, seed=seed + 1)
+    schedule = aim9_phases()
+    series = CounterSeries(window_accesses=window_accesses)
+
+    position = 0
+    total_accesses = laps * sum(n for _, _, n in schedule)
+    phase_bounds: List[Tuple[int, int]] = []
+    cursor = 0
+    for _ in range(laps):
+        for window_kb, _churn, n in schedule:
+            phase_bounds.append((cursor + n, window_kb * 1024 // BLOCK_BYTES))
+            cursor += n
+
+    def feed(core: int, blocks) -> int:
+        result = cache.access_batch(core, blocks)
+        sig.record_events(
+            core,
+            result.fills,
+            result.fill_slots,
+            result.evictions,
+            result.evict_slots,
+            result.evict_fill_pos,
+        )
+        return result.misses
+
+    bound_idx = 0
+    chunk = 500
+    while position < total_accesses:
+        take = min(window_accesses, total_accesses - position)
+        tlb_before, pf_before = tlb.misses, faults.faults
+        window_misses = 0
+        done = 0
+        scrub_done = 0
+        # Interleave aim9 and scrubber chunks to approximate concurrency.
+        while done < take:
+            piece = min(chunk, take - done)
+            blocks = gen.next_batch(piece)
+            window_misses += feed(0, blocks)
+            addresses = blocks * BLOCK_BYTES
+            tlb.access_addresses(addresses)
+            faults.touch_addresses(addresses)
+            done += piece
+            scrub_target = int(
+                scrubber_accesses_per_window * done / take
+            )
+            if scrub_target > scrub_done:
+                feed(1, scrubber.next_batch(scrub_target - scrub_done))
+                scrub_done = scrub_target
+        sample = sig.on_context_switch(0)
+        position += take
+        while bound_idx < len(phase_bounds) - 1 and position > phase_bounds[bound_idx][0]:
+            bound_idx += 1
+        series.true_footprint.append(phase_bounds[bound_idx][1])
+        series.resident_lines.append(int(cache.occupancy_by_core()[0]))
+        series.l2_misses.append(window_misses)
+        series.tlb_misses.append(tlb.misses - tlb_before)
+        series.page_faults.append(faults.faults - pf_before)
+        series.occupancy_weight.append(sig.core_occupancy(0))
+        series.rbv_occupancy.append(sample.occupancy)
+    return series
+
+
+def figure5_occupancy_tracking(**kwargs) -> CounterSeries:
+    """Figure 5 uses the same run; alias kept for the figure index."""
+    return figure2_counters_vs_footprint(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — pairwise worst-case degradations
+# ---------------------------------------------------------------------------
+def figure3a_private_pairs(
+    names: Optional[Sequence[str]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    batch_accesses: int = 256,
+):
+    """Figure 3(a): worst-case degradation, pairs timesharing a private L2."""
+    pool = list(names) if names else spec_profile_names()
+    return pairwise_private_timeshare(
+        p4xeon(), pool, instructions=instructions, seed=seed,
+        batch_accesses=batch_accesses,
+    )
+
+
+def figure3b_shared_pairs(
+    names: Optional[Sequence[str]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    batch_accesses: int = 256,
+):
+    """Figure 3(b): worst-case degradation, pairs sharing the Core 2 L2."""
+    pool = list(names) if names else spec_profile_names()
+    return pairwise_shared(
+        core2duo(), pool, instructions=instructions, seed=seed,
+        batch_accesses=batch_accesses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — the four-benchmark mapping example
+# ---------------------------------------------------------------------------
+def table1_mapping_runtimes(
+    machine: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    batch_accesses: int = 256,
+) -> Tuple[List[str], Dict]:
+    """Table 1: povray/gobmk/libquantum/hmmer under all three mappings."""
+    machine = machine or core2duo()
+    names = ["povray", "gobmk", "libquantum", "hmmer"]
+    tasks = build_tasks(names, instructions=instructions, seed=seed)
+    times = run_all_mappings(
+        machine, tasks, seed=seed, batch_accesses=batch_accesses
+    )
+    return names, times
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-12 — improvement sweeps
+# ---------------------------------------------------------------------------
+#: One mix per cache-sensitive benchmark pairing it with a single polluter
+#: and light partners — the mixes where the paper's per-benchmark maxima
+#: arise. The full C(12,4) sweep contains them; the default subset must
+#: too, or the reported maxima are artefacts of subsampling.
+SHOWCASE_MIXES: Tuple[Tuple[str, ...], ...] = (
+    ("mcf", "libquantum", "povray", "gobmk"),
+    ("omnetpp", "libquantum", "povray", "sjeng"),
+    ("astar", "hmmer", "povray", "perlbench"),
+    ("milc", "libquantum", "povray", "gobmk"),
+)
+
+
+def figure10_native_sweep(
+    mixes: Optional[Sequence[Sequence[str]]] = None,
+    policy=None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    mixes_per_benchmark: int = 4,
+    **two_phase_kwargs,
+) -> SweepResult:
+    """Figure 10: per-benchmark max/avg improvement, native execution."""
+    if mixes is None:
+        sampled = stratified_mixes(
+            spec_profile_names(), mixes_per_benchmark=mixes_per_benchmark, seed=seed
+        )
+        seen = set(SHOWCASE_MIXES)
+        mixes = list(SHOWCASE_MIXES) + [
+            m for m in sampled if tuple(sorted(m)) not in
+            {tuple(sorted(s)) for s in seen}
+        ]
+    policy = policy or WeightedInterferenceGraphPolicy()
+    return mix_sweep(
+        core2duo(), mixes, policy, instructions=instructions, seed=seed,
+        **two_phase_kwargs,
+    )
+
+
+def figure12_parsec_sweep(
+    app_mixes: Sequence[Sequence[str]],
+    instructions_per_thread: int = DEFAULT_INSTRUCTIONS // 4,
+    seed: int = 0,
+    **kwargs,
+) -> SweepResult:
+    """Figure 12: multithreaded PARSEC mixes under the two-phase policy."""
+    sweep = SweepResult()
+    for i, mix in enumerate(app_mixes):
+        sweep.add(
+            parsec_two_phase(
+                core2duo(),
+                list(mix),
+                instructions_per_thread=instructions_per_thread,
+                seed=seed + i,
+                **kwargs,
+            )
+        )
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Figures 13 & 14 — algorithm and hash-function comparisons
+# ---------------------------------------------------------------------------
+def figure13_algorithm_comparison(
+    mixes: Sequence[Sequence[str]],
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    **two_phase_kwargs,
+) -> Dict[str, List[MixResult]]:
+    """Figure 13: the three policies on representative mixes."""
+    out: Dict[str, List[MixResult]] = {}
+    for key, policy_cls in POLICIES.items():
+        results = []
+        for i, mix in enumerate(mixes):
+            results.append(
+                two_phase(
+                    core2duo(),
+                    list(mix),
+                    policy_cls(),
+                    instructions=instructions,
+                    seed=seed + i,
+                    **two_phase_kwargs,
+                )
+            )
+        out[key] = results
+    return out
+
+
+def figure14_hash_comparison(
+    mixes: Sequence[Sequence[str]],
+    hash_kinds: Sequence[str] = (
+        "xor",
+        "xor_inverse_reverse",
+        "modulo",
+        "presence",
+        "presence_sticky",
+    ),
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 0,
+    policy_seeds: Sequence[int] = (5, 17, 23),
+    phase1_min_wall: float = 400_000_000.0,
+    **two_phase_kwargs,
+) -> "Dict[str, Fig14Entry]":
+    """Figure 14: the weighted policy under each hash scheme.
+
+    Measured as decision *robustness*: each scheme's phase 1 is run with
+    several tie-break seeds, and every resulting majority schedule is
+    scored against a per-mix phase-2 table computed once. An informative
+    signature picks the good schedule regardless of the tie-break seed; a
+    saturated one (``presence_sticky``, or ``k>1`` on a line-count-sized
+    filter) degenerates to near-uniform votes whose winner flips with the
+    seed — the paper's "conveys little information". The long
+    ``phase1_min_wall`` matters: it pushes the run well past the sticky
+    filters' saturation point, matching the paper's 2B-instruction
+    emulation; a short phase 1 would let the pre-saturation transient
+    carry even the degenerate schemes.
+    """
+    machine = core2duo()
+    out: Dict[str, Fig14Entry] = {
+        kind: Fig14Entry(results=[], late_occupancies=[]) for kind in hash_kinds
+    }
+    for i, mix in enumerate(mixes):
+        # Phase-2 mapping times are signature-independent: compute once.
+        tasks = build_tasks(list(mix), instructions=instructions, seed=seed + i)
+        mapping_times = run_all_mappings(machine, tasks, seed=seed + i)
+        default = canonical_mapping(
+            [
+                [t.tid for j, t in enumerate(tasks) if j % machine.num_cores == c]
+                for c in range(machine.num_cores)
+            ]
+        )
+        for kind in hash_kinds:
+            for pseed in policy_seeds:
+                monitor = _OccupancyRecordingMonitor(
+                    WeightedInterferenceGraphPolicy(seed=pseed),
+                    interval_cycles=8_000_000.0,
+                )
+                phase1 = run_mix(
+                    machine,
+                    tasks,
+                    monitor=monitor,
+                    signature_config=default_signature_config(
+                        machine, hash_kind=kind
+                    ),
+                    seed=seed + i,
+                    scheduler_config=SchedulerConfig(
+                        num_cores=machine.num_cores,
+                        timeslice_cycles=8_000_000.0,
+                        context_smoothing=0.6,
+                    ),
+                    min_wall_cycles=phase1_min_wall,
+                )
+                chosen = (phase1.majority_mapping or default).canonical()
+                out[kind].results.append(
+                    MixResult(
+                        names=tuple(mix),
+                        mapping_times=mapping_times,
+                        chosen_mapping=chosen,
+                        default_mapping=default,
+                        decisions=tuple(phase1.decisions),
+                    )
+                )
+                # The saturation discriminator: the maximum occupancy weight
+                # any task shows late in the run. A sticky (saturated)
+                # vector yields near-zero RBVs -> no scheduling signal.
+                trace = monitor.occupancy_trace
+                tail = trace[len(trace) * 2 // 3 :] or trace
+                out[kind].late_occupancies.append(
+                    float(np.mean([max(o) for o in tail])) if tail else 0.0
+                )
+    return out
+
+
+@dataclass
+class Fig14Entry:
+    """Per-hash-scheme Figure 14 measurements."""
+
+    #: one MixResult per (mix, policy seed)
+    results: List[MixResult]
+    #: per run: mean over the final third of invocations of the *largest*
+    #: per-task occupancy weight — the signal the policies feed on
+    late_occupancies: List[float]
+
+    def mean_improvement(self) -> float:
+        """Mean improvement across mixes, seeds and benchmarks."""
+        return float(
+            np.mean(
+                [r.improvement(n) for r in self.results for n in r.names]
+            )
+        )
+
+    def worst_seed_improvement(self) -> float:
+        """The weakest tie-break seed's mean improvement (robustness)."""
+        return min(
+            float(np.mean([r.improvement(n) for n in r.names]))
+            for r in self.results
+        )
+
+    def late_signal(self) -> float:
+        """Mean post-saturation occupancy signal across runs."""
+        return float(np.mean(self.late_occupancies))
+
+
+class _OccupancyRecordingMonitor(UserLevelMonitor):
+    """Monitor that records the per-task occupancies it decided from."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.occupancy_trace: List[List[float]] = []
+
+    def invoke(self, syscall):
+        tasks = syscall.query_tasks()
+        if tasks and all(t.valid for t in tasks):
+            self.occupancy_trace.append([float(t.occupancy) for t in tasks])
+        return super().invoke(syscall)

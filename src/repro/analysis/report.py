@@ -1,0 +1,181 @@
+"""Paper-style rendering of experiment outputs.
+
+These functions turn the :mod:`repro.analysis.figures` series into the
+rows/series the paper's tables and figures report, as aligned text. The
+benchmark harnesses print these so ``bench_output.txt`` reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.perf.experiment import MixResult, PairwiseResult, SweepResult
+from repro.utils.tables import format_bar_chart, format_percent, format_table
+
+__all__ = [
+    "render_pairwise",
+    "render_table1",
+    "render_sweep",
+    "render_mix_comparison",
+    "render_counter_series",
+]
+
+
+def render_pairwise(result: PairwiseResult, title: str) -> str:
+    """Figure 3-style rows: worst-case degradation per benchmark."""
+    rows = []
+    for name in result.names:
+        partner, worst = result.worst_degradation(name)
+        rows.append([name, partner, format_percent(worst)])
+    return format_table(
+        ["benchmark", "worst partner", "worst-case degradation"],
+        rows,
+        title=title,
+    )
+
+
+def render_table1(
+    names: Sequence[str],
+    mapping_times: Mapping,
+    clock_hz: float,
+    float_digits: int = 4,
+) -> str:
+    """Table 1: per-benchmark user times (seconds) under each mapping.
+
+    The absolute values are simulated seconds under the scaled-down
+    instruction budgets — only the relative ordering across mappings is
+    meaningful (see EXPERIMENTS.md).
+    """
+    mappings = list(mapping_times)
+    headers = ["benchmark"] + [str(m) for m in mappings]
+    rows = []
+    for name in names:
+        rows.append(
+            [name]
+            + [mapping_times[m][name] / clock_hz for m in mappings]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Table 1: user run times (s) per mapping",
+        float_digits=float_digits,
+    )
+
+
+def render_sweep(sweep: SweepResult, title: str) -> str:
+    """Figure 10/11/12-style rows: per-benchmark max and avg improvement.
+
+    The extra oracle column (best achievable over the measured mappings)
+    separates how much headroom the mixes offered from how much the
+    policy captured.
+    """
+
+    def oracle_max(name: str) -> float:
+        return max(
+            r.oracle_improvement(name)
+            for r in sweep.mix_results
+            if name in r.names
+        )
+
+    rows = []
+    for name in sweep.benchmarks():
+        rows.append(
+            [
+                name,
+                format_percent(sweep.max_improvement(name)),
+                format_percent(sweep.avg_improvement(name)),
+                format_percent(oracle_max(name)),
+                len(sweep.improvements[name]),
+            ]
+        )
+    table = format_table(
+        ["benchmark", "max improvement", "avg improvement", "oracle max", "mixes"],
+        rows,
+        title=title,
+    )
+    bars = format_bar_chart(
+        {n: 100.0 * sweep.max_improvement(n) for n in sweep.benchmarks()},
+        title="max improvement (%)",
+        unit="%",
+    )
+    return table + "\n\n" + bars
+
+
+def render_mix_comparison(
+    results_by_variant: Mapping[str, List[MixResult]], title: str
+) -> str:
+    """Figure 13/14-style rows: mean improvement per variant per mix."""
+    variants = list(results_by_variant)
+    any_results = results_by_variant[variants[0]]
+    headers = ["mix"] + variants
+    rows = []
+    for i, base in enumerate(any_results):
+        mix_label = "+".join(base.names)
+        row: List = [mix_label]
+        for variant in variants:
+            r = results_by_variant[variant][i]
+            mean_improvement = sum(r.improvement(n) for n in r.names) / len(r.names)
+            row.append(format_percent(mean_improvement))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_counter_series(series, max_rows: int = 20) -> str:
+    """Figure 2/5-style time series plus the headline statistics.
+
+    Figure 2's claim: no event counter correlates well with the program's
+    working set. Figure 5's claim: the CBF occupancy weight follows the
+    process's true cache footprint (resident lines) closely.
+    """
+    n = len(series.true_footprint)
+    step = max(1, n // max_rows)
+    rows = []
+    for i in range(0, n, step):
+        rows.append(
+            [
+                i,
+                series.true_footprint[i],
+                series.resident_lines[i],
+                series.occupancy_weight[i],
+                series.l2_misses[i],
+                series.tlb_misses[i],
+                series.page_faults[i],
+            ]
+        )
+    table = format_table(
+        [
+            "window",
+            "true WS (lines)",
+            "resident (lines)",
+            "occupancy wt",
+            "L2 miss",
+            "TLB miss",
+            "pg fault",
+        ],
+        rows,
+        title="aim9-like workload: counters vs footprint over time",
+    )
+    corr = format_table(
+        ["series", "corr. with working set"],
+        [
+            ["l2_misses", series.correlation("l2_misses")],
+            ["tlb_misses", series.correlation("tlb_misses")],
+            ["page_faults", series.correlation("page_faults")],
+        ],
+        title="Figure 2: counters vs true working set",
+        float_digits=3,
+    )
+    fig5 = format_table(
+        ["metric", "value"],
+        [
+            [
+                "corr(occupancy, resident lines)",
+                series.correlation("occupancy_weight", "resident_lines"),
+            ],
+            ["mean relative tracking error", series.tracking_error()],
+        ],
+        title="Figure 5: CBF occupancy vs true cache footprint",
+        float_digits=3,
+    )
+    return table + "\n\n" + corr + "\n\n" + fig5

@@ -1,0 +1,66 @@
+"""Result persistence: JSON round-tripping for experiment outputs.
+
+Benchmark harnesses save their measured series so EXPERIMENTS.md numbers
+can be regenerated and diffed; everything is plain-JSON (lists/dicts/
+numbers) with numpy scalars normalised.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json", "mix_result_to_dict"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serialisable primitives."""
+    if isinstance(obj, (str, bool, type(None))):
+        return obj
+    if isinstance(obj, (np.integer, int)):
+        return int(obj)
+    if isinstance(obj, (np.floating, float)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    raise TypeError(f"cannot serialise {type(obj).__name__}")
+
+
+def save_json(path: Union[str, Path], obj: Any) -> None:
+    """Write *obj* (after :func:`to_jsonable`) to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load a JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def mix_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.perf.experiment.MixResult` for persistence."""
+    return {
+        "names": list(result.names),
+        "chosen_mapping": str(result.chosen_mapping),
+        "default_mapping": str(result.default_mapping),
+        "num_decisions": len(result.decisions),
+        "mapping_times": {
+            str(mapping): {k: float(v) for k, v in times.items()}
+            for mapping, times in result.mapping_times.items()
+        },
+        "improvements": {n: float(result.improvement(n)) for n in result.names},
+        "oracle_improvements": {
+            n: float(result.oracle_improvement(n)) for n in result.names
+        },
+    }

@@ -1,0 +1,117 @@
+"""Sensitivity of the headline result to timing-model assumptions.
+
+The reproduction's timing model has four load-bearing parameters (memory
+latency, bus-queueing strength, L2 hit latency, CPI). A reviewer's first
+question for any simulator-based result is whether the conclusion — the
+chosen schedule's improvement for a cache-sensitive benchmark — survives
+perturbing them. This module sweeps one parameter at a time around the
+defaults and re-measures a reference mix, separating:
+
+* the **oracle** improvement (does the *phenomenon* survive?), and
+* the **chosen** improvement (does the *policy* still find it?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.alloc import WeightedInterferenceGraphPolicy
+from repro.perf.experiment import MixResult, two_phase
+from repro.perf.machine import MachineConfig, core2duo
+from repro.perf.timing import TimingModel
+from repro.sched.os_model import SchedulerConfig
+
+__all__ = ["SensitivityPoint", "sweep_timing_parameter", "TIMING_PARAMETERS"]
+
+#: Parameters the sweep knows how to perturb, with their default spans
+#: (multipliers applied to the baseline TimingModel value).
+TIMING_PARAMETERS: Dict[str, Sequence[float]] = {
+    "mem_cycles": (0.5, 0.75, 1.0, 1.5, 2.0),
+    "queue_coeff": (0.0, 0.5, 1.0, 2.0),
+    "l2_hit_cycles": (0.5, 1.0, 2.0),
+    "cpi_base": (0.67, 1.0, 1.5),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sweep point: a perturbed parameter and the measured outcome."""
+
+    parameter: str
+    multiplier: float
+    value: float
+    chosen_improvement: float
+    oracle_improvement: float
+    result: MixResult
+
+    @property
+    def policy_found_it(self) -> bool:
+        """Did the policy capture most of the available headroom?"""
+        if self.oracle_improvement < 0.02:
+            return True  # nothing to find
+        return self.chosen_improvement >= 0.5 * self.oracle_improvement
+
+
+def sweep_timing_parameter(
+    parameter: str,
+    multipliers: Sequence[float] = None,
+    mix: Sequence[str] = ("mcf", "povray", "libquantum", "gobmk"),
+    benchmark: str = "mcf",
+    instructions: int = 6_000_000,
+    seed: int = 5,
+    **two_phase_kwargs,
+) -> List[SensitivityPoint]:
+    """Sweep one timing parameter and measure the reference mix.
+
+    Returns one :class:`SensitivityPoint` per multiplier, in order.
+    """
+    if parameter not in TIMING_PARAMETERS:
+        raise KeyError(
+            f"unknown parameter {parameter!r}; "
+            f"choose from {sorted(TIMING_PARAMETERS)}"
+        )
+    if multipliers is None:
+        multipliers = TIMING_PARAMETERS[parameter]
+    baseline = TimingModel()
+    points: List[SensitivityPoint] = []
+    for multiplier in multipliers:
+        value = getattr(baseline, parameter) * multiplier
+        machine = replace(
+            core2duo(),
+            name=f"core2duo[{parameter}x{multiplier}]",
+            timing=replace(baseline, **{parameter: value}),
+        )
+        # Phase-1 scaling must track the timing change: the quantum exists
+        # to cover a working-set re-fault, whose cycle cost scales with the
+        # memory latency (DESIGN.md §5.3); and the majority vote needs
+        # enough samples to beat its own variance at off-default points.
+        quantum_scale = multiplier if parameter == "mem_cycles" else 1.0
+        phase1 = SchedulerConfig(
+            num_cores=machine.num_cores,
+            timeslice_cycles=8_000_000.0 * max(quantum_scale, 0.5),
+            context_smoothing=0.6,
+        )
+        kwargs = dict(
+            phase1_scheduler=phase1, phase1_min_wall=240_000_000.0
+        )
+        kwargs.update(two_phase_kwargs)
+        result = two_phase(
+            machine,
+            list(mix),
+            WeightedInterferenceGraphPolicy(seed=seed),
+            instructions=instructions,
+            seed=seed,
+            **kwargs,
+        )
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                multiplier=float(multiplier),
+                value=float(value),
+                chosen_improvement=result.improvement(benchmark),
+                oracle_improvement=result.oracle_improvement(benchmark),
+                result=result,
+            )
+        )
+    return points

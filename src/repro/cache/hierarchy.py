@@ -1,0 +1,101 @@
+"""Private-L1 + shared-L2 cache hierarchy.
+
+The paper's signature hardware sits at the shared L2 and observes the miss
+stream *after* L1 filtering. For most experiments we generate L2-level
+reference streams directly (documented in DESIGN.md), but the hierarchy is
+available for higher-fidelity runs and for tests of the filtering effect.
+
+Simplifications (documented): L1s are private, clean and non-inclusive;
+L1 evictions produce no L2 traffic (no write-backs — the signature hardware
+only reacts to L2 fills and replacements, which are modelled exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["HierarchyResult", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Outcome of one batch through L1 and L2.
+
+    ``l2`` is ``None`` when every access hit in the L1.
+    """
+
+    accesses: int
+    l1_hits: int
+    l2: Optional[AccessResult]
+
+    @property
+    def l2_hits(self) -> int:
+        return self.l2.hits if self.l2 is not None else 0
+
+    @property
+    def l2_misses(self) -> int:
+        return self.l2.misses if self.l2 is not None else 0
+
+
+class CacheHierarchy:
+    """Per-core private L1s in front of one shared L2.
+
+    Parameters
+    ----------
+    l2:
+        The shared cache (its ``num_cores`` defines the core count).
+    l1_config:
+        Config used for each private L1, or ``None`` to bypass L1 entirely
+        (accesses go straight to the L2).
+    """
+
+    def __init__(self, l2: SetAssociativeCache, l1_config: Optional[CacheConfig] = None):
+        self.l2 = l2
+        self.num_cores = l2.num_cores
+        if l1_config is not None:
+            if l1_config.geometry.line_bytes != l2.geometry.line_bytes:
+                raise ConfigurationError(
+                    "L1 and L2 must share a line size "
+                    f"({l1_config.geometry.line_bytes} vs {l2.geometry.line_bytes})"
+                )
+            self.l1s: Optional[List[SetAssociativeCache]] = [
+                SetAssociativeCache(l1_config, num_cores=1)
+                for _ in range(self.num_cores)
+            ]
+        else:
+            self.l1s = None
+
+    def access_batch(self, core: int, blocks: np.ndarray) -> HierarchyResult:
+        """Run a batch of block addresses from *core* through the hierarchy."""
+        if self.l1s is None:
+            l2_result = self.l2.access_batch(core, blocks)
+            return HierarchyResult(accesses=len(blocks), l1_hits=0, l2=l2_result)
+        l1_result = self.l1s[core].access_batch(0, blocks)
+        if l1_result.misses == 0:
+            return HierarchyResult(
+                accesses=len(blocks), l1_hits=l1_result.hits, l2=None
+            )
+        # L1 misses (the filled blocks, in order) proceed to the shared L2.
+        l2_result = self.l2.access_batch(core, l1_result.fills)
+        return HierarchyResult(
+            accesses=len(blocks), l1_hits=l1_result.hits, l2=l2_result
+        )
+
+    def flush_l1(self, core: int) -> None:
+        """Invalidate one core's L1 (used at context switches if desired)."""
+        if self.l1s is not None:
+            self.l1s[core].reset()
+
+    def reset(self) -> None:
+        """Invalidate every level and zero statistics."""
+        self.l2.reset()
+        if self.l1s is not None:
+            for l1 in self.l1s:
+                l1.reset()

@@ -1,0 +1,79 @@
+"""Hit/miss/eviction accounting for cache models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Per-core access statistics for one cache.
+
+    Attributes
+    ----------
+    hits, misses:
+        int64 arrays indexed by core.
+    evictions:
+        Total lines evicted (capacity/conflict replacements).
+    """
+
+    num_cores: int
+    hits: np.ndarray = field(default=None)  # type: ignore[assignment]
+    misses: np.ndarray = field(default=None)  # type: ignore[assignment]
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_cores, "num_cores")
+        if self.hits is None:
+            self.hits = np.zeros(self.num_cores, dtype=np.int64)
+        if self.misses is None:
+            self.misses = np.zeros(self.num_cores, dtype=np.int64)
+
+    @property
+    def total_accesses(self) -> int:
+        """All accesses observed across cores."""
+        return int(self.hits.sum() + self.misses.sum())
+
+    @property
+    def total_hits(self) -> int:
+        return int(self.hits.sum())
+
+    @property
+    def total_misses(self) -> int:
+        return int(self.misses.sum())
+
+    def miss_rate(self, core: int = None) -> float:
+        """Miss rate overall, or for one core if given."""
+        if core is None:
+            total = self.total_accesses
+            return self.total_misses / total if total else 0.0
+        accesses = int(self.hits[core] + self.misses[core])
+        return int(self.misses[core]) / accesses if accesses else 0.0
+
+    def record(self, core: int, hits: int, misses: int, evictions: int) -> None:
+        """Accumulate one batch's counts."""
+        self.hits[core] += hits
+        self.misses[core] += misses
+        self.evictions += evictions
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits.fill(0)
+        self.misses.fill(0)
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy (for result persistence)."""
+        return {
+            "hits": self.hits.tolist(),
+            "misses": self.misses.tolist(),
+            "evictions": self.evictions,
+            "miss_rate": self.miss_rate(),
+        }

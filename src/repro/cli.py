@@ -1,0 +1,212 @@
+"""Command-line interface: ``repro-cli`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``profiles``
+    List the SPEC-like and PARSEC-like workload pools.
+``mix``
+    Run the paper's two-phase methodology on a benchmark mix and print the
+    per-benchmark improvements (the Figure 10 metric).
+``pairwise``
+    Pairwise worst-case degradations for a set of benchmarks (Figure 3).
+``figure``
+    Regenerate a quick paper figure (1, 2/5, or table1) at reduced scale.
+
+All commands accept ``--seed`` for reproducibility; ``mix`` and
+``pairwise`` accept ``--instructions`` to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.alloc import (
+    InterferenceGraphPolicy,
+    WeightedInterferenceGraphPolicy,
+    WeightSortPolicy,
+)
+from repro.analysis.figures import (
+    figure1_concept,
+    figure2_counters_vs_footprint,
+    table1_mapping_runtimes,
+)
+from repro.analysis.report import (
+    render_counter_series,
+    render_pairwise,
+    render_table1,
+)
+from repro.perf.experiment import pairwise_shared, two_phase
+from repro.perf.machine import core2duo
+from repro.utils.tables import format_percent, format_table
+from repro.workloads.parsec import parsec_pool
+from repro.workloads.spec import spec_pool, spec_profile_names
+
+__all__ = ["main", "build_parser"]
+
+_POLICIES = {
+    "weight-sort": WeightSortPolicy,
+    "interference": InterferenceGraphPolicy,
+    "weighted": WeightedInterferenceGraphPolicy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-cli`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Symbiotic shared-cache scheduling (ICPP 2011) — "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("profiles", help="list the workload profile pools")
+
+    mix = sub.add_parser("mix", help="two-phase methodology on one mix")
+    mix.add_argument("names", nargs="+", help="benchmark names (e.g. mcf povray)")
+    mix.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="weighted",
+        help="allocation policy (default: weighted)",
+    )
+    mix.add_argument("--instructions", type=int, default=6_000_000)
+    mix.add_argument("--seed", type=int, default=3)
+
+    pw = sub.add_parser("pairwise", help="pairwise degradations (Figure 3b)")
+    pw.add_argument("names", nargs="+", help="benchmark names")
+    pw.add_argument("--instructions", type=int, default=3_000_000)
+    pw.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("figure", help="regenerate a quick paper figure")
+    fig.add_argument("which", choices=["1", "2", "5", "table1"])
+    fig.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_profiles() -> int:
+    rows = [
+        [p.name, p.category, p.working_set_kb, p.hot_set_kb,
+         p.accesses_per_kinstr, p.pattern]
+        for p in spec_pool()
+    ]
+    print(
+        format_table(
+            ["name", "category", "WS (KB)", "hot (KB)", "APKI", "pattern"],
+            rows,
+            title="SPEC2006-like pool (12 benchmarks)",
+        )
+    )
+    rows = [
+        [p.name, p.category, p.threads, p.shared_ws_kb, p.private_ws_kb,
+         p.shared_fraction]
+        for p in parsec_pool()
+    ]
+    print()
+    print(
+        format_table(
+            ["name", "category", "threads", "shared (KB)", "private (KB)",
+             "shared frac"],
+            rows,
+            title="PARSEC-like pool (8 applications)",
+        )
+    )
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    unknown = [n for n in args.names if n not in spec_profile_names()]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}; see 'repro-cli profiles'")
+        return 2
+    machine = core2duo()
+    result = two_phase(
+        machine,
+        args.names,
+        _POLICIES[args.policy](seed=args.seed),
+        instructions=args.instructions,
+        seed=args.seed,
+    )
+    print(f"mix: {', '.join(args.names)}   policy: {args.policy}")
+    print(f"phase-1 decisions: {len(result.decisions)}")
+    print(f"chosen schedule: {result.chosen_mapping}\n")
+    rows = [
+        [
+            name,
+            machine.seconds(result.worst_time(name)),
+            machine.seconds(result.chosen_time(name)),
+            format_percent(result.improvement(name)),
+            format_percent(result.oracle_improvement(name)),
+        ]
+        for name in args.names
+    ]
+    print(
+        format_table(
+            ["benchmark", "worst (s)", "chosen (s)", "improvement", "oracle"],
+            rows,
+            float_digits=4,
+        )
+    )
+    return 0
+
+
+def _cmd_pairwise(args: argparse.Namespace) -> int:
+    unknown = [n for n in args.names if n not in spec_profile_names()]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}; see 'repro-cli profiles'")
+        return 2
+    if len(args.names) < 2:
+        print("pairwise needs at least two benchmarks")
+        return 2
+    result = pairwise_shared(
+        core2duo(), args.names, instructions=args.instructions, seed=args.seed
+    )
+    print(
+        render_pairwise(
+            result, "Pairwise worst-case degradation (shared L2, Figure 3b)"
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.which == "1":
+        out = figure1_concept()
+        rows = [
+            [label, v["miss_rate"], int(v["footprint_lines"])]
+            for label, v in out.items()
+        ]
+        print(
+            format_table(
+                ["application", "miss rate", "footprint (lines)"],
+                rows,
+                title="Figure 1: same miss rate, different footprint",
+            )
+        )
+    elif args.which in ("2", "5"):
+        series = figure2_counters_vs_footprint(laps=1, seed=args.seed)
+        print(render_counter_series(series))
+    else:  # table1
+        names, times = table1_mapping_runtimes(
+            instructions=2_000_000, seed=args.seed
+        )
+        print(render_table1(names, times, core2duo().clock_hz))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "profiles":
+        return _cmd_profiles()
+    if args.command == "mix":
+        return _cmd_mix(args)
+    if args.command == "pairwise":
+        return _cmd_pairwise(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: Bloom-filter memory-footprint signatures.
+
+Public surface:
+
+* :class:`BloomFilter` / :class:`CountingBloomFilter` — the Section 2.4
+  building blocks.
+* :class:`SignatureUnit` / :class:`SignatureConfig` — the split CBF with
+  per-core Core/Last Filters (Section 3.1).
+* :class:`SignatureSample` / :class:`SignatureContext` — the per-process
+  ``(2+N)``-entry OS record (Section 3.2).
+* metric helpers (RBV / occupancy / symbiosis / interference) and the
+  Section 5.4 overhead models.
+"""
+
+from repro.core.cbf import BloomFilter, CountingBloomFilter
+from repro.core.context import SignatureContext, SignatureSample
+from repro.core.hashes import (
+    HASH_KINDS,
+    HashFunction,
+    ModuloHash,
+    XorFoldHash,
+    XorInverseReverseHash,
+    make_hash,
+    make_hash_family,
+)
+from repro.core.metrics import (
+    interference_from_symbiosis,
+    occupancy_weight,
+    running_bit_vector,
+    symbiosis,
+    symbiosis_vector,
+    weighted_edge_weight,
+)
+from repro.core.overhead import (
+    SoftwareOverhead,
+    bits_accurate_overhead,
+    paper_hardware_overhead,
+    software_overhead,
+)
+from repro.core.sampling import SetSampler
+from repro.core.signature import SignatureConfig, SignatureStats, SignatureUnit
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "SignatureContext",
+    "SignatureSample",
+    "HASH_KINDS",
+    "HashFunction",
+    "ModuloHash",
+    "XorFoldHash",
+    "XorInverseReverseHash",
+    "make_hash",
+    "make_hash_family",
+    "interference_from_symbiosis",
+    "occupancy_weight",
+    "running_bit_vector",
+    "symbiosis",
+    "symbiosis_vector",
+    "weighted_edge_weight",
+    "SoftwareOverhead",
+    "bits_accurate_overhead",
+    "paper_hardware_overhead",
+    "software_overhead",
+    "SetSampler",
+    "SignatureConfig",
+    "SignatureStats",
+    "SignatureUnit",
+]

@@ -1,0 +1,86 @@
+"""Signature metrics: RBV, occupancy weight, symbiosis, interference.
+
+Paper Section 3.1 defines, for a core whose Core Filter is ``CF`` and whose
+Last Filter snapshot is ``LF``:
+
+* **Running Bit Vector**: the bits newly set since the snapshot. The paper
+  prints two inconsistent formulas — "the inverse value of CF → LF" and
+  "RBV = ¬(CF ∨ LF)". These disagree; ``¬(CF → LF) = CF ∧ ¬LF`` is the
+  semantically meaningful one (bits set now but not at the snapshot), and
+  that is what we implement. (Erratum: the second formula drops a negation;
+  it would exclude every bit the application itself set.)
+* **Occupancy weight**: popcount of the RBV — a proxy for the process's
+  cache footprint.
+* **Symbiosis** with another core: popcount of ``RBV XOR CF_other``. High
+  symbiosis = disjoint footprints = low interference. A low value means
+  either heavy overlap *or* that both vectors are nearly empty — the
+  ambiguity the weighted algorithm (Section 3.3.3) corrects.
+* **Interference**: the reciprocal of symbiosis (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.bitvec import BitVector
+
+__all__ = [
+    "running_bit_vector",
+    "occupancy_weight",
+    "symbiosis",
+    "interference_from_symbiosis",
+    "symbiosis_vector",
+    "weighted_edge_weight",
+]
+
+
+def running_bit_vector(cf: BitVector, lf: BitVector) -> BitVector:
+    """Return ``CF & ~LF`` — the paper's RBV (see module erratum note)."""
+    return cf.andnot(lf)
+
+
+def occupancy_weight(rbv: BitVector) -> int:
+    """Number of ones in the RBV: the cache-footprint proxy."""
+    return rbv.popcount()
+
+
+def symbiosis(rbv: BitVector, cf_other: BitVector) -> int:
+    """popcount(RBV XOR CF_other): high value = low mutual interference."""
+    return rbv.xor_popcount(cf_other)
+
+
+def symbiosis_vector(rbv: BitVector, core_filters: Sequence[BitVector]) -> np.ndarray:
+    """Symbiosis of one RBV against every core's CF (int64 array)."""
+    return np.asarray(
+        [rbv.xor_popcount(cf) for cf in core_filters], dtype=np.int64
+    )
+
+
+def interference_from_symbiosis(symbiosis_value: float) -> float:
+    """Reciprocal of symbiosis (Section 3.3.2).
+
+    A symbiosis of zero (identical or both-empty vectors) would divide by
+    zero; we clamp the denominator at 1, which preserves the ordering the
+    allocation algorithms rely on (lower symbiosis -> higher interference).
+    """
+    return 1.0 / max(float(symbiosis_value), 1.0)
+
+
+def weighted_edge_weight(
+    weight_a: float,
+    interference_ab: float,
+    weight_b: float,
+    interference_ba: float,
+) -> float:
+    """Weighted interference-graph edge (Section 3.3.3).
+
+    ``W_P1 * I_12 + W_P2 * I_21`` where the ``W`` are occupancy weights and
+    the ``I`` are interference metrics. Multiplying by occupancy ensures a
+    small-footprint process cannot masquerade as a heavy interferer just
+    because its near-empty RBV produced a low symbiosis.
+    """
+    return float(weight_a) * float(interference_ab) + float(weight_b) * float(
+        interference_ba
+    )

@@ -1,0 +1,118 @@
+"""Implementation-overhead models (paper Section 5.4).
+
+The paper quantifies three costs:
+
+* **Hardware** — counter array + CF + LF sized to the number of cache
+  lines. The paper's printed formula, ``(2·N + 3) / (64 + 18)`` for an
+  N-core machine with 3-bit counters, evaluates to 8.5% for a dual-core and
+  2.13% after 25% set sampling; we reproduce that formula literally
+  (:func:`paper_hardware_overhead`) and also provide a dimensionally
+  consistent bits-based model (:func:`bits_accurate_overhead`) since the
+  paper's denominator mixes units (64 *bytes* of data + 18 *bits* of tag).
+* **Software bookkeeping** — three 32-bit words per process context plus a
+  graph algorithm of "hundreds of instructions" every 100 ms.
+* **Communication** — transferring ~1 KB RBVs between cores at context
+  switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "paper_hardware_overhead",
+    "bits_accurate_overhead",
+    "SoftwareOverhead",
+    "software_overhead",
+]
+
+
+def paper_hardware_overhead(
+    num_cores: int,
+    counter_bits: int = 3,
+    line_bytes: int = 64,
+    tag_bits: int = 18,
+    sampling_denominator: int = 1,
+) -> float:
+    """The paper's literal overhead fraction (Section 5.4).
+
+    ``(2·N + counter_bits) / (line_bytes + tag_bits) / sampling``.
+
+    For ``N=2, counter_bits=3``: ``7 / 82 = 8.54%`` unsampled and ``2.13%``
+    at 25% sampling — the two numbers the paper reports.
+    """
+    require_positive(num_cores, "num_cores")
+    require_positive(sampling_denominator, "sampling_denominator")
+    per_line = 2 * num_cores + counter_bits
+    return per_line / (line_bytes + tag_bits) / sampling_denominator
+
+
+def bits_accurate_overhead(
+    num_cores: int,
+    counter_bits: int = 3,
+    line_bytes: int = 64,
+    tag_bits: int = 18,
+    sampling_denominator: int = 1,
+) -> float:
+    """Dimensionally consistent overhead: signature bits / line storage bits.
+
+    Each cache line costs ``8·line_bytes + tag_bits`` bits of storage; the
+    signature adds ``2·N`` filter bits (CF + LF) plus ``counter_bits`` per
+    *tracked* line. This is the defensible engineering number (≈1.3% for a
+    dual-core unsampled), noticeably below the paper's unit-sloppy 8.5%.
+    """
+    require_positive(num_cores, "num_cores")
+    require_positive(sampling_denominator, "sampling_denominator")
+    per_line_signature = 2 * num_cores + counter_bits
+    per_line_storage = 8 * line_bytes + tag_bits
+    return per_line_signature / per_line_storage / sampling_denominator
+
+
+@dataclass(frozen=True)
+class SoftwareOverhead:
+    """Estimated recurring software costs of the allocation machinery."""
+
+    context_bytes_per_process: int
+    rbv_bytes: int
+    rbv_transfer_bytes_per_switch: int
+    allocator_instructions_per_invocation: int
+    invocation_period_cycles: int
+
+    @property
+    def allocator_cpu_fraction(self) -> float:
+        """Fraction of one core spent running the allocator."""
+        return (
+            self.allocator_instructions_per_invocation
+            / self.invocation_period_cycles
+        )
+
+
+def software_overhead(
+    num_cores: int,
+    num_entries: int,
+    num_processes: int,
+    allocator_instructions: int = 500,
+    clock_hz: float = 2.6e9,
+    invocation_period_s: float = 0.1,
+) -> SoftwareOverhead:
+    """Model the Section 5.4 software/bookkeeping costs.
+
+    The per-process context is ``2 + N`` numbers (kept as three 32-bit
+    values in the paper's description — last core, occupancy and a packed
+    symbiosis record); the RBV transferred between cores at a context
+    switch is ``num_entries`` bits.
+    """
+    require_positive(num_cores, "num_cores")
+    require_positive(num_entries, "num_entries")
+    require_positive(num_processes, "num_processes")
+    rbv_bytes = num_entries // 8
+    return SoftwareOverhead(
+        context_bytes_per_process=4 * (2 + num_cores),
+        rbv_bytes=rbv_bytes,
+        rbv_transfer_bytes_per_switch=rbv_bytes * num_cores,
+        allocator_instructions_per_invocation=allocator_instructions
+        * max(1, num_processes // 4),
+        invocation_period_cycles=int(clock_hz * invocation_period_s),
+    )

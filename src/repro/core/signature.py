@@ -1,0 +1,551 @@
+"""The split counting-Bloom-filter signature unit (paper Section 3.1).
+
+The paper's hardware proposal de-associates the CBF bit vector from its
+counters:
+
+* one shared **counter array** summarises the whole L2 (one counter per
+  tracked entry, default width 3 bits),
+* one **Core Filter (CF)** bit vector per core records which entries were
+  filled by requests originating from that core,
+* one **Last Filter (LF)** per core snapshots the CF at each context switch.
+
+Update rules:
+
+* **L2 miss (fill)** from core *c*: the counter indexed by the address hash
+  is incremented and the corresponding CF bit of core *c* is set.
+* **L2 eviction**: the counter indexed by the evicted block's hash is
+  decremented; when it reaches zero the corresponding bit is cleared in
+  *every* CF (the paper's documented over-clearing inaccuracy, retained
+  deliberately).
+* **Context switch** on core *c*: the outgoing entity's Running Bit Vector
+  is ``RBV = CF_c & ~LF_c``, its occupancy weight is ``popcount(RBV)``, its
+  symbiosis with core *j* is ``popcount(RBV ^ CF_j)``; then ``LF_c`` is
+  re-snapshotted from ``CF_c`` for the incoming entity.
+
+Two indexing schemes are supported:
+
+* ``hash`` — one (or k) hash functions of the block address (the paper's
+  proposal; k=1 by default);
+* ``presence`` — a one-to-one mapping from the cache slot (set, way) to an
+  entry, the "presence bits" baseline of Section 5.3.
+
+Batching
+--------
+``exact=False`` (default) applies a batch of events vectorised: all fills
+first (increments + CF sets), then all evictions (decrements +
+zero-clearing). Fills-first matters: a line filled *and* evicted within
+the same batch then nets to zero exactly as in strict order, whereas
+evictions-first would clamp its decrement at zero and leave a phantom
+counter/CF bit. The residual drift vs strict order is limited to
+counter-saturation timing within a batch and vanishes at batch size 1
+(property-tested). ``exact=True`` processes events strictly in order for
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.context import SignatureSample
+from repro.core.hashes import HashFunction, make_hash_family
+from repro.core.metrics import running_bit_vector, symbiosis_vector
+from repro.core.sampling import SetSampler
+from repro.errors import ConfigurationError, CounterSaturationError, SignatureError
+from repro.utils.bitvec import BitVector
+from repro.utils.validation import (
+    is_power_of_two,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = ["SignatureConfig", "SignatureStats", "SignatureUnit"]
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class SignatureConfig:
+    """Geometry and behaviour of a :class:`SignatureUnit`.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores sharing the monitored cache.
+    num_sets, ways:
+        Geometry of the monitored cache; the paper sizes the filter
+        structures to the number of cache lines.
+    counter_bits:
+        CBF counter width ``L`` (3 in the paper's overhead analysis).
+    num_hashes:
+        Hash functions per address; the paper uses 1 (Section 3.1) and
+        argues more would saturate the filters (Section 5.3).
+    hash_kind:
+        ``'xor'``, ``'xor_inverse_reverse'``, ``'modulo'``, ``'presence'``
+        or ``'presence_sticky'`` (Section 5.3's schemes). Plain
+        ``presence`` clears a slot's bit when its line is evicted (exact
+        per-core residency); ``presence_sticky`` reproduces the paper's
+        evaluated variant, whose bits only accumulate — it "gets saturated
+        quite often for processes that heavily use the cache" and conveys
+        no scheduling signal.
+    sampling_denominator:
+        Set-sampling ratio denominator (Section 5.4); 4 = 25% sampling.
+    strict_saturation:
+        Raise on counter saturation/underflow instead of clamping.
+    exact:
+        Process events strictly in order (validation mode).
+    """
+
+    num_cores: int
+    num_sets: int
+    ways: int
+    counter_bits: int = 3
+    num_hashes: int = 1
+    hash_kind: str = "xor"
+    sampling_denominator: int = 1
+    strict_saturation: bool = False
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_cores, "num_cores")
+        require_power_of_two(self.num_sets, "num_sets")
+        require_positive(self.ways, "ways")
+        require_positive(self.counter_bits, "counter_bits")
+        require_positive(self.num_hashes, "num_hashes")
+        if self.hash_kind in ("presence", "presence_sticky") and self.num_hashes != 1:
+            raise ConfigurationError("presence indexing is incompatible with k > 1")
+
+    @property
+    def sampler(self) -> SetSampler:
+        """The set sampler implied by the sampling denominator."""
+        return SetSampler(self.num_sets, self.sampling_denominator)
+
+    @property
+    def tracked_lines(self) -> int:
+        """Number of cache lines the unit observes after sampling."""
+        return (self.num_sets // self.sampling_denominator) * self.ways
+
+    @property
+    def num_entries(self) -> int:
+        """Filter/counter array size.
+
+        Equal to the tracked line count, rounded up to a power of two for
+        the XOR-family hashes (which fold into an index of whole bits).
+        """
+        lines = self.tracked_lines
+        if self.hash_kind in ("xor", "xor_inverse_reverse") and not is_power_of_two(
+            lines
+        ):
+            return _next_power_of_two(lines)
+        return lines
+
+
+@dataclass
+class SignatureStats:
+    """Counters describing signature-unit activity and fidelity."""
+
+    fills_tracked: int = 0
+    evictions_tracked: int = 0
+    fills_ignored: int = 0
+    evictions_ignored: int = 0
+    saturation_events: int = 0
+    underflow_events: int = 0
+    context_switches: int = 0
+
+
+class SignatureUnit:
+    """Split-CBF signature hardware attached to one shared cache."""
+
+    def __init__(self, config: SignatureConfig):
+        self.config = config
+        self.num_cores = config.num_cores
+        self.num_entries = config.num_entries
+        self.counter_max = (1 << config.counter_bits) - 1
+        self.sampler = config.sampler
+        self._presence = config.hash_kind in ("presence", "presence_sticky")
+        self._sticky = config.hash_kind == "presence_sticky"
+        if self._presence:
+            self.hashes: List[HashFunction] = []
+        else:
+            self.hashes = make_hash_family(
+                config.hash_kind, self.num_entries, config.num_hashes
+            )
+        self.counters = np.zeros(self.num_entries, dtype=np.int64)
+        self.core_filters = [BitVector(self.num_entries) for _ in range(self.num_cores)]
+        self.last_filters = [BitVector(self.num_entries) for _ in range(self.num_cores)]
+        self.stats = SignatureStats()
+        self._shift = int(np.log2(config.sampling_denominator))
+
+    # ------------------------------------------------------------------
+    # index computation
+    # ------------------------------------------------------------------
+    def _slot_indices(self, slots: np.ndarray) -> np.ndarray:
+        """Compress global (set*ways + way) slots into sampled entry indices."""
+        slots = np.asarray(slots, dtype=np.int64)
+        ways = self.config.ways
+        sets = slots // ways
+        way = slots - sets * ways
+        return (sets >> self._shift) * ways + way
+
+    def _hash_indices(self, blocks: np.ndarray) -> np.ndarray:
+        """Stacked (k, n) hash indices with per-address duplicates masked -1."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        idx = np.stack([h.hash_many(blocks) for h in self.hashes], axis=0)
+        if len(self.hashes) > 1:
+            # Paper: if several hash indices of one address collide, the
+            # counter is touched only once -> mask duplicates within columns.
+            order = np.sort(idx, axis=0)
+            dup_sorted = np.zeros_like(order, dtype=bool)
+            dup_sorted[1:] = order[1:] == order[:-1]
+            # Map the duplicate flags back to original positions.
+            for col in range(idx.shape[1]):
+                if dup_sorted[:, col].any():
+                    seen = set()
+                    for row in range(idx.shape[0]):
+                        v = int(idx[row, col])
+                        if v in seen:
+                            idx[row, col] = -1
+                        else:
+                            seen.add(v)
+        return idx
+
+    def _event_indices(
+        self, blocks: np.ndarray, slots: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Flattened valid entry indices for a batch of tracked events."""
+        if self._presence:
+            if slots is None:
+                raise SignatureError(
+                    "presence indexing requires slot information for every event"
+                )
+            return self._slot_indices(slots)
+        idx = self._hash_indices(blocks)
+        flat = idx.ravel()
+        return flat[flat >= 0]
+
+    def _sample_filter(
+        self, blocks: np.ndarray, slots: Optional[np.ndarray]
+    ) -> tuple:
+        """Drop events outside the sampled sets; return (blocks, slots, kept)."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if self.sampler.denominator == 1:
+            return blocks, slots, len(blocks)
+        mask = self.sampler.mask(blocks)
+        kept = int(mask.sum())
+        out_slots = None
+        if slots is not None:
+            out_slots = np.asarray(slots, dtype=np.int64)[mask]
+        return blocks[mask], out_slots, kept
+
+    # ------------------------------------------------------------------
+    # event recording (batch)
+    # ------------------------------------------------------------------
+    def record_fill_batch(
+        self,
+        core: int,
+        blocks: np.ndarray,
+        slots: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record L2 fills caused by misses from *core* (vectorised)."""
+        self._check_core(core)
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if len(blocks) == 0:
+            return
+        total = len(blocks)
+        blocks, slots, kept = self._sample_filter(blocks, slots)
+        self.stats.fills_ignored += total - kept
+        if kept == 0:
+            return
+        if self.config.exact:
+            for i in range(kept):
+                self._fill_one(core, int(blocks[i]), None if slots is None else int(slots[i]))
+            return
+        idx = self._event_indices(blocks, slots)
+        self.stats.fills_tracked += kept
+        np.add.at(self.counters, idx, 1)
+        over = self.counters > self.counter_max
+        if over.any():
+            excess = int((self.counters[over] - self.counter_max).sum())
+            self.stats.saturation_events += excess
+            if self.config.strict_saturation:
+                raise CounterSaturationError(
+                    f"{excess} counter saturation event(s) in fill batch"
+                )
+            self.counters[over] = self.counter_max
+        self.core_filters[core].set_many(idx)
+
+    def record_eviction_batch(
+        self,
+        blocks: np.ndarray,
+        slots: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record L2 evictions (vectorised).
+
+        A ``presence_sticky`` unit has no clearing path: eviction events
+        are counted but otherwise ignored, so its bits saturate exactly as
+        the paper describes.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if len(blocks) == 0:
+            return
+        if self._sticky:
+            self.stats.evictions_ignored += len(blocks)
+            return
+        total = len(blocks)
+        blocks, slots, kept = self._sample_filter(blocks, slots)
+        self.stats.evictions_ignored += total - kept
+        if kept == 0:
+            return
+        if self.config.exact:
+            for i in range(kept):
+                self._evict_one(int(blocks[i]), None if slots is None else int(slots[i]))
+            return
+        idx = self._event_indices(blocks, slots)
+        self.stats.evictions_tracked += kept
+        np.subtract.at(self.counters, idx, 1)
+        under = self.counters < 0
+        if under.any():
+            deficit = int((-self.counters[under]).sum())
+            self.stats.underflow_events += deficit
+            if self.config.strict_saturation:
+                raise CounterSaturationError(
+                    f"{deficit} counter underflow event(s) in eviction batch"
+                )
+            self.counters[under] = 0
+        zeroed = np.unique(idx[self.counters[idx] == 0])
+        if len(zeroed):
+            for cf in self.core_filters:
+                cf.clear_many(zeroed)
+
+    def record_events(
+        self,
+        core: int,
+        fills: np.ndarray,
+        fill_slots: Optional[np.ndarray],
+        evictions: np.ndarray,
+        evict_slots: Optional[np.ndarray],
+        evict_fill_pos: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record one cache batch's fill+eviction events.
+
+        In batched mode fills are applied before evictions (see module
+        docstring). In exact mode, *evict_fill_pos* (the fill index each
+        eviction preceded) is used to replay the true interleaving.
+
+        Presence indexing gets its own exact *and* vectorised path: a
+        miss's eviction and fill hit the *same* entry (the slot), so the
+        generic fills-first batching would keep every reused slot's
+        counter above zero forever — but because a slot's fill/evict
+        counts commute, its end-of-batch state (and owner) is computable
+        without replaying the interleaving: a touched slot ends resident
+        iff its counter is positive, and then its sole owner is this
+        batch's filling core (the cache always evicts the previous
+        occupant before refilling a slot).
+        """
+        if self._presence and not self.config.exact:
+            self._record_events_presence(core, fills, fill_slots, evictions, evict_slots)
+            return
+        if (
+            self.config.exact
+            and evict_fill_pos is not None
+            and len(evictions)
+        ):
+            fills = np.asarray(fills, dtype=np.int64)
+            evictions = np.asarray(evictions, dtype=np.int64)
+            pos = np.asarray(evict_fill_pos, dtype=np.int64)
+            e = 0
+            for f in range(len(fills)):
+                while e < len(evictions) and pos[e] == f:
+                    self.record_eviction_batch(
+                        evictions[e : e + 1],
+                        None if evict_slots is None else evict_slots[e : e + 1],
+                    )
+                    e += 1
+                self.record_fill_batch(
+                    core,
+                    fills[f : f + 1],
+                    None if fill_slots is None else fill_slots[f : f + 1],
+                )
+            while e < len(evictions):  # pragma: no cover - defensive
+                self.record_eviction_batch(
+                    evictions[e : e + 1],
+                    None if evict_slots is None else evict_slots[e : e + 1],
+                )
+                e += 1
+            return
+        self.record_fill_batch(core, fills, fill_slots)
+        self.record_eviction_batch(evictions, evict_slots)
+
+    def _record_events_presence(
+        self,
+        core: int,
+        fills: np.ndarray,
+        fill_slots: Optional[np.ndarray],
+        evictions: np.ndarray,
+        evict_slots: Optional[np.ndarray],
+    ) -> None:
+        """Vectorised exact presence update for one cache batch."""
+        self._check_core(core)
+        fills = np.asarray(fills, dtype=np.int64)
+        evictions = np.asarray(evictions, dtype=np.int64)
+        if len(fills) == 0 and len(evictions) == 0:
+            return
+        if (len(fills) and fill_slots is None) or (
+            len(evictions) and evict_slots is None
+        ):
+            raise SignatureError(
+                "presence indexing requires slot information for every event"
+            )
+        # Sampling: filter each event list by its block's set.
+        total_fills, total_evicts = len(fills), len(evictions)
+        fills, fill_slots, kept_f = self._sample_filter(fills, fill_slots)
+        evictions, evict_slots, kept_e = self._sample_filter(
+            evictions, evict_slots
+        )
+        self.stats.fills_ignored += total_fills - kept_f
+        self.stats.evictions_ignored += total_evicts - kept_e
+        fill_idx = (
+            self._slot_indices(fill_slots)
+            if fill_slots is not None and kept_f
+            else np.empty(0, dtype=np.int64)
+        )
+        evict_idx = (
+            self._slot_indices(evict_slots)
+            if evict_slots is not None and kept_e and not self._sticky
+            else np.empty(0, dtype=np.int64)
+        )
+        self.stats.fills_tracked += len(fill_idx)
+        if self._sticky:
+            self.stats.evictions_ignored += kept_e
+        else:
+            self.stats.evictions_tracked += len(evict_idx)
+        # Fill/evict counts commute per slot: apply both, then resolve the
+        # end state of every touched slot.
+        np.add.at(self.counters, fill_idx, 1)
+        if self._sticky:
+            np.minimum(self.counters, self.counter_max, out=self.counters)
+        if len(evict_idx):
+            np.subtract.at(self.counters, evict_idx, 1)
+        touched = np.unique(np.concatenate([fill_idx, evict_idx]))
+        if len(touched) == 0:
+            return
+        end_state = self.counters[touched]
+        dead = touched[end_state <= 0]
+        live = touched[end_state > 0]
+        if len(dead):
+            self.counters[dead] = 0
+            for cf in self.core_filters:
+                cf.clear_many(dead)
+        if len(live):
+            # Live touched slots belong exclusively to this batch's filler.
+            live_filled = np.intersect1d(live, fill_idx, assume_unique=False)
+            for other, cf in enumerate(self.core_filters):
+                if other == core:
+                    cf.set_many(live_filled)
+                elif not self._sticky and len(live_filled):
+                    cf.clear_many(live_filled)
+
+    # ------------------------------------------------------------------
+    # event recording (exact scalar paths)
+    # ------------------------------------------------------------------
+    def _fill_one(self, core: int, block: int, slot: Optional[int]) -> None:
+        if self._presence:
+            if slot is None:
+                raise SignatureError("presence indexing requires slots")
+            indices = [int(self._slot_indices(np.asarray([slot]))[0])]
+        else:
+            indices = []
+            for h in self.hashes:
+                i = h.hash_one(block)
+                if i not in indices:
+                    indices.append(i)
+        self.stats.fills_tracked += 1
+        for i in indices:
+            if self.counters[i] >= self.counter_max:
+                self.stats.saturation_events += 1
+                if self.config.strict_saturation:
+                    raise CounterSaturationError(f"counter {i} saturated")
+            else:
+                self.counters[i] += 1
+            self.core_filters[core].set(i)
+
+    def _evict_one(self, block: int, slot: Optional[int]) -> None:
+        if self._presence:
+            if slot is None:
+                raise SignatureError("presence indexing requires slots")
+            indices = [int(self._slot_indices(np.asarray([slot]))[0])]
+        else:
+            indices = []
+            for h in self.hashes:
+                i = h.hash_one(block)
+                if i not in indices:
+                    indices.append(i)
+        self.stats.evictions_tracked += 1
+        for i in indices:
+            if self.counters[i] <= 0:
+                self.stats.underflow_events += 1
+                if self.config.strict_saturation:
+                    raise CounterSaturationError(f"counter {i} underflowed")
+            else:
+                self.counters[i] -= 1
+            if self.counters[i] == 0:
+                for cf in self.core_filters:
+                    cf.clear(i)
+
+    # ------------------------------------------------------------------
+    # context switches and queries
+    # ------------------------------------------------------------------
+    def on_context_switch(self, core: int) -> SignatureSample:
+        """Compute the outgoing entity's sample, then re-snapshot the LF."""
+        self._check_core(core)
+        rbv = running_bit_vector(self.core_filters[core], self.last_filters[core])
+        occupancy = rbv.popcount()
+        sym = symbiosis_vector(rbv, self.core_filters)
+        self.last_filters[core].load_from(self.core_filters[core])
+        self.stats.context_switches += 1
+        return SignatureSample(core=core, occupancy=occupancy, symbiosis=sym)
+
+    def peek_rbv(self, core: int) -> BitVector:
+        """Current RBV of *core* without snapshotting (debug/inspection)."""
+        self._check_core(core)
+        return running_bit_vector(self.core_filters[core], self.last_filters[core])
+
+    def core_occupancy(self, core: int) -> int:
+        """popcount of a core's CF — its share of the tracked footprint."""
+        self._check_core(core)
+        return self.core_filters[core].popcount()
+
+    def total_occupancy(self) -> int:
+        """Number of non-zero counters — overall tracked footprint."""
+        return int(np.count_nonzero(self.counters))
+
+    def reset(self) -> None:
+        """Clear all counters, filters and statistics."""
+        self.counters.fill(0)
+        for cf in self.core_filters:
+            cf.zero()
+        for lf in self.last_filters:
+            lf.zero()
+        self.stats = SignatureStats()
+
+    def state_bits(self) -> int:
+        """Total hardware state in bits (counters + CFs + LFs)."""
+        return self.num_entries * (
+            self.config.counter_bits + 2 * self.num_cores
+        )
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise SignatureError(
+                f"core {core} out of range for {self.num_cores}-core unit"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SignatureUnit(cores={self.num_cores}, entries={self.num_entries}, "
+            f"kind={self.config.hash_kind!r}, sampling=1/{self.sampler.denominator})"
+        )

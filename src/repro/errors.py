@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "SignatureError",
+    "CounterSaturationError",
+    "SchedulingError",
+    "AllocationError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class GeometryError(ConfigurationError):
+    """A cache/filter geometry parameter is invalid (non power-of-two, ...)."""
+
+
+class SignatureError(ReproError):
+    """Invalid use of the Bloom-filter signature infrastructure."""
+
+
+class CounterSaturationError(SignatureError):
+    """A counting-Bloom-filter counter over/underflowed in strict mode.
+
+    The paper (footnote 1, Section 2.4) requires the counter width ``L`` to
+    be "wide enough to prevent saturation"; strict mode turns a saturation
+    event into this error instead of silently clamping.
+    """
+
+
+class SchedulingError(ReproError):
+    """The OS/hypervisor scheduling model was driven into an invalid state."""
+
+
+class AllocationError(ReproError):
+    """A resource-allocation policy received unusable input."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload/trace generator was misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The closed-loop performance simulation reached an invalid state."""

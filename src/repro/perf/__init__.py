@@ -1,0 +1,54 @@
+"""Closed-loop performance simulation and the paper's experiment drivers."""
+
+from repro.perf.experiment import (
+    MixResult,
+    PairwiseResult,
+    SweepResult,
+    default_mapping_for,
+    mix_sweep,
+    pairwise_private_timeshare,
+    pairwise_shared,
+    parsec_two_phase,
+    run_all_mappings,
+    stratified_mixes,
+    two_phase,
+)
+from repro.perf.machine import MachineConfig, core2duo, p4xeon, quadcore_shared
+from repro.perf.runner import (
+    DEFAULT_INSTRUCTIONS,
+    build_parsec_processes,
+    build_tasks,
+    default_signature_config,
+    run_mix,
+    run_solo,
+)
+from repro.perf.simulator import MulticoreSimulator, SimulationResult, TaskResult
+from repro.perf.timing import TimingModel
+
+__all__ = [
+    "MixResult",
+    "PairwiseResult",
+    "SweepResult",
+    "default_mapping_for",
+    "mix_sweep",
+    "pairwise_private_timeshare",
+    "pairwise_shared",
+    "parsec_two_phase",
+    "run_all_mappings",
+    "stratified_mixes",
+    "two_phase",
+    "MachineConfig",
+    "core2duo",
+    "p4xeon",
+    "quadcore_shared",
+    "DEFAULT_INSTRUCTIONS",
+    "build_parsec_processes",
+    "build_tasks",
+    "default_signature_config",
+    "run_mix",
+    "run_solo",
+    "MulticoreSimulator",
+    "SimulationResult",
+    "TaskResult",
+    "TimingModel",
+]

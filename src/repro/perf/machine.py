@@ -1,0 +1,112 @@
+"""Machine configurations: the paper's two platforms plus extensions.
+
+* :func:`core2duo` — Intel Core 2 Duo 2.6 GHz, two cores sharing a 4 MB
+  16-way L2 (the paper's target machine, Sections 2.3.2 / 4.2).
+* :func:`p4xeon` — P4 Xeon SMP with *private* 2 MB 8-way L2s (the control
+  platform of Section 2.3.1).
+* :func:`quadcore_shared` — a 4-core shared-L2 machine for the
+  hierarchical-min-cut extension experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.config import CacheConfig, core2duo_l2, p4xeon_l2
+from repro.errors import ConfigurationError
+from repro.perf.timing import TimingModel
+from repro.utils.validation import require_positive
+
+__all__ = ["MachineConfig", "core2duo", "p4xeon", "quadcore_shared"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A simulated multi-core machine.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in results.
+    num_cores:
+        Physical cores.
+    l2:
+        L2 configuration — one shared instance when ``shared_l2`` is True,
+        else one private instance per core.
+    shared_l2:
+        Whether cores contend in a single L2 (the paper's phenomenon).
+    l1:
+        Optional private L1 configuration per core. ``None`` (default)
+        means workload generators emit L2-level reference streams directly
+        (the standard, faster mode — see DESIGN.md); with an L1, the raw
+        streams are filtered through per-core L1s first and only misses
+        reach the L2 and its signature hardware, as on the real machines.
+    timing:
+        Cycle-accounting model.
+    clock_hz:
+        Core clock, used only to convert cycles to seconds for display.
+    """
+
+    name: str
+    num_cores: int
+    l2: CacheConfig
+    shared_l2: bool = True
+    l1: Optional[CacheConfig] = None
+    timing: TimingModel = field(default_factory=TimingModel)
+    clock_hz: float = 2.6e9
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_cores, "num_cores")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if (
+            self.l1 is not None
+            and self.l1.geometry.line_bytes != self.l2.geometry.line_bytes
+        ):
+            raise ConfigurationError("L1 and L2 must share a line size")
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds on this machine."""
+        return cycles / self.clock_hz
+
+
+def core2duo(timing: Optional[TimingModel] = None) -> MachineConfig:
+    """The paper's target: 2 cores, shared 4 MB 16-way L2, 2.6 GHz."""
+    return MachineConfig(
+        name="core2duo",
+        num_cores=2,
+        l2=core2duo_l2(),
+        shared_l2=True,
+        timing=timing or TimingModel(),
+        clock_hz=2.6e9,
+    )
+
+
+def p4xeon(timing: Optional[TimingModel] = None) -> MachineConfig:
+    """The paper's control platform: private 2 MB L2 per processor.
+
+    The Section 2.3.1 experiment confines each benchmark pair to a single
+    processor, so cross-core cache contention is absent by construction;
+    only context-switch warm-up remains.
+    """
+    return MachineConfig(
+        name="p4xeon",
+        num_cores=2,
+        l2=p4xeon_l2(),
+        shared_l2=False,
+        timing=timing or TimingModel(cpi_base=1.0, l2_hit_cycles=18.0, mem_cycles=240.0),
+        clock_hz=3.0e9,
+    )
+
+
+def quadcore_shared(timing: Optional[TimingModel] = None) -> MachineConfig:
+    """A 4-core shared-L2 machine (for hierarchical min-cut experiments)."""
+    return MachineConfig(
+        name="quadcore",
+        num_cores=4,
+        l2=core2duo_l2(),
+        shared_l2=True,
+        timing=timing or TimingModel(),
+        clock_hz=2.6e9,
+    )

@@ -1,0 +1,330 @@
+"""Closed-loop multi-core performance simulation.
+
+This replaces the paper's two hardware platforms (and its Simics phase):
+cores advance on private virtual clocks, the globally least-advanced core
+executes the next batch of its current task's reference stream against the
+(shared or private) L2, and the resulting hit/miss counts feed the timing
+model — so cache pollution between concurrently running tasks feeds back
+into their user times exactly like on the real machine.
+
+Key mechanics:
+
+* **Interleaving** — always stepping the least-advanced runnable core keeps
+  cross-core access interleaving consistent with the virtual clocks at
+  batch granularity.
+* **Scheduling** — the :class:`~repro.sched.os_model.OSScheduler` rotates
+  each core's run queue when the quantum expires (or the task finishes a
+  run), snapshotting the signature hardware at every switch.
+* **Restart semantics** — finished tasks restart until every task has
+  completed at least once (paper Section 4.2); reported user time is the
+  first completion's cycle count.
+* **Monitoring** — an optional user-level monitor object is invoked every
+  ``interval_cycles`` of virtual wall time (the paper's 100 ms allocator
+  period, scaled), sees the syscall interface, and may re-pin tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.signature import SignatureConfig, SignatureStats, SignatureUnit
+from repro.errors import ConfigurationError, SimulationError
+from repro.perf.machine import MachineConfig
+from repro.sched.affinity import Mapping
+from repro.sched.os_model import OSScheduler, SchedulerConfig
+from repro.sched.process import SimTask
+from repro.sched.syscall import SyscallInterface
+from repro.utils.validation import require_positive
+
+__all__ = ["TaskResult", "SimulationResult", "MulticoreSimulator"]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Final per-task accounting of one simulation."""
+
+    name: str
+    tid: int
+    process_id: int
+    first_completion_cycles: Optional[float]
+    user_cycles: float
+    completions: int
+    context_switches: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one :meth:`MulticoreSimulator.run`."""
+
+    machine: str
+    wall_cycles: float
+    tasks: List[TaskResult]
+    l2_miss_rate: float
+    decisions: List[Mapping] = field(default_factory=list)
+    majority_mapping: Optional[Mapping] = None
+    signature_stats: Optional[SignatureStats] = None
+
+    def task(self, name: str) -> TaskResult:
+        """Look up a task result by name (first match)."""
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"no task named {name!r}")
+
+    def user_time(self, name: str) -> float:
+        """First-completion user time (cycles) of the named task."""
+        t = self.task(name)
+        if t.first_completion_cycles is None:
+            raise SimulationError(f"task {name!r} never completed")
+        return t.first_completion_cycles
+
+    def process_user_time(self, process_id: int) -> float:
+        """Slowest-thread first-completion time of one process."""
+        times = [
+            t.first_completion_cycles
+            for t in self.tasks
+            if t.process_id == process_id
+        ]
+        if not times or any(x is None for x in times):
+            raise SimulationError(f"process {process_id} never completed")
+        return max(times)
+
+
+class MulticoreSimulator:
+    """Drives tasks over a machine model to completion.
+
+    Parameters
+    ----------
+    machine:
+        Platform description (cores, L2 sharing, timing).
+    tasks:
+        The mix to execute. Runtime state is reset on construction.
+    mapping:
+        Optional pinned task→core mapping (phase-2 runs); defaults to
+        round-robin placement in task order (the "default schedule").
+    signature_config:
+        Attach Bloom-filter signature hardware (phase-1 runs). Requires a
+        shared L2, as in the paper.
+    monitor:
+        Optional user-level monitor with an ``interval_cycles`` attribute
+        and an ``invoke(syscall) -> Optional[Mapping]`` method.
+    scheduler_config:
+        Timeslice/switch-cost override.
+    batch_accesses:
+        References simulated per scheduling step (interleaving grain).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        tasks: Sequence[SimTask],
+        *,
+        mapping: Optional[Mapping] = None,
+        signature_config: Optional[SignatureConfig] = None,
+        monitor=None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        batch_accesses: int = 256,
+        seed: int = 0,
+    ):
+        if not tasks:
+            raise ConfigurationError("need at least one task")
+        self.machine = machine
+        self.tasks = list(tasks)
+        self.batch_accesses = require_positive(batch_accesses, "batch_accesses")
+        n = machine.num_cores
+
+        if machine.shared_l2:
+            shared = SetAssociativeCache(machine.l2, num_cores=n, seed=seed)
+            self.caches: List[SetAssociativeCache] = [shared] * n
+            self._shared_cache = shared
+        else:
+            self.caches = [
+                SetAssociativeCache(machine.l2, num_cores=1, seed=seed + c)
+                for c in range(n)
+            ]
+            self._shared_cache = None
+        # Optional private L1s: filter each core's stream before the L2
+        # (the signature hardware then observes the true L2 miss stream).
+        if machine.l1 is not None:
+            self._l1s: Optional[List[SetAssociativeCache]] = [
+                SetAssociativeCache(machine.l1, num_cores=1, seed=seed + 100 + c)
+                for c in range(n)
+            ]
+        else:
+            self._l1s = None
+
+        self.signature_unit: Optional[SignatureUnit] = None
+        if signature_config is not None:
+            if not machine.shared_l2:
+                raise ConfigurationError(
+                    "signature hardware monitors a shared L2 (paper Sec 3.1)"
+                )
+            if signature_config.num_cores != n:
+                raise ConfigurationError(
+                    "signature_config.num_cores must match the machine"
+                )
+            self.signature_unit = SignatureUnit(signature_config)
+
+        self.scheduler = OSScheduler(
+            scheduler_config or SchedulerConfig(num_cores=n),
+            signature_unit=self.signature_unit,
+        )
+        self.syscall = SyscallInterface(self.scheduler)
+        self.monitor = monitor
+
+        for task in self.tasks:
+            task.reset_runtime()
+        if mapping is not None:
+            by_tid = {t.tid: t for t in self.tasks}
+            placed = set()
+            for core, group in enumerate(mapping.groups):
+                for tid in group:
+                    if tid not in by_tid:
+                        raise ConfigurationError(f"mapping names unknown task {tid}")
+                    self.scheduler.add_task(by_tid[tid], core)
+                    placed.add(tid)
+            for task in self.tasks:  # any unmapped tasks balance out
+                if task.tid not in placed:
+                    self.scheduler.add_task(task)
+        else:
+            for i, task in enumerate(self.tasks):
+                self.scheduler.add_task(task, i % n)
+
+        self.core_time = np.zeros(n, dtype=np.float64)
+        self._intensity = np.zeros(n, dtype=np.float64)  # misses/cycle EMA
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_wall_cycles: Optional[float] = None,
+        min_wall_cycles: Optional[float] = None,
+    ) -> SimulationResult:
+        """Simulate until every task completed once (or the wall limit).
+
+        *min_wall_cycles* keeps the run going (tasks keep restarting) even
+        after every task has completed — phase-1 signature gathering uses
+        this to collect enough allocator decisions for a stable majority
+        vote.
+        """
+        timing = self.machine.timing
+        sched = self.scheduler
+        batch = self.batch_accesses
+        decisions: List[Mapping] = []
+        interval = getattr(self.monitor, "interval_cycles", None)
+        next_invocation = interval if interval else None
+
+        while True:
+            runnable = sched.runnable_cores()
+            if not runnable:
+                break
+            # wall = least-advanced runnable core; it executes next.
+            core = min(runnable, key=lambda c: self.core_time[c])
+            wall = self.core_time[core]
+            if max_wall_cycles is not None and wall >= max_wall_cycles:
+                break
+            if next_invocation is not None and wall >= next_invocation:
+                decision = self.monitor.invoke(self.syscall)
+                if decision is not None:
+                    decisions.append(decision.canonical())
+                next_invocation += interval
+                continue
+
+            task = sched.current_task(core)
+            n = min(batch, task.remaining_accesses)
+            blocks = task.generator.next_batch(n)
+            l1_hits = 0
+            if self._l1s is not None:
+                l1_result = self._l1s[core].access_batch(0, blocks)
+                l1_hits = l1_result.hits
+                blocks = l1_result.fills  # only L1 misses reach the L2
+            if len(blocks):
+                result = self.caches[core].access_batch(
+                    core if self._shared_cache is not None else 0, blocks
+                )
+                l2_hits, l2_misses = result.hits, result.misses
+            else:
+                result = None
+                l2_hits = l2_misses = 0
+            if self.signature_unit is not None and result is not None:
+                self.signature_unit.record_events(
+                    core,
+                    result.fills,
+                    result.fill_slots,
+                    result.evictions,
+                    result.evict_slots,
+                    result.evict_fill_pos,
+                )
+            other = float(
+                sum(
+                    self._intensity[c]
+                    for c in runnable
+                    if c != core
+                )
+            )
+            cycles = timing.batch_cycles(
+                instructions=task.instructions_for(n),
+                l2_hits=l2_hits,
+                l2_misses=l2_misses,
+                mlp=task.mlp,
+                other_intensity=other,
+                l1_hits=l1_hits,
+            )
+            if cycles <= 0:
+                raise SimulationError("non-positive batch cycle count")
+            ema = timing.intensity_ema
+            self._intensity[core] = (
+                (1 - ema) * self._intensity[core] + ema * (l2_misses / cycles)
+            )
+            self.core_time[core] += cycles
+            completed = task.advance(n, cycles)
+            expired = sched.charge(core, cycles)
+            if expired or completed:
+                sched.context_switch(core)
+                self.core_time[core] += sched.config.context_switch_cycles
+            if all(t.completed_once for t in self.tasks):
+                if (
+                    min_wall_cycles is None
+                    or self.core_time.max() >= min_wall_cycles
+                ):
+                    break
+
+        majority = None
+        if decisions:
+            counts: Dict[Mapping, int] = {}
+            for d in decisions:
+                counts[d] = counts.get(d, 0) + 1
+            majority = max(counts.items(), key=lambda kv: kv[1])[0]
+
+        if self._shared_cache is not None:
+            miss_rate = self._shared_cache.stats.miss_rate()
+        else:
+            hits = sum(c.stats.total_hits for c in self.caches)
+            misses = sum(c.stats.total_misses for c in self.caches)
+            miss_rate = misses / (hits + misses) if hits + misses else 0.0
+
+        return SimulationResult(
+            machine=self.machine.name,
+            wall_cycles=float(self.core_time.max()) if len(self.core_time) else 0.0,
+            tasks=[
+                TaskResult(
+                    name=t.name,
+                    tid=t.tid,
+                    process_id=t.process_id,
+                    first_completion_cycles=t.first_completion_cycles,
+                    user_cycles=t.user_cycles,
+                    completions=t.completions,
+                    context_switches=t.context_switches,
+                )
+                for t in self.tasks
+            ],
+            l2_miss_rate=miss_rate,
+            decisions=decisions,
+            majority_mapping=majority,
+            signature_stats=(
+                self.signature_unit.stats if self.signature_unit else None
+            ),
+        )

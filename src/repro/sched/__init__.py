@@ -1,0 +1,25 @@
+"""OS scheduling model: tasks, affinity, run queues, syscall boundary."""
+
+from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
+from repro.sched.os_model import OSScheduler, SchedulerConfig
+from repro.sched.process import (
+    SimProcess,
+    SimTask,
+    process_from_parsec,
+    task_from_profile,
+)
+from repro.sched.syscall import SyscallInterface, TaskView
+
+__all__ = [
+    "Mapping",
+    "balanced_mappings",
+    "canonical_mapping",
+    "OSScheduler",
+    "SchedulerConfig",
+    "SimProcess",
+    "SimTask",
+    "process_from_parsec",
+    "task_from_profile",
+    "SyscallInterface",
+    "TaskView",
+]

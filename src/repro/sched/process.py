@@ -1,0 +1,214 @@
+"""Schedulable entities: simulated processes and threads.
+
+The scheduler's unit of dispatch is a :class:`SimTask` — one
+single-threaded process or one thread of a multithreaded process. Tasks
+carry their trace generator, their execution budget, and the timing
+parameters (memory intensity, memory-level parallelism) the performance
+model needs. Restart semantics follow the paper's methodology: a completed
+benchmark is restarted until the longest-running member of its mix finishes
+(Section 4.2); the reported "user time" is the cycle count of the *first*
+completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SchedulingError, WorkloadError
+from repro.utils.validation import require_positive
+from repro.workloads.base import TraceGenerator, WorkloadProfile
+from repro.workloads.parsec import MultithreadedProfile
+
+__all__ = ["SimTask", "SimProcess", "task_from_profile", "process_from_parsec"]
+
+_task_ids = itertools.count()
+_process_ids = itertools.count()
+
+#: Block-address shift applied per restart (fresh physical pages) and the
+#: number of distinct incarnation slices cycled through.
+INCARNATION_STRIDE_BLOCKS = 1 << 20
+INCARNATION_SLICES = 8
+
+
+@dataclass
+class SimTask:
+    """One schedulable entity.
+
+    Attributes
+    ----------
+    name:
+        Display name ('mcf' or 'ferret.t2').
+    generator:
+        The task's L2 reference stream.
+    total_accesses:
+        Trace length of one complete run.
+    accesses_per_kinstr, mlp:
+        Timing-model parameters (memory intensity, miss overlap).
+    process_id:
+        Grouping key: threads of one process share it; single-threaded
+        processes get a unique one.
+    """
+
+    name: str
+    generator: TraceGenerator
+    total_accesses: int
+    accesses_per_kinstr: float
+    mlp: float = 1.0
+    process_id: Optional[int] = None
+    tid: int = field(default_factory=lambda: next(_task_ids))
+
+    # -- runtime state (owned by the simulator) ------------------------
+    accesses_done: int = 0
+    user_cycles: float = 0.0
+    completions: int = 0
+    first_completion_cycles: Optional[float] = None
+    context_switches: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.total_accesses, "total_accesses")
+        if self.accesses_per_kinstr <= 0:
+            raise WorkloadError("accesses_per_kinstr must be positive")
+        if self.mlp < 1.0:
+            raise WorkloadError("mlp must be >= 1.0")
+        if self.process_id is None:
+            self.process_id = next(_process_ids)
+        self._base_block0 = self.generator.base_block
+
+    @property
+    def remaining_accesses(self) -> int:
+        """Accesses left in the current run."""
+        return self.total_accesses - self.accesses_done
+
+    @property
+    def completed_once(self) -> bool:
+        """True once the task has finished at least one full run."""
+        return self.completions > 0
+
+    def instructions_for(self, accesses: int) -> float:
+        """Instructions retired alongside *accesses* memory references."""
+        return accesses * 1000.0 / self.accesses_per_kinstr
+
+    def advance(self, accesses: int, cycles: float) -> bool:
+        """Account one executed batch; returns True if the run completed.
+
+        On completion the task restarts (paper Section 4.2): the generator
+        replays its reference pattern, but in a shifted block-address slice
+        — a restarted process gets fresh physical pages, so it must *not*
+        hit the previous incarnation's cache contents. The shift cycles
+        through :data:`INCARNATION_SLICES` disjoint slices.
+        """
+        if accesses > self.remaining_accesses:
+            raise SchedulingError(
+                f"task {self.name}: advanced {accesses} past remaining "
+                f"{self.remaining_accesses}"
+            )
+        self.accesses_done += accesses
+        self.user_cycles += cycles
+        if self.accesses_done >= self.total_accesses:
+            self.completions += 1
+            if self.first_completion_cycles is None:
+                self.first_completion_cycles = self.user_cycles
+            self.accesses_done = 0
+            self.generator.reset()
+            incarnation = self.completions % INCARNATION_SLICES
+            self.generator.base_block = (
+                self._base_block0 + incarnation * INCARNATION_STRIDE_BLOCKS
+            )
+            return True
+        return False
+
+    def reset_runtime(self) -> None:
+        """Clear all execution state (for reusing a task across runs)."""
+        self.accesses_done = 0
+        self.user_cycles = 0.0
+        self.completions = 0
+        self.first_completion_cycles = None
+        self.context_switches = 0
+        self.generator.reset()
+        self.generator.base_block = self._base_block0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimTask({self.name!r}, tid={self.tid}, "
+            f"done={self.accesses_done}/{self.total_accesses})"
+        )
+
+
+@dataclass
+class SimProcess:
+    """A process grouping one or more tasks (threads)."""
+
+    name: str
+    tasks: List[SimTask]
+    process_id: int = field(default_factory=lambda: next(_process_ids))
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise SchedulingError(f"process {self.name!r} has no tasks")
+        for task in self.tasks:
+            task.process_id = self.process_id
+
+    @property
+    def completed_once(self) -> bool:
+        """True when every thread has completed at least one run."""
+        return all(t.completed_once for t in self.tasks)
+
+    @property
+    def user_cycles_first_completion(self) -> Optional[float]:
+        """Process 'user time': the slowest thread's first completion.
+
+        The paper measures "user time to completion of the enclosing
+        process" for PARSEC (Section 4.2).
+        """
+        times = [t.first_completion_cycles for t in self.tasks]
+        if any(t is None for t in times):
+            return None
+        return max(times)
+
+
+def task_from_profile(
+    profile: WorkloadProfile,
+    instructions: int,
+    base_block: int = 0,
+    seed: int = 0,
+) -> SimTask:
+    """Build a single-threaded task from a SPEC-like profile.
+
+    *instructions* is the per-run budget; the trace length follows from the
+    profile's memory intensity.
+    """
+    require_positive(instructions, "instructions")
+    return SimTask(
+        name=profile.name,
+        generator=profile.make_generator(base_block=base_block, seed=seed),
+        total_accesses=profile.accesses_for_instructions(instructions),
+        accesses_per_kinstr=profile.accesses_per_kinstr,
+        mlp=profile.mlp,
+    )
+
+
+def process_from_parsec(
+    profile: MultithreadedProfile,
+    instructions_per_thread: int,
+    base_block: int = 0,
+    seed: int = 0,
+) -> SimProcess:
+    """Build a multithreaded process from a PARSEC-like profile."""
+    require_positive(instructions_per_thread, "instructions_per_thread")
+    tasks = [
+        SimTask(
+            name=f"{profile.name}.t{i}",
+            generator=profile.make_thread_generator(
+                i, base_block=base_block, seed=seed
+            ),
+            total_accesses=profile.accesses_for_instructions(
+                instructions_per_thread
+            ),
+            accesses_per_kinstr=profile.accesses_per_kinstr,
+            mlp=profile.mlp,
+        )
+        for i in range(profile.threads)
+    ]
+    return SimProcess(name=profile.name, tasks=tasks)

@@ -1,0 +1,96 @@
+"""The syscall boundary between kernel and the user-level monitor.
+
+The paper (Section 3.2) keeps the allocation *policy* in a user-level
+process which "utilizes the system call interface to periodically query the
+OS for updated information regarding executed applications" and pushes
+decisions back by "setting affinity bits". :class:`SyscallInterface` is
+that boundary: the monitor only ever sees task ids, names, and copies of
+the ``(2+N)``-entry signature contexts — never the scheduler's internals.
+
+The identical shape serves the virtualization case, where Dom0 talks to the
+hypervisor through hypercalls (:mod:`repro.virt.dom0`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.context import SignatureContext
+from repro.sched.affinity import Mapping
+from repro.sched.os_model import OSScheduler
+
+__all__ = ["TaskView", "SyscallInterface"]
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """Read-only snapshot of one task as exposed to the monitor.
+
+    Mirrors the paper's per-entity record: identity plus the
+    ``(last_core, occupancy, symbiosis[N])`` structure, with the grouping
+    key (``process_id``) needed by the two-phase multithreaded algorithm.
+    """
+
+    tid: int
+    name: str
+    process_id: int
+    last_core: Optional[int]
+    occupancy: float
+    symbiosis: np.ndarray
+    valid: bool
+
+    def interference_with_core(self, core: int) -> float:
+        """Reciprocal-symbiosis interference metric against *core*."""
+        from repro.core.metrics import interference_from_symbiosis
+
+        return interference_from_symbiosis(self.symbiosis[core])
+
+
+class SyscallInterface:
+    """User-space view of the scheduler state."""
+
+    def __init__(self, scheduler: OSScheduler):
+        self._scheduler = scheduler
+
+    @property
+    def num_cores(self) -> int:
+        """Physical core count."""
+        return self._scheduler.num_cores
+
+    def query_tasks(self) -> List[TaskView]:
+        """Snapshot every known task's signature context."""
+        views: List[TaskView] = []
+        for tid, task in self._scheduler.tasks.items():
+            ctx = self._scheduler.contexts[tid]
+            views.append(
+                TaskView(
+                    tid=tid,
+                    name=task.name,
+                    process_id=task.process_id,
+                    last_core=ctx.last_core,
+                    occupancy=ctx.occupancy,
+                    symbiosis=ctx.symbiosis.copy(),
+                    valid=ctx.valid,
+                )
+            )
+        views.sort(key=lambda v: v.tid)
+        return views
+
+    def current_placement(self) -> Dict[int, int]:
+        """tid -> core for every queued task."""
+        placement: Dict[int, int] = {}
+        for core, queue in enumerate(self._scheduler.queues):
+            for task in queue:
+                placement[task.tid] = core
+        return placement
+
+    def set_affinity(self, tid: int, core: int) -> None:
+        """Pin one task (the monitor's write path)."""
+        self._scheduler.set_affinity(tid, core)
+
+    def apply_mapping(self, mapping: Mapping) -> None:
+        """Pin a whole mapping."""
+        self._scheduler.apply_mapping(mapping)

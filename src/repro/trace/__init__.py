@@ -1,0 +1,6 @@
+"""Trace containers and offline interleaving helpers."""
+
+from repro.trace.interleave import proportional, round_robin
+from repro.trace.record import LabelledTrace, windows
+
+__all__ = ["proportional", "round_robin", "LabelledTrace", "windows"]

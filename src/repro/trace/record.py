@@ -1,0 +1,59 @@
+"""Trace containers: labelled block-address streams.
+
+These are used when driving the signature unit or a cache *offline* —
+without the full closed-loop simulator — e.g. in the Figure 2/5 time-series
+harnesses and in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.validation import require_positive
+from repro.workloads.base import BLOCK_BYTES
+
+__all__ = ["LabelledTrace", "windows"]
+
+
+@dataclass(frozen=True)
+class LabelledTrace:
+    """A block-address trace attributed to one requester (core or process).
+
+    Attributes
+    ----------
+    source:
+        Core/process identifier the accesses originate from.
+    blocks:
+        int64 array of block addresses, in program order.
+    """
+
+    source: int
+    blocks: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.blocks, dtype=np.int64)
+        object.__setattr__(self, "blocks", arr)
+        if self.source < 0:
+            raise WorkloadError(f"source must be >= 0, got {self.source}")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def byte_addresses(self) -> np.ndarray:
+        """Block addresses expanded to (line-aligned) byte addresses."""
+        return self.blocks * BLOCK_BYTES
+
+    def slice(self, start: int, stop: int) -> "LabelledTrace":
+        """A sub-trace covering ``[start, stop)``."""
+        return LabelledTrace(source=self.source, blocks=self.blocks[start:stop])
+
+
+def windows(trace: LabelledTrace, window: int) -> Iterator[LabelledTrace]:
+    """Split a trace into consecutive fixed-size windows (last may be short)."""
+    require_positive(window, "window")
+    for start in range(0, len(trace), window):
+        yield trace.slice(start, start + window)

@@ -1,0 +1,101 @@
+"""Plain-text rendering of result tables and bar charts.
+
+The benchmark harnesses print the same rows/series the paper reports; these
+helpers keep that output aligned and consistent without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_bar_chart", "format_percent"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction (0.54) as a percent string ('54.0%')."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def _render_cell(cell: Cell, float_digits: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; ``None``
+    renders as ``-``.
+    """
+    str_rows = [[_render_cell(c, float_digits) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [True] * ncols
+    for row, raw in zip(str_rows, rows):
+        for i, cell in enumerate(raw):
+            if isinstance(cell, str):
+                numeric[i] = False
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart, one bar per labelled value.
+
+    Used to echo the paper's figures (e.g. per-benchmark improvement bars)
+    in harness output.
+    """
+    if not values:
+        return title or ""
+    label_w = max(len(k) for k in values)
+    vmax = max(max(values.values()), 0.0)
+    scale = (width / vmax) if vmax > 0 else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(value * scale)))
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

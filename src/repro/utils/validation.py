@@ -1,0 +1,79 @@
+"""Argument-validation helpers.
+
+These keep constructor bodies readable and produce uniform error messages.
+All helpers raise :class:`repro.errors.ConfigurationError` (a ``ValueError``
+subclass) so they behave well with callers expecting standard exceptions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_power_of_two",
+    "require_in_range",
+    "is_power_of_two",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: Any, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    ivalue = _as_int(value, name)
+    if ivalue <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return ivalue
+
+
+def require_non_negative(value: Any, name: str) -> int:
+    """Validate that *value* is a non-negative integer, return it as ``int``."""
+    ivalue = _as_int(value, name)
+    if ivalue < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return ivalue
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def require_power_of_two(value: Any, name: str) -> int:
+    """Validate that *value* is a positive power of two, return it as ``int``."""
+    ivalue = require_positive(value, name)
+    if not is_power_of_two(ivalue):
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+    return ivalue
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate ``low <= value <= high`` and return *value* as ``float``."""
+    fvalue = float(value)
+    if not (low <= fvalue <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return fvalue
+
+
+def _as_int(value: Any, name: str) -> int:
+    """Coerce *value* to int, rejecting non-integral floats and other types."""
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got bool")
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}") from exc
+    if isinstance(value, float) and value != ivalue:
+        raise ConfigurationError(f"{name} must be integral, got {value!r}")
+    return ivalue

@@ -1,0 +1,16 @@
+"""Xen-like virtualization layer: VMs, hypervisor, Dom0 control domain."""
+
+from repro.virt.dom0 import Dom0AllocationAgent, vm_mix_sweep, vm_two_phase
+from repro.virt.hypervisor import DOM0_NAME, Hypervisor
+from repro.virt.overhead import VirtualizationOverhead
+from repro.virt.vm import VirtualMachine
+
+__all__ = [
+    "Dom0AllocationAgent",
+    "vm_mix_sweep",
+    "vm_two_phase",
+    "DOM0_NAME",
+    "Hypervisor",
+    "VirtualizationOverhead",
+    "VirtualMachine",
+]

@@ -1,0 +1,173 @@
+"""Dom0: the control domain running the allocation policy.
+
+In the paper's architecture (Section 3.2) "the actual resource allocation
+decisions are made in Dom0. An allocation policy running in this domain
+utilizes a hyper-call interface to periodically query the hypervisor for
+updated information regarding executing VMs". The hypercall interface has
+the same shape as the native syscall interface, so
+:class:`Dom0AllocationAgent` is the user-level monitor specialised to the
+virtualized setting: it never reschedules Dom0's own vcpu, and it allocates
+at VM granularity.
+
+This module also carries the Figure 11 experiment drivers — the two-phase
+methodology with VM encapsulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alloc.monitor import UserLevelMonitor
+from repro.perf.experiment import MixResult, SweepResult
+from repro.perf.machine import MachineConfig
+from repro.perf.runner import default_signature_config
+from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
+from repro.sched.os_model import SchedulerConfig
+from repro.sched.syscall import SyscallInterface
+from repro.utils.rng import stable_seed
+from repro.virt.hypervisor import DOM0_NAME, Hypervisor
+from repro.virt.overhead import VirtualizationOverhead
+from repro.virt.vm import VirtualMachine
+from repro.workloads.spec import spec_profile
+
+__all__ = ["Dom0AllocationAgent", "vm_two_phase", "vm_mix_sweep"]
+
+#: Block-address spacing between guest VMs (matches the native runner).
+_ADDRESS_STRIDE_BLOCKS = 1 << 23
+
+
+class Dom0AllocationAgent(UserLevelMonitor):
+    """The control-domain allocator: a monitor that ignores Dom0 itself."""
+
+    def invoke(self, syscall: SyscallInterface) -> Optional[Mapping]:
+        tasks = [t for t in syscall.query_tasks() if t.name != DOM0_NAME]
+        if not tasks or any(not t.valid for t in tasks):
+            self.skipped_invocations += 1
+            return None
+        mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
+        self.decisions.append(mapping)
+        if self.apply:
+            syscall.apply_mapping(mapping)
+        return mapping
+
+
+def _build_vms(
+    names: Sequence[str], instructions: int, seed: int
+) -> List[VirtualMachine]:
+    vms = []
+    for i, name in enumerate(names):
+        vms.append(
+            VirtualMachine.from_profile(
+                spec_profile(name),
+                instructions=instructions,
+                base_block=(i + 1) * _ADDRESS_STRIDE_BLOCKS,
+                seed=stable_seed(seed, "vm", name, i),
+            )
+        )
+    return vms
+
+
+def vm_two_phase(
+    machine: MachineConfig,
+    names: Sequence[str],
+    policy,
+    instructions: int = 6_000_000,
+    overhead: Optional[VirtualizationOverhead] = None,
+    seed: int = 0,
+    batch_accesses: int = 256,
+    monitor_interval: float = 8_000_000.0,
+    phase1_min_wall: float = 160_000_000.0,
+    scheduler_config: Optional[SchedulerConfig] = None,
+) -> MixResult:
+    """The Section 4 methodology with VM encapsulation (Figure 11).
+
+    Identical structure to :func:`repro.perf.experiment.two_phase`, with
+    the benchmark processes wrapped in single-vcpu VMs on a hypervisor, the
+    Dom0 agent making decisions over hypercalls, and the virtualization
+    overhead model active in both phases.
+    """
+    vms = _build_vms(names, instructions, seed)
+    hypervisor = Hypervisor(machine, vms, overhead=overhead, seed=seed)
+    sig = default_signature_config(machine)
+    agent = Dom0AllocationAgent(
+        policy, interval_cycles=monitor_interval, apply=True
+    )
+    phase1_sched = SchedulerConfig(
+        num_cores=machine.num_cores,
+        timeslice_cycles=8_000_000.0,
+        context_smoothing=0.6,
+    )
+    phase1 = hypervisor.run(
+        signature_config=sig,
+        monitor=agent,
+        scheduler_config=phase1_sched,
+        seed=seed,
+        batch_accesses=batch_accesses,
+        min_wall_cycles=phase1_min_wall,
+    )
+
+    vcpu_tids = [vm.vcpus[0].tid for vm in vms]
+    default = canonical_mapping(
+        [
+            [tid for i, tid in enumerate(vcpu_tids) if i % machine.num_cores == c]
+            for c in range(machine.num_cores)
+        ]
+    )
+    chosen = (phase1.majority_mapping or default).canonical()
+
+    def vm_times(result) -> Dict[str, float]:
+        return {vm.name: vm.user_time(result) for vm in vms}
+
+    mapping_times: Dict[Mapping, Dict[str, float]] = {}
+    candidates = balanced_mappings(vcpu_tids, machine.num_cores)
+    for mapping in candidates:
+        result = hypervisor.run(
+            mapping=mapping,
+            scheduler_config=scheduler_config,
+            seed=seed,
+            batch_accesses=batch_accesses,
+        )
+        mapping_times[mapping] = vm_times(result)
+    if chosen not in mapping_times:
+        result = hypervisor.run(
+            mapping=chosen,
+            scheduler_config=scheduler_config,
+            seed=seed,
+            batch_accesses=batch_accesses,
+        )
+        mapping_times[chosen] = vm_times(result)
+    return MixResult(
+        names=tuple(names),
+        mapping_times=mapping_times,
+        chosen_mapping=chosen,
+        default_mapping=default,
+        decisions=tuple(phase1.decisions),
+    )
+
+
+def vm_mix_sweep(
+    machine: MachineConfig,
+    mixes: Sequence[Sequence[str]],
+    policy,
+    instructions: int = 6_000_000,
+    overhead: Optional[VirtualizationOverhead] = None,
+    seed: int = 0,
+    batch_accesses: int = 256,
+    **two_phase_kwargs,
+) -> SweepResult:
+    """Figure 11's sweep: per-benchmark max/avg improvement inside VMs."""
+    sweep = SweepResult()
+    for i, mix in enumerate(mixes):
+        sweep.add(
+            vm_two_phase(
+                machine,
+                list(mix),
+                policy,
+                instructions=instructions,
+                overhead=overhead,
+                seed=seed + i,
+                batch_accesses=batch_accesses,
+                **two_phase_kwargs,
+            )
+        )
+    return sweep

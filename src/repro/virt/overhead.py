@@ -1,0 +1,74 @@
+"""Virtualization overhead model.
+
+The paper (Section 5.1.2) attributes the dampened improvements inside Xen
+to "virtualization overhead". On the 2006-era Core 2 Duo it evaluated,
+Xen's memory virtualization (shadow paging / PV MMU hypercalls) taxed every
+memory operation, VM switches cost world-switch hypercalls, and Dom0's own
+activity lightly polluted the shared cache. This module models those three
+components:
+
+* a CPI multiplier plus a flat per-L2-reference cost (shadow-paging/TLB
+  pressure that scales with memory activity),
+* extra cycles per context/world switch,
+* an optional Dom0 background task with a small footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perf.timing import TimingModel
+
+__all__ = ["VirtualizationOverhead"]
+
+
+@dataclass(frozen=True)
+class VirtualizationOverhead:
+    """Knobs for the Xen-like overhead model.
+
+    Parameters
+    ----------
+    cpi_multiplier:
+        Scales the bare-metal CPI (instruction-side virtualization tax).
+    per_access_cycles:
+        Flat cycles added to every L2 reference (shadow-paging cost).
+    vm_switch_cycles:
+        Extra cycles per context switch (world switch + hypercall path).
+    dom0_footprint_kb:
+        Working-set size of the Dom0 background task (0 disables it).
+    dom0_accesses:
+        Per-run trace length of the Dom0 task (it restarts forever).
+    """
+
+    cpi_multiplier: float = 1.4
+    per_access_cycles: float = 70.0
+    vm_switch_cycles: float = 30_000.0
+    dom0_footprint_kb: int = 256
+    dom0_accesses: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.cpi_multiplier < 1.0:
+            raise ConfigurationError("cpi_multiplier must be >= 1.0")
+        if self.per_access_cycles < 0:
+            raise ConfigurationError("per_access_cycles must be >= 0")
+        if self.vm_switch_cycles < 0:
+            raise ConfigurationError("vm_switch_cycles must be >= 0")
+        if self.dom0_footprint_kb < 0 or self.dom0_accesses <= 0:
+            raise ConfigurationError("invalid dom0 parameters")
+
+    def virtualize_timing(self, timing: TimingModel) -> TimingModel:
+        """Return the bare-metal *timing* with the tax applied."""
+        return TimingModel(
+            cpi_base=timing.cpi_base * self.cpi_multiplier,
+            l2_hit_cycles=timing.l2_hit_cycles,
+            mem_cycles=timing.mem_cycles,
+            queue_coeff=timing.queue_coeff,
+            intensity_ema=timing.intensity_ema,
+            per_access_cycles=timing.per_access_cycles + self.per_access_cycles,
+        )
+
+    @property
+    def includes_dom0(self) -> bool:
+        """Whether a Dom0 background task is injected."""
+        return self.dom0_footprint_kb > 0

@@ -1,0 +1,72 @@
+"""Virtual machines and vcpus.
+
+The paper's Xen experiments encapsulate one benchmark per VM ("Four VMs
+were configured on the Xen hypervisor. Each VM ran Fedora Linux and one
+benchmark", Section 4.2), so the common case is a single-vcpu VM whose
+vcpu's reference stream is the benchmark's. Multi-vcpu VMs are supported
+for completeness: all vcpus share the VM's ``process_id``, which is the
+granularity the signature hardware tracks in virtualized mode (the paper's
+"per-VM basis", Section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sched.process import SimProcess, SimTask, task_from_profile
+from repro.utils.validation import require_positive
+from repro.workloads.base import WorkloadProfile
+
+__all__ = ["VirtualMachine"]
+
+_vm_ids = itertools.count()
+
+
+@dataclass
+class VirtualMachine:
+    """One guest VM: a named container of vcpu tasks."""
+
+    name: str
+    vcpus: List[SimTask]
+    vm_id: int = field(default_factory=lambda: next(_vm_ids))
+
+    def __post_init__(self) -> None:
+        if not self.vcpus:
+            raise ConfigurationError(f"VM {self.name!r} has no vcpus")
+        # All vcpus share one process_id: the per-VM signature granularity.
+        pid = self.vcpus[0].process_id
+        for vcpu in self.vcpus:
+            vcpu.process_id = pid
+
+    @property
+    def process_id(self) -> int:
+        """Grouping key used by signatures and mappings."""
+        return self.vcpus[0].process_id
+
+    @property
+    def tids(self) -> List[int]:
+        """Task ids of all vcpus."""
+        return [v.tid for v in self.vcpus]
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: WorkloadProfile,
+        instructions: int,
+        base_block: int = 0,
+        seed: int = 0,
+    ) -> "VirtualMachine":
+        """The paper's shape: a single-vcpu VM running one benchmark."""
+        require_positive(instructions, "instructions")
+        task = task_from_profile(
+            profile, instructions=instructions, base_block=base_block, seed=seed
+        )
+        task.name = f"vm:{profile.name}"
+        return cls(name=profile.name, vcpus=[task])
+
+    def user_time(self, result) -> float:
+        """VM 'user time': the slowest vcpu's first completion."""
+        return max(result.user_time(v.name) for v in self.vcpus)

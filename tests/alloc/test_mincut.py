@@ -1,0 +1,186 @@
+"""Tests for the balanced MIN-CUT solver suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.mincut import (
+    MINCUT_METHODS,
+    bisect_min_cut,
+    cut_weight,
+    exhaustive_bisection,
+    intra_weight,
+    kernighan_lin,
+    partition_min_cut,
+    spectral_rounding,
+)
+from repro.errors import AllocationError
+
+
+def two_cliques(n_half=4, intra=10.0, inter=0.1):
+    """Two dense cliques weakly connected: the obvious optimal bisection."""
+    n = 2 * n_half
+    w = np.full((n, n), inter)
+    w[:n_half, :n_half] = intra
+    w[n_half:, n_half:] = intra
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestCutWeight:
+    def test_basic(self):
+        w = np.array([[0, 1, 2], [1, 0, 4], [2, 4, 0]], dtype=float)
+        assert cut_weight(w, [[0], [1, 2]]) == pytest.approx(3.0)
+        assert intra_weight(w, [[0], [1, 2]]) == pytest.approx(4.0)
+
+    def test_single_group(self):
+        w = two_cliques(2)
+        assert cut_weight(w, [[0, 1, 2, 3]]) == 0.0
+
+    def test_node_in_two_groups_rejected(self):
+        w = two_cliques(2)
+        with pytest.raises(AllocationError):
+            cut_weight(w, [[0, 1], [1, 2, 3]])
+
+    def test_uncovered_node_rejected(self):
+        w = two_cliques(2)
+        with pytest.raises(AllocationError):
+            cut_weight(w, [[0, 1], [2]])
+
+    def test_asymmetric_rejected(self):
+        w = np.array([[0, 1], [2, 0]], dtype=float)
+        with pytest.raises(AllocationError):
+            cut_weight(w, [[0], [1]])
+
+    def test_negative_weights_rejected(self):
+        w = np.array([[0, -1], [-1, 0]], dtype=float)
+        with pytest.raises(AllocationError):
+            cut_weight(w, [[0], [1]])
+
+
+class TestExhaustive:
+    def test_finds_clique_split(self):
+        w = two_cliques(3)
+        a, b = exhaustive_bisection(w)
+        assert sorted(a) in ([0, 1, 2], [3, 4, 5])
+
+    def test_uneven_sizes(self):
+        w = two_cliques(2)
+        a, b = exhaustive_bisection(w, size_a=3)
+        assert len(a) == 3 and len(b) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(AllocationError):
+            exhaustive_bisection(two_cliques(2), size_a=9)
+
+    def test_two_nodes(self):
+        w = np.array([[0, 5], [5, 0]], dtype=float)
+        a, b = exhaustive_bisection(w)
+        assert len(a) == 1 and len(b) == 1
+
+
+@pytest.mark.parametrize("solver", [kernighan_lin, spectral_rounding])
+class TestHeuristics:
+    def test_clique_split_found(self, solver):
+        w = two_cliques(4)
+        groups = solver(w, seed=1)
+        assert sorted(groups[0]) in ([0, 1, 2, 3], [4, 5, 6, 7])
+
+    def test_partition_valid(self, solver):
+        rng = np.random.default_rng(0)
+        w = rng.random((10, 10))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0)
+        a, b = solver(w, seed=2)
+        assert sorted(a + b) == list(range(10))
+        assert len(a) == 5
+
+    def test_deterministic(self, solver):
+        w = two_cliques(4)
+        assert solver(w, seed=7) == solver(w, seed=7)
+
+    def test_close_to_optimal_on_random_graphs(self, solver):
+        # The paper only needs "a certain percentage of the optimal".
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            w = rng.random((10, 10))
+            w = (w + w.T) / 2
+            np.fill_diagonal(w, 0)
+            opt = cut_weight(w, exhaustive_bisection(w))
+            heur = cut_weight(w, solver(w, seed=trial))
+            assert heur <= 1.15 * opt + 1e-9
+
+
+class TestDispatch:
+    def test_auto_small_is_optimal(self):
+        w = two_cliques(3)
+        groups = bisect_min_cut(w, method="auto")
+        assert cut_weight(w, groups) == cut_weight(w, exhaustive_bisection(w))
+
+    @pytest.mark.parametrize("method", ["exhaustive", "kl", "spectral"])
+    def test_methods_accepted(self, method):
+        w = two_cliques(2)
+        a, b = bisect_min_cut(w, method=method, seed=1)
+        assert sorted(a + b) == [0, 1, 2, 3]
+
+    def test_unknown_method(self):
+        with pytest.raises(AllocationError):
+            bisect_min_cut(two_cliques(2), method="ilp")
+
+    def test_methods_tuple(self):
+        assert set(MINCUT_METHODS) == {"auto", "exhaustive", "kl", "spectral"}
+
+
+class TestPartition:
+    def test_two_groups_is_bisection(self):
+        w = two_cliques(3)
+        groups = partition_min_cut(w, 2)
+        assert len(groups) == 2
+        assert sorted(groups[0]) in ([0, 1, 2], [3, 4, 5])
+
+    def test_four_groups_hierarchical(self):
+        # Four cliques of 2, near-zero inter-clique edges.
+        w = np.full((8, 8), 0.01)
+        for i in range(0, 8, 2):
+            w[i, i + 1] = w[i + 1, i] = 10.0
+        np.fill_diagonal(w, 0)
+        groups = partition_min_cut(w, 4)
+        assert sorted(map(sorted, groups)) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_partition(self):
+        w = two_cliques(3)  # 6 nodes
+        groups = partition_min_cut(w, 4)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 1, 2, 2]
+
+    def test_single_group(self):
+        w = two_cliques(2)
+        groups = partition_min_cut(w, 1)
+        assert groups == [[0, 1, 2, 3]]
+
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_always_valid(self, n, k):
+        rng = np.random.default_rng(n * 10 + k)
+        w = rng.random((n, n))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0)
+        groups = partition_min_cut(w, k)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(n))
+        sizes = [len(g) for g in groups if g]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestProperties:
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_plus_intra_is_total(self, n):
+        rng = np.random.default_rng(n)
+        w = rng.random((n, n))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0)
+        groups = partition_min_cut(w, 2)
+        total = float(np.triu(w, 1).sum())
+        assert cut_weight(w, groups) + intra_weight(w, groups) == pytest.approx(total)

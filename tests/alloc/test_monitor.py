@@ -1,0 +1,103 @@
+"""Tests for the user-level monitor (Section 3.2 / 4.1 majority vote)."""
+
+import numpy as np
+import pytest
+
+from repro.alloc.monitor import UserLevelMonitor
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.errors import AllocationError
+from repro.sched.os_model import OSScheduler, SchedulerConfig
+from repro.sched.process import SimTask
+from repro.sched.syscall import SyscallInterface
+from repro.workloads.patterns import StridedGenerator
+
+
+def make_env(cores=2, tasks=4):
+    sig = SignatureUnit(SignatureConfig(num_cores=cores, num_sets=16, ways=2))
+    sched = OSScheduler(SchedulerConfig(num_cores=cores), signature_unit=sig)
+    task_objs = []
+    for i in range(tasks):
+        t = SimTask(
+            name=f"t{i}",
+            generator=StridedGenerator(40, 1, seed=i),
+            total_accesses=1000,
+            accesses_per_kinstr=10.0,
+        )
+        sched.add_task(t, i % cores)
+        task_objs.append(t)
+    return sched, sig, SyscallInterface(sched), task_objs
+
+
+def warm_contexts(sched, sig, task_objs, cores=2):
+    """Give every task one signature sample."""
+    rng = np.random.default_rng(0)
+    for _ in range(len(task_objs)):
+        for core in range(cores):
+            sig.record_fill_batch(core, rng.integers(0, 1 << 20, 10))
+            sched.context_switch(core)
+
+
+class TestMonitor:
+    def test_skips_until_contexts_valid(self):
+        sched, sig, syscall, tasks = make_env()
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        assert mon.invoke(syscall) is None
+        assert mon.skipped_invocations == 1
+        assert mon.decisions == []
+
+    def test_decides_once_valid(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        mapping = mon.invoke(syscall)
+        assert mapping is not None
+        assert mon.decisions == [mapping]
+
+    def test_apply_pins_tasks(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0, apply=True)
+        mapping = mon.invoke(syscall)
+        # After the next switches, placement matches the decision.
+        for core in range(2):
+            sched.context_switch(core)
+        placement = syscall.current_placement()
+        for tid in mapping.task_ids:
+            assert placement[tid] == mapping.core_of(tid)
+
+    def test_no_apply_leaves_placement(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        before = syscall.current_placement()
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0, apply=False)
+        mon.invoke(syscall)
+        assert syscall.current_placement() == before
+        assert sched.total_migrations == 0
+
+    def test_majority_mapping(self):
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        from repro.sched.affinity import canonical_mapping
+
+        a = canonical_mapping([[1, 2], [3, 4]])
+        b = canonical_mapping([[1, 3], [2, 4]])
+        mon.decisions.extend([a, b, a])
+        assert mon.majority_mapping() == a
+
+    def test_majority_empty(self):
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        assert mon.majority_mapping() is None
+
+    def test_reset(self):
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        mon.skipped_invocations = 3
+        from repro.sched.affinity import canonical_mapping
+
+        mon.decisions.append(canonical_mapping([[1], [2]]))
+        mon.reset()
+        assert mon.decisions == []
+        assert mon.skipped_invocations == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(AllocationError):
+            UserLevelMonitor(WeightSortPolicy(), interval_cycles=0.0)

@@ -1,0 +1,93 @@
+"""Tests for the two-phase multithreaded allocation (Section 3.3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.alloc.multithreaded import PIN_WEIGHT, TwoPhasePolicy
+from repro.errors import AllocationError
+from repro.sched.syscall import TaskView
+
+
+def view(tid, name, occupancy, symbiosis, last_core=0, process_id=0):
+    return TaskView(
+        tid=tid,
+        name=name,
+        process_id=process_id,
+        last_core=last_core,
+        occupancy=float(occupancy),
+        symbiosis=np.asarray(symbiosis, dtype=np.float64),
+        valid=True,
+    )
+
+
+def one_process_four_threads(occ=(100, 90, 10, 5)):
+    """One 4-thread process, alternating cores so edges exist."""
+    return [
+        view(i, f"app.t{i}", occ[i], [1000, 1000], last_core=i % 2, process_id=7)
+        for i in range(4)
+    ]
+
+
+class TestPhase1ThreadGroups:
+    def test_threads_grouped_by_weight(self):
+        policy = TwoPhasePolicy()
+        groups = policy.thread_groups(one_process_four_threads(), 2)
+        # Heaviest two threads (0, 1) together; light two (2, 3) together.
+        assert sorted(map(sorted, groups)) == [[0, 1], [2, 3]]
+
+    def test_single_threaded_processes_are_singletons(self):
+        views = [
+            view(0, "a", 100, [1, 1], process_id=1),
+            view(1, "b", 50, [1, 1], process_id=2),
+        ]
+        groups = TwoPhasePolicy().thread_groups(views, 2)
+        assert sorted(map(sorted, groups)) == [[0], [1]]
+
+    def test_mixed_processes(self):
+        views = one_process_four_threads() + [
+            view(10, "solo", 40, [1, 1], process_id=9)
+        ]
+        groups = TwoPhasePolicy().thread_groups(views, 2)
+        assert [10] in groups
+
+    def test_invalid_views_rejected(self):
+        views = one_process_four_threads()
+        object.__setattr__(views[0], "valid", False)
+        with pytest.raises(AllocationError):
+            TwoPhasePolicy().thread_groups(views, 2)
+
+
+class TestPhase2Allocation:
+    def test_same_group_threads_stay_together(self):
+        views = one_process_four_threads()
+        mapping = TwoPhasePolicy().allocate(views, 2)
+        # Phase 1 pairs (0,1) and (2,3); phase 2 must keep each pair intact.
+        assert mapping.core_of(0) == mapping.core_of(1)
+        assert mapping.core_of(2) == mapping.core_of(3)
+        assert mapping.core_of(0) != mapping.core_of(2)
+
+    def test_two_processes_interleave(self):
+        # Two 2-thread processes; threads of each process in different
+        # phase-1 groups get zero edges, so MIN-CUT is free to split them.
+        views = [
+            view(0, "a.t0", 100, [500, 40000], last_core=0, process_id=1),
+            view(1, "a.t1", 90, [500, 40000], last_core=1, process_id=1),
+            view(2, "b.t0", 100, [40000, 500], last_core=0, process_id=2),
+            view(3, "b.t1", 90, [40000, 500], last_core=1, process_id=2),
+        ]
+        mapping = TwoPhasePolicy().allocate(views, 2)
+        assert mapping.task_ids == {0, 1, 2, 3}
+        sizes = sorted(len(g) for g in mapping.groups)
+        assert sizes == [2, 2]
+
+    def test_pin_weight_dominates(self):
+        # Even with huge cross-process interference, phase-1 groups hold.
+        views = one_process_four_threads(occ=(1000, 900, 800, 700))
+        mapping = TwoPhasePolicy().allocate(views, 2)
+        assert mapping.core_of(0) == mapping.core_of(1)
+
+    def test_pin_weight_constant(self):
+        assert PIN_WEIGHT >= 1e6
+
+    def test_name(self):
+        assert TwoPhasePolicy().name == "two_phase_multithreaded"

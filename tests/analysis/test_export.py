@@ -1,0 +1,58 @@
+"""Tests for CSV export of figure series."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import counter_series_to_csv, sweep_to_csv, write_csv
+from repro.analysis.figures import CounterSeries
+from repro.errors import ConfigurationError
+from repro.perf.experiment import MixResult, SweepResult
+from repro.sched.affinity import canonical_mapping
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "a" / "out.csv", ["x", "y"], [[1, 2], [3, 4]])
+        rows = list(csv.reader(path.open()))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_ragged_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "out.csv", ["x"], [[1, 2]])
+
+
+class TestSeriesExport:
+    def test_counter_series(self, tmp_path):
+        series = CounterSeries(window_accesses=10)
+        for i in range(3):
+            series.true_footprint.append(i)
+            series.resident_lines.append(i * 2)
+            series.l2_misses.append(1)
+            series.tlb_misses.append(0)
+            series.page_faults.append(0)
+            series.occupancy_weight.append(i * 2)
+            series.rbv_occupancy.append(i)
+        path = counter_series_to_csv(series, tmp_path / "fig2.csv")
+        rows = list(csv.reader(path.open()))
+        assert len(rows) == 4
+        assert rows[0][0] == "window"
+        assert rows[2][1] == "1"
+
+    def test_sweep_export(self, tmp_path):
+        sweep = SweepResult()
+        a = canonical_mapping([[0, 1], [2, 3]])
+        b = canonical_mapping([[0, 2], [1, 3]])
+        sweep.add(
+            MixResult(
+                names=("x", "y"),
+                mapping_times={a: {"x": 100.0, "y": 50.0}, b: {"x": 80.0, "y": 55.0}},
+                chosen_mapping=b,
+                default_mapping=a,
+            )
+        )
+        path = sweep_to_csv(sweep, tmp_path / "fig10.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["benchmark", "max_improvement", "avg_improvement", "mixes"]
+        assert rows[1][0] == "x"
+        assert float(rows[1][1]) == pytest.approx(0.2)

@@ -1,0 +1,74 @@
+"""Tests for fairness metrics."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    fairness_report,
+    jain_index,
+    slowdowns,
+    unfairness,
+)
+from repro.errors import ConfigurationError
+
+
+class TestJainIndex:
+    def test_equal_values_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_index([7.0]) == pytest.approx(1.0)
+
+    def test_worst_case_approaches_1_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        v = jain_index([1.0, 2.0, 3.0])
+        assert 1 / 3 <= v <= 1.0
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([1.0, -1.0])
+
+
+class TestSlowdowns:
+    def test_basic(self):
+        sd = slowdowns({"a": 150.0, "b": 100.0}, {"a": 100.0, "b": 100.0})
+        assert sd == {"a": 1.5, "b": 1.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(ConfigurationError):
+            slowdowns({"a": 1.0}, {})
+
+    def test_zero_baseline(self):
+        with pytest.raises(ConfigurationError):
+            slowdowns({"a": 1.0}, {"a": 0.0})
+
+
+class TestUnfairness:
+    def test_equal_is_one(self):
+        assert unfairness({"a": 1.3, "b": 1.3}) == pytest.approx(1.0)
+
+    def test_spread(self):
+        assert unfairness({"a": 2.0, "b": 1.0}) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            unfairness({})
+
+
+class TestFairnessReport:
+    def test_bundle(self):
+        report = fairness_report(
+            {"a": 200.0, "b": 120.0}, {"a": 100.0, "b": 100.0}
+        )
+        assert report["max_slowdown"] == pytest.approx(2.0)
+        assert report["min_slowdown"] == pytest.approx(1.2)
+        assert report["unfairness"] == pytest.approx(2.0 / 1.2)
+        assert 0 < report["jain_index"] <= 1.0

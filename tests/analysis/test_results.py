@@ -1,0 +1,80 @@
+"""Tests for result persistence."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import (
+    load_json,
+    mix_result_to_dict,
+    save_json,
+    to_jsonable,
+)
+from repro.perf.experiment import MixResult
+from repro.sched.affinity import canonical_mapping
+
+
+class TestToJsonable:
+    def test_primitives(self):
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(True) is True
+        assert to_jsonable(None) is None
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert isinstance(to_jsonable(np.float32(1.5)), float)
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested(self):
+        obj = {"a": [np.int64(1), {"b": (2, 3)}]}
+        assert to_jsonable(obj) == {"a": [1, {"b": [2, 3]}]}
+
+    def test_dataclass(self):
+        @dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.0)) == {"x": 1, "y": 2.0}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable(frozenset({1, 2}))) == [1, 2]
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "result.json"
+        save_json(path, {"x": np.float64(1.5), "y": [1, 2]})
+        assert load_json(path) == {"x": 1.5, "y": [1, 2]}
+
+
+class TestMixResultToDict:
+    def test_flattening(self):
+        a = canonical_mapping([[0, 1], [2, 3]])
+        b = canonical_mapping([[0, 2], [1, 3]])
+        result = MixResult(
+            names=("x", "y"),
+            mapping_times={
+                a: {"x": 100.0, "y": 50.0},
+                b: {"x": 80.0, "y": 60.0},
+            },
+            chosen_mapping=b,
+            default_mapping=a,
+            decisions=(b, b, a),
+        )
+        d = mix_result_to_dict(result)
+        assert d["names"] == ["x", "y"]
+        assert d["num_decisions"] == 3
+        assert d["improvements"]["x"] == pytest.approx(0.2)
+        assert str(b) in d["mapping_times"]
+        # And the whole thing is JSON-serialisable.
+        to_jsonable(d)

@@ -1,0 +1,65 @@
+"""Tests for the timing-model sensitivity sweep (tiny scale)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    TIMING_PARAMETERS,
+    SensitivityPoint,
+    sweep_timing_parameter,
+)
+
+
+class TestSweep:
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            sweep_timing_parameter("branch_penalty")
+
+    def test_registry_parameters_are_timing_fields(self):
+        from repro.perf.timing import TimingModel
+
+        t = TimingModel()
+        for name in TIMING_PARAMETERS:
+            assert hasattr(t, name)
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_timing_parameter(
+            "mem_cycles",
+            multipliers=(1.0, 2.0),
+            mix=("povray", "sjeng"),
+            benchmark="sjeng",
+            instructions=150_000,
+            phase1_min_wall=10_000_000.0,
+        )
+
+    def test_point_per_multiplier(self, points):
+        assert [p.multiplier for p in points] == [1.0, 2.0]
+        assert points[0].value == pytest.approx(200.0)
+        assert points[1].value == pytest.approx(400.0)
+
+    def test_improvements_bounded(self, points):
+        for p in points:
+            assert 0.0 <= p.chosen_improvement <= 1.0
+            assert p.chosen_improvement <= p.oracle_improvement + 1e-9
+
+    def test_policy_found_it_trivial_case(self):
+        point = SensitivityPoint(
+            parameter="mem_cycles",
+            multiplier=1.0,
+            value=200.0,
+            chosen_improvement=0.0,
+            oracle_improvement=0.01,
+            result=None,
+        )
+        assert point.policy_found_it  # nothing to find
+
+    def test_policy_found_it_miss(self):
+        point = SensitivityPoint(
+            parameter="mem_cycles",
+            multiplier=1.0,
+            value=200.0,
+            chosen_improvement=0.05,
+            oracle_improvement=0.40,
+            result=None,
+        )
+        assert not point.policy_found_it

@@ -1,0 +1,49 @@
+"""Tests for the Figure 10/11 mix-composition logic."""
+
+from repro.analysis.figures import SHOWCASE_MIXES
+from repro.perf.experiment import stratified_mixes
+from repro.workloads.spec import spec_profile_names
+
+
+class TestShowcaseMixes:
+    def test_showcases_are_valid_pool_members(self):
+        pool = set(spec_profile_names())
+        for mix in SHOWCASE_MIXES:
+            assert len(mix) == 4
+            assert len(set(mix)) == 4
+            assert set(mix) <= pool
+
+    def test_every_cache_sensitive_benchmark_has_a_showcase(self):
+        from repro.workloads.spec import spec_pool
+
+        sensitive = {p.name for p in spec_pool() if p.category == "cache_sensitive"}
+        anchored = {mix[0] for mix in SHOWCASE_MIXES}
+        assert sensitive <= anchored
+
+    def test_showcases_pair_anchor_with_one_polluter(self):
+        from repro.workloads.spec import spec_profile
+
+        heavy = {"streaming", "bandwidth_bound"}
+        for mix in SHOWCASE_MIXES:
+            polluters = [
+                n for n in mix[1:] if spec_profile(n).category in heavy
+            ]
+            assert len(polluters) == 1, mix
+
+    def test_showcases_exist_in_full_sweep(self):
+        # They are ordinary members of the C(12,4) space, not fabrications.
+        pool = spec_profile_names()
+        import itertools
+
+        all_mixes = {tuple(sorted(m)) for m in itertools.combinations(pool, 4)}
+        for mix in SHOWCASE_MIXES:
+            assert tuple(sorted(mix)) in all_mixes
+
+    def test_stratified_avoids_duplicating_showcases_when_filtered(self):
+        sampled = stratified_mixes(spec_profile_names(), 3, seed=3)
+        showcase_keys = {tuple(sorted(m)) for m in SHOWCASE_MIXES}
+        merged = list(SHOWCASE_MIXES) + [
+            m for m in sampled if tuple(sorted(m)) not in showcase_keys
+        ]
+        keys = [tuple(sorted(m)) for m in merged]
+        assert len(keys) == len(set(keys))

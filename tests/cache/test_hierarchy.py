@@ -1,0 +1,86 @@
+"""Tests for the private-L1 + shared-L2 hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, CacheGeometry, tiny_cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ConfigurationError
+
+
+def make_hierarchy(l1=True, cores=2):
+    l2 = SetAssociativeCache(tiny_cache(sets=16, ways=4), num_cores=cores)
+    l1_cfg = tiny_cache(sets=2, ways=2) if l1 else None
+    return CacheHierarchy(l2, l1_cfg)
+
+
+class TestNoL1:
+    def test_pass_through(self):
+        h = make_hierarchy(l1=False)
+        r = h.access_batch(0, np.array([1, 2, 1]))
+        assert r.l1_hits == 0
+        assert r.l2_hits == 1
+        assert r.l2_misses == 2
+
+    def test_flush_l1_noop(self):
+        make_hierarchy(l1=False).flush_l1(0)
+
+
+class TestWithL1:
+    def test_l1_filters_repeats(self):
+        h = make_hierarchy()
+        r = h.access_batch(0, np.array([5, 5, 5, 5]))
+        assert r.l1_hits == 3
+        assert r.l2_misses == 1
+
+    def test_all_l1_hits_skip_l2(self):
+        h = make_hierarchy()
+        h.access_batch(0, np.array([5]))
+        r = h.access_batch(0, np.array([5, 5]))
+        assert r.l2 is None
+        assert r.l1_hits == 2
+        assert r.l2_hits == 0 and r.l2_misses == 0
+
+    def test_l1s_are_private(self):
+        h = make_hierarchy()
+        h.access_batch(0, np.array([5]))
+        # Core 1 misses its own L1 but hits the shared L2.
+        r = h.access_batch(1, np.array([5]))
+        assert r.l1_hits == 0
+        assert r.l2_hits == 1
+
+    def test_l1_capacity_spills_to_l2(self):
+        h = make_hierarchy()  # L1: 2 sets x 2 ways = 4 lines
+        blocks = np.arange(8, dtype=np.int64)
+        h.access_batch(0, blocks)
+        r = h.access_batch(0, blocks)
+        # Working set exceeds L1, so repeats still reach L2 and hit there.
+        assert r.l2_hits > 0
+
+    def test_flush_l1(self):
+        h = make_hierarchy()
+        h.access_batch(0, np.array([5]))
+        h.flush_l1(0)
+        r = h.access_batch(0, np.array([5]))
+        assert r.l1_hits == 0
+        assert r.l2_hits == 1  # still resident in shared L2
+
+    def test_reset(self):
+        h = make_hierarchy()
+        h.access_batch(0, np.array([1, 2, 3]))
+        h.reset()
+        assert h.l2.footprint_lines() == 0
+        r = h.access_batch(0, np.array([1]))
+        assert r.l1_hits == 0 and r.l2_misses == 1
+
+    def test_line_size_mismatch_rejected(self):
+        l2 = SetAssociativeCache(tiny_cache(sets=16, ways=4, line_bytes=64))
+        bad_l1 = tiny_cache(sets=2, ways=2, line_bytes=32)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(l2, bad_l1)
+
+    def test_accesses_counted(self):
+        h = make_hierarchy()
+        r = h.access_batch(0, np.array([1, 2, 3]))
+        assert r.accesses == 3

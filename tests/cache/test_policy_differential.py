@@ -1,0 +1,67 @@
+"""Differential tests between replacement policies at the cache level."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import tiny_cache
+
+
+def run_trace(policy, blocks, sets=8, ways=4, seed=0):
+    cache = SetAssociativeCache(
+        tiny_cache(sets=sets, ways=ways, replacement=policy), seed=seed
+    )
+    result = cache.access_batch(0, np.asarray(blocks, dtype=np.int64))
+    return cache, result
+
+
+class TestPolicyDifferential:
+    @given(st.lists(st.integers(min_value=0, max_value=127), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_all_policies_agree_on_miss_count_lower_bound(self, blocks):
+        # Compulsory (first-touch) misses are policy-independent.
+        distinct = len(set(blocks))
+        for policy in ("lru", "random", "plru"):
+            _, result = run_trace(policy, blocks)
+            assert result.misses >= distinct - 8 * 4  # minus capacity
+            assert result.misses >= 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_within_capacity_all_policies_identical(self, blocks):
+        # Working set fits entirely (32 blocks into 32 lines): every policy
+        # gives exactly one miss per distinct block and no evictions.
+        for policy in ("lru", "random", "plru"):
+            cache, result = run_trace(policy, blocks)
+            assert result.misses == len(set(blocks))
+            assert len(result.evictions) == 0
+
+    def test_lru_beats_random_on_looping_reuse(self):
+        # A loop slightly within one set's capacity: LRU retains it fully,
+        # random eviction loses lines.
+        blocks = [b * 8 for b in range(4)] * 50  # 4 blocks, all set 0
+        _, lru = run_trace("lru", blocks)
+        _, rnd = run_trace("random", blocks, seed=1)
+        assert lru.misses <= rnd.misses
+
+    def test_plru_between_lru_and_pathological(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 64, 2000)
+        _, lru = run_trace("lru", blocks)
+        _, plru = run_trace("plru", blocks)
+        # PLRU approximates LRU: within 20% miss count on random traffic.
+        assert abs(plru.misses - lru.misses) <= 0.2 * lru.misses + 5
+
+    @given(
+        st.sampled_from(["random", "plru"]),
+        st.lists(st.integers(min_value=0, max_value=255), max_size=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generic_path_conservation(self, policy, blocks):
+        cache, result = run_trace(policy, blocks)
+        assert result.hits + result.misses == len(blocks)
+        assert cache.footprint_lines() == len(result.fills) - len(result.evictions)
+        resident = cache.resident_blocks().tolist()
+        assert len(resident) == len(set(resident))

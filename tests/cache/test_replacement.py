@@ -1,0 +1,103 @@
+"""Tests for replacement-policy state machines."""
+
+import pytest
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy(num_sets=1, ways=4)
+        for way in [0, 1, 2, 3, 0, 1, 2]:
+            p.on_access(0, way)
+        assert p.victim(0) == 3
+
+    def test_sets_independent(self):
+        p = LRUPolicy(num_sets=2, ways=2)
+        p.on_access(0, 1)
+        p.on_access(1, 0)
+        assert p.victim(0) == 0
+        assert p.victim(1) == 1
+
+    def test_reset(self):
+        p = LRUPolicy(num_sets=1, ways=2)
+        p.on_access(0, 0)
+        p.reset()
+        assert p.victim(0) == 0
+
+
+class TestRandomPolicy:
+    def test_victims_in_range(self):
+        p = RandomPolicy(num_sets=1, ways=4, seed=1)
+        for _ in range(100):
+            assert 0 <= p.victim(0) < 4
+
+    def test_seeded_reproducible(self):
+        a = [RandomPolicy(1, 4, seed=3).victim(0) for _ in range(5)]
+        b = [RandomPolicy(1, 4, seed=3).victim(0) for _ in range(5)]
+        assert a == b
+
+    def test_reset_replays(self):
+        p = RandomPolicy(1, 4, seed=9)
+        first = [p.victim(0) for _ in range(5)]
+        p.reset()
+        assert [p.victim(0) for _ in range(5)] == first
+
+    def test_covers_all_ways(self):
+        p = RandomPolicy(1, 4, seed=0)
+        assert {p.victim(0) for _ in range(200)} == {0, 1, 2, 3}
+
+
+class TestTreePLRU:
+    def test_requires_pow2_ways(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRUPolicy(num_sets=1, ways=3)
+
+    def test_single_way(self):
+        p = TreePLRUPolicy(num_sets=1, ways=1)
+        p.on_access(0, 0)
+        assert p.victim(0) == 0
+
+    def test_victim_avoids_most_recent(self):
+        p = TreePLRUPolicy(num_sets=1, ways=4)
+        p.on_access(0, 2)
+        assert p.victim(0) != 2
+
+    def test_round_robin_touch_pattern(self):
+        # Touch all ways in order: PLRU then victimises way 0 first.
+        p = TreePLRUPolicy(num_sets=1, ways=4)
+        for way in range(4):
+            p.on_access(0, way)
+        assert p.victim(0) == 0
+
+    def test_plru_approximates_lru_on_sequential(self):
+        plru = TreePLRUPolicy(num_sets=1, ways=8)
+        lru = LRUPolicy(num_sets=1, ways=8)
+        for way in [0, 1, 2, 3, 4, 5, 6, 7]:
+            plru.on_access(0, way)
+            lru.on_access(0, way)
+        assert plru.victim(0) == lru.victim(0) == 0
+
+    def test_reset(self):
+        p = TreePLRUPolicy(num_sets=1, ways=4)
+        p.on_access(0, 3)
+        p.reset()
+        assert p.victim(0) == 0
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "kind,cls", [("lru", LRUPolicy), ("random", RandomPolicy), ("plru", TreePLRUPolicy)]
+    )
+    def test_factory(self, kind, cls):
+        assert isinstance(make_policy(kind, 4, 4), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo", 4, 4)

@@ -1,0 +1,46 @@
+"""Tests for cache statistics accounting."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_initial_zero(self):
+        s = CacheStats(num_cores=2)
+        assert s.total_accesses == 0
+        assert s.miss_rate() == 0.0
+
+    def test_record_and_rates(self):
+        s = CacheStats(num_cores=2)
+        s.record(0, hits=3, misses=1, evictions=1)
+        s.record(1, hits=0, misses=4, evictions=2)
+        assert s.total_hits == 3
+        assert s.total_misses == 5
+        assert s.evictions == 3
+        assert s.miss_rate() == pytest.approx(5 / 8)
+        assert s.miss_rate(core=0) == pytest.approx(1 / 4)
+        assert s.miss_rate(core=1) == 1.0
+
+    def test_per_core_rate_no_accesses(self):
+        s = CacheStats(num_cores=2)
+        assert s.miss_rate(core=1) == 0.0
+
+    def test_reset(self):
+        s = CacheStats(num_cores=1)
+        s.record(0, 1, 1, 1)
+        s.reset()
+        assert s.total_accesses == 0
+        assert s.evictions == 0
+
+    def test_snapshot(self):
+        s = CacheStats(num_cores=2)
+        s.record(0, 2, 2, 0)
+        snap = s.snapshot()
+        assert snap["hits"] == [2, 0]
+        assert snap["misses"] == [2, 0]
+        assert snap["miss_rate"] == pytest.approx(0.5)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            CacheStats(num_cores=0)

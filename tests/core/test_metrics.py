@@ -1,0 +1,134 @@
+"""Tests for RBV / occupancy / symbiosis / interference metrics (Sec 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    interference_from_symbiosis,
+    occupancy_weight,
+    running_bit_vector,
+    symbiosis,
+    symbiosis_vector,
+    weighted_edge_weight,
+)
+from repro.utils.bitvec import BitVector
+
+
+def bv(size, indices):
+    return BitVector.from_indices(size, indices)
+
+
+class TestRunningBitVector:
+    def test_new_bits_only(self):
+        cf = bv(16, [0, 1, 2, 3])
+        lf = bv(16, [0, 1])
+        assert running_bit_vector(cf, lf).to_indices().tolist() == [2, 3]
+
+    def test_erratum_not_nor(self):
+        # The paper's printed "¬(CF ∨ LF)" would return the bits NEITHER
+        # vector holds; the implemented CF ∧ ¬LF must not equal that.
+        cf = bv(8, [0, 1])
+        lf = bv(8, [0])
+        rbv = running_bit_vector(cf, lf)
+        nor = ~(cf | lf)
+        assert rbv != nor
+        assert rbv.to_indices().tolist() == [1]
+
+    def test_no_activity_gives_empty_rbv(self):
+        cf = bv(16, [3, 4])
+        assert running_bit_vector(cf, cf.copy()).popcount() == 0
+
+    def test_cleared_bits_drop_out(self):
+        # A counter-zeroing clears CF bits; the RBV must reflect that.
+        cf = bv(16, [1])
+        lf = bv(16, [1, 2])
+        assert running_bit_vector(cf, lf).popcount() == 0
+
+
+class TestOccupancyAndSymbiosis:
+    def test_occupancy_weight_is_popcount(self):
+        assert occupancy_weight(bv(32, [0, 5, 9])) == 3
+
+    def test_disjoint_footprints_high_symbiosis(self):
+        rbv = bv(32, range(0, 8))
+        other = bv(32, range(8, 16))
+        assert symbiosis(rbv, other) == 16
+
+    def test_identical_footprints_zero_symbiosis(self):
+        rbv = bv(32, range(8))
+        assert symbiosis(rbv, rbv.copy()) == 0
+
+    def test_paper_figure6b_example_ordering(self):
+        # Fig 6(b): App1's RBV has higher symbiosis with Core0's CF than
+        # with Core1's CF, so Core0 is the better placement. Reconstruct
+        # the qualitative situation: Core0's footprint is disjoint,
+        # Core1's overlaps heavily.
+        rbv = bv(16, [0, 1, 2, 3])
+        cf_core0 = bv(16, [8, 9])          # disjoint
+        cf_core1 = bv(16, [0, 1, 2])       # heavy overlap
+        s = symbiosis_vector(rbv, [cf_core0, cf_core1])
+        assert s[0] > s[1]
+
+    def test_symbiosis_vector_length(self):
+        rbv = bv(8, [0])
+        s = symbiosis_vector(rbv, [bv(8, []), bv(8, [1]), bv(8, [0])])
+        assert s.tolist() == [1, 2, 0]
+        assert s.dtype == np.int64
+
+
+class TestInterference:
+    def test_reciprocal(self):
+        assert interference_from_symbiosis(4) == 0.25
+
+    def test_zero_symbiosis_clamped(self):
+        assert interference_from_symbiosis(0) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [interference_from_symbiosis(s) for s in [1, 2, 5, 100]]
+        assert values == sorted(values, reverse=True)
+
+
+class TestWeightedEdge:
+    def test_formula(self):
+        # W1*I12 + W2*I21
+        assert weighted_edge_weight(10, 0.5, 4, 0.25) == pytest.approx(6.0)
+
+    def test_small_weight_damps_interference(self):
+        # Section 3.3.3: a near-empty RBV (low occupancy) must not produce
+        # a large edge even if its raw interference metric is high.
+        noisy_small = weighted_edge_weight(1, 1.0, 1, 1.0)
+        real_large = weighted_edge_weight(100, 0.2, 100, 0.2)
+        assert real_large > noisy_small
+
+    def test_symmetric_in_pairs(self):
+        assert weighted_edge_weight(3, 0.1, 7, 0.2) == pytest.approx(
+            weighted_edge_weight(7, 0.2, 3, 0.1)
+        )
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), max_size=40),
+        st.lists(st.integers(min_value=0, max_value=63), max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rbv_set_semantics(self, cf_idx, lf_idx):
+        cf, lf = bv(64, cf_idx), bv(64, lf_idx)
+        rbv = running_bit_vector(cf, lf)
+        assert set(rbv.to_indices().tolist()) == set(cf_idx) - set(lf_idx)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), max_size=40),
+        st.lists(st.integers(min_value=0, max_value=63), max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_symbiosis_is_symmetric_difference(self, a_idx, b_idx):
+        a, b = bv(64, a_idx), bv(64, b_idx)
+        assert symbiosis(a, b) == len(set(a_idx) ^ set(b_idx))
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_interference_in_unit_interval(self, s):
+        assert 0.0 < interference_from_symbiosis(s) <= 1.0

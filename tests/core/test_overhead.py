@@ -1,0 +1,71 @@
+"""Tests for the Section 5.4 overhead models."""
+
+import pytest
+
+from repro.core.overhead import (
+    bits_accurate_overhead,
+    paper_hardware_overhead,
+    software_overhead,
+)
+
+
+class TestPaperHardwareOverhead:
+    def test_paper_dual_core_unsampled(self):
+        # Paper: "For a dual-core machine it is 8.5% of the cache size".
+        assert paper_hardware_overhead(2) == pytest.approx(0.0854, abs=0.001)
+
+    def test_paper_dual_core_sampled(self):
+        # Paper: "our total overhead ... only about 2.13% of the L2 size".
+        assert paper_hardware_overhead(2, sampling_denominator=4) == pytest.approx(
+            0.0213, abs=0.0005
+        )
+
+    def test_grows_with_cores(self):
+        assert paper_hardware_overhead(4) > paper_hardware_overhead(2)
+
+    def test_sampling_scales_linearly(self):
+        full = paper_hardware_overhead(2)
+        assert paper_hardware_overhead(2, sampling_denominator=2) == pytest.approx(
+            full / 2
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            paper_hardware_overhead(0)
+        with pytest.raises(ValueError):
+            paper_hardware_overhead(2, sampling_denominator=0)
+
+
+class TestBitsAccurateOverhead:
+    def test_much_smaller_than_paper_number(self):
+        # The dimensionally consistent figure is ~1.3% for a dual-core.
+        v = bits_accurate_overhead(2)
+        assert 0.01 < v < 0.02
+        assert v < paper_hardware_overhead(2)
+
+    def test_sampling(self):
+        assert bits_accurate_overhead(2, sampling_denominator=4) == pytest.approx(
+            bits_accurate_overhead(2) / 4
+        )
+
+
+class TestSoftwareOverhead:
+    def test_context_bytes_matches_2_plus_n(self):
+        so = software_overhead(num_cores=2, num_entries=8192, num_processes=4)
+        assert so.context_bytes_per_process == 4 * (2 + 2)
+
+    def test_rbv_bytes(self):
+        # Paper: "the number of bytes in an RBV is 1KB".
+        so = software_overhead(num_cores=2, num_entries=8192, num_processes=4)
+        assert so.rbv_bytes == 1024
+        assert so.rbv_transfer_bytes_per_switch == 2048
+
+    def test_allocator_fraction_negligible(self):
+        # Paper: hundreds of instructions every 100ms is negligible.
+        so = software_overhead(num_cores=2, num_entries=8192, num_processes=4)
+        assert so.allocator_cpu_fraction < 1e-5
+
+    def test_scales_with_processes(self):
+        a = software_overhead(2, 8192, 4)
+        b = software_overhead(2, 8192, 40)
+        assert b.allocator_instructions_per_invocation > a.allocator_instructions_per_invocation

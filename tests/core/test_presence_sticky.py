@@ -1,0 +1,56 @@
+"""Tests for the paper's presence-bit variant (no clearing path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.errors import ConfigurationError
+
+
+def make_unit(kind="presence_sticky", **kw):
+    defaults = dict(num_cores=2, num_sets=16, ways=2, counter_bits=8)
+    defaults.update(kw)
+    return SignatureUnit(SignatureConfig(hash_kind=kind, **defaults))
+
+
+class TestPresenceSticky:
+    def test_bits_survive_eviction(self):
+        unit = make_unit()
+        unit.record_fill_batch(0, np.array([5]), slots=np.array([3]))
+        unit.record_eviction_batch(np.array([5]), slots=np.array([3]))
+        assert unit.core_occupancy(0) == 1  # never cleared
+        assert unit.stats.evictions_ignored == 1
+        assert unit.stats.underflow_events == 0
+
+    def test_clearing_variant_differs(self):
+        sticky = make_unit("presence_sticky")
+        clearing = make_unit("presence")
+        for unit in (sticky, clearing):
+            unit.record_fill_batch(0, np.array([5]), slots=np.array([3]))
+            unit.record_eviction_batch(np.array([5]), slots=np.array([3]))
+        assert sticky.core_occupancy(0) == 1
+        assert clearing.core_occupancy(0) == 0
+
+    def test_saturation_for_heavy_users(self):
+        # The Section 5.3 failure mode: a heavy cache user's sticky vector
+        # fills completely, so its RBV (new bits per quantum) goes to zero.
+        unit = make_unit()
+        slots = np.arange(32)  # all slots of the 16x2 cache
+        unit.record_fill_batch(0, np.arange(32) + 100, slots=slots)
+        unit.on_context_switch(0)
+        # Heavy reuse keeps refilling the same slots...
+        unit.record_fill_batch(0, np.arange(32) + 200, slots=slots)
+        sample = unit.on_context_switch(0)
+        assert unit.core_occupancy(0) == 32  # saturated
+        assert sample.occupancy == 0  # RBV conveys nothing
+
+    def test_rejects_multiple_hashes(self):
+        with pytest.raises(ConfigurationError):
+            make_unit(num_hashes=2)
+
+    def test_sampled_sticky(self):
+        unit = make_unit(sampling_denominator=4)
+        # Set 0 sampled; block in set 1 ignored.
+        unit.record_fill_batch(0, np.array([0]), slots=np.array([1]))
+        unit.record_fill_batch(0, np.array([1]), slots=np.array([2]))
+        assert unit.core_occupancy(0) == 1

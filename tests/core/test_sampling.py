@@ -1,0 +1,55 @@
+"""Tests for set-sampling (paper Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SetSampler
+
+
+class TestSetSampler:
+    def test_no_sampling_tracks_all(self):
+        s = SetSampler(64, 1)
+        assert s.rate == 1.0
+        assert s.sampled_sets == 64
+        assert s.mask(np.arange(100)).all()
+
+    def test_quarter_sampling(self):
+        s = SetSampler(64, 4)
+        assert s.rate == 0.25
+        assert s.sampled_sets == 16
+        blocks = np.arange(256)
+        mask = s.mask(blocks)
+        assert mask.sum() == 64  # one in four sets
+        # Exactly those whose set index is 0 mod 4.
+        assert ((blocks[mask] & 63) % 4 == 0).all()
+
+    def test_scalar_matches_vector(self):
+        s = SetSampler(64, 4)
+        blocks = np.arange(200)
+        mask = s.mask(blocks)
+        for b, m in zip(blocks, mask):
+            assert s.tracks_block(int(b)) == bool(m)
+
+    def test_set_of(self):
+        s = SetSampler(16, 1)
+        assert s.set_of(np.array([0, 15, 16, 33])).tolist() == [0, 15, 0, 1]
+
+    def test_compress_set(self):
+        s = SetSampler(64, 4)
+        # Sampled sets 0,4,8,... compress to 0,1,2,...
+        assert s.compress_set(np.array([0, 4, 8, 60])).tolist() == [0, 1, 2, 15]
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            SetSampler(60, 1)
+        with pytest.raises(ValueError):
+            SetSampler(64, 3)
+
+    def test_rejects_denominator_above_sets(self):
+        with pytest.raises(ValueError):
+            SetSampler(8, 16)
+
+    def test_frozen(self):
+        s = SetSampler(64, 2)
+        with pytest.raises(AttributeError):
+            s.denominator = 4

@@ -1,0 +1,176 @@
+"""Tests for signature event replay: cache events -> signature semantics.
+
+The cache reports each batch's fills and evictions with the interleaving
+information (``evict_fill_pos``); exact-mode signature units must replay
+that order precisely, and batched mode must remain statistically faithful.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import tiny_cache
+from repro.core.signature import SignatureConfig, SignatureUnit
+
+
+def make_unit(exact, sets=16, ways=2, cores=2, **kw):
+    return SignatureUnit(
+        SignatureConfig(
+            num_cores=cores, num_sets=sets, ways=ways, counter_bits=8,
+            exact=exact, **kw,
+        )
+    )
+
+
+def feed_cache_events(unit, cache, core, blocks):
+    r = cache.access_batch(core, blocks)
+    unit.record_events(
+        core, r.fills, r.fill_slots, r.evictions, r.evict_slots, r.evict_fill_pos
+    )
+    return r
+
+
+class TestExactReplay:
+    def test_exact_replay_matches_per_event_feed(self):
+        """Batch replay with positions == feeding each event one at a time."""
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, 800)
+
+        # Unit A: batch-fed with exact=True (uses evict_fill_pos replay).
+        cache_a = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+        unit_a = make_unit(exact=True, cores=1)
+        r = cache_a.access_batch(0, blocks)
+        unit_a.record_events(
+            0, r.fills, r.fill_slots, r.evictions, r.evict_slots, r.evict_fill_pos
+        )
+
+        # Unit B: driven access-by-access (ground truth ordering).
+        cache_b = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+        unit_b = make_unit(exact=True, cores=1)
+        for block in blocks:
+            rr = cache_b.access_batch(0, np.asarray([block]))
+            unit_b.record_events(
+                0, rr.fills, rr.fill_slots, rr.evictions, rr.evict_slots,
+                rr.evict_fill_pos,
+            )
+
+        assert np.array_equal(unit_a.counters, unit_b.counters)
+        assert unit_a.core_filters[0] == unit_b.core_filters[0]
+
+    def test_counters_track_cache_multiset(self):
+        """With a collision-free mapping, counters mirror residency."""
+        cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+        unit = make_unit(exact=True, cores=1, hash_kind="presence")
+        blocks = np.random.default_rng(1).integers(0, 128, 500)
+        feed_cache_events(unit, cache, 0, blocks)
+        # In presence mode each slot's counter is exactly line validity.
+        assert unit.total_occupancy() == cache.footprint_lines()
+        assert unit.stats.underflow_events == 0
+        assert unit.stats.saturation_events == 0
+
+    def test_presence_cf_equals_true_residency(self):
+        cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=2)
+        unit = make_unit(exact=True, hash_kind="presence")
+        rng = np.random.default_rng(2)
+        feed_cache_events(unit, cache, 0, rng.integers(0, 64, 300))
+        feed_cache_events(unit, cache, 1, rng.integers(64, 128, 300))
+        occupancy = cache.occupancy_by_core()
+        assert unit.core_occupancy(0) == occupancy[0]
+        assert unit.core_occupancy(1) == occupancy[1]
+
+
+class TestBatchedFidelity:
+    @given(st.integers(min_value=0, max_value=9))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_counters_match_exact_totals(self, seed):
+        """Counter *sums* are order-independent; totals must agree exactly."""
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 512, 600)
+        results = []
+        for exact in (True, False):
+            cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+            unit = make_unit(exact=exact, cores=1)
+            feed_cache_events(unit, cache, 0, blocks)
+            results.append(unit)
+        exact_unit, fast_unit = results
+        assert exact_unit.counters.sum() == fast_unit.counters.sum()
+        # Per-entry counters agree too (increments/decrements commute when
+        # no clamping occurs with 8-bit counters at this scale).
+        assert np.array_equal(exact_unit.counters, fast_unit.counters)
+
+    def test_batched_cf_close_to_exact(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 512, 3000)
+        occs = []
+        for exact in (True, False):
+            cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+            unit = make_unit(exact=exact, cores=1)
+            feed_cache_events(unit, cache, 0, blocks)
+            occs.append(unit.core_occupancy(0))
+        assert abs(occs[0] - occs[1]) <= max(2, 0.1 * occs[0])
+
+
+class TestPresenceVectorisedPath:
+    @given(st.integers(min_value=0, max_value=9), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_vectorised_presence_equals_exact_replay(self, seed, sticky):
+        """The commuting-counts shortcut must match ordered replay exactly."""
+        kind = "presence_sticky" if sticky else "presence"
+        rng = np.random.default_rng(seed)
+        caches = [
+            SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=2)
+            for _ in range(2)
+        ]
+        units = [
+            make_unit(exact=exact, hash_kind=kind) for exact in (False, True)
+        ]
+        for _ in range(10):
+            for core in (0, 1):
+                blocks = rng.integers(core * 10_000, core * 10_000 + 200, 300)
+                for cache, unit in zip(caches, units):
+                    r = cache.access_batch(core, blocks)
+                    unit.record_events(
+                        core, r.fills, r.fill_slots, r.evictions,
+                        r.evict_slots, r.evict_fill_pos,
+                    )
+        fast, exact = units
+        for c in (0, 1):
+            assert fast.core_filters[c] == exact.core_filters[c]
+        if not sticky:
+            assert np.array_equal(fast.counters, exact.counters)
+
+    def test_presence_matches_true_residency_through_contention(self):
+        cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=2)
+        unit = make_unit(exact=False, hash_kind="presence")
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            for core in (0, 1):
+                blocks = rng.integers(core * 10_000, core * 10_000 + 100, 200)
+                r = cache.access_batch(core, blocks)
+                unit.record_events(
+                    core, r.fills, r.fill_slots, r.evictions, r.evict_slots,
+                    r.evict_fill_pos,
+                )
+        occupancy = cache.occupancy_by_core()
+        assert unit.core_occupancy(0) == occupancy[0]
+        assert unit.core_occupancy(1) == occupancy[1]
+
+
+class TestSampledEventFeed:
+    def test_sampled_unit_sees_subset(self):
+        cache = SetAssociativeCache(tiny_cache(sets=16, ways=2), num_cores=1)
+        full = make_unit(exact=True, cores=1)
+        sampled = make_unit(exact=True, cores=1, sampling_denominator=4)
+        blocks = np.random.default_rng(4).integers(0, 256, 400)
+        r = cache.access_batch(0, blocks)
+        for unit in (full, sampled):
+            unit.record_events(
+                0, r.fills, r.fill_slots, r.evictions, r.evict_slots,
+                r.evict_fill_pos,
+            )
+        assert sampled.stats.fills_tracked < full.stats.fills_tracked
+        assert sampled.stats.fills_tracked + sampled.stats.fills_ignored == (
+            full.stats.fills_tracked
+        )

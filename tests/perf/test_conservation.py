@@ -1,0 +1,114 @@
+"""Conservation/invariant properties of the closed-loop simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import tiny_cache
+from repro.perf.machine import MachineConfig
+from repro.perf.simulator import MulticoreSimulator
+from repro.perf.timing import TimingModel
+from repro.sched.os_model import SchedulerConfig
+from repro.sched.process import SimTask
+from repro.workloads.patterns import HotColdGenerator
+
+
+def machine(cores=2):
+    return MachineConfig(
+        name="cons",
+        num_cores=cores,
+        l2=tiny_cache(sets=32, ways=2),
+        shared_l2=True,
+        timing=TimingModel(),
+    )
+
+
+def make_task(name, total, seed, apki=10.0):
+    return SimTask(
+        name=name,
+        generator=HotColdGenerator(256, 64, base_block=seed * 5000, seed=seed),
+        total_accesses=total,
+        accesses_per_kinstr=apki,
+    )
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.integers(min_value=500, max_value=5000), min_size=1, max_size=4
+        ),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_access_conservation(self, totals, seed):
+        """Cache accesses == accesses executed by tasks (incl. restarts)."""
+        tasks = [
+            make_task(f"t{i}", total, seed=seed * 10 + i)
+            for i, total in enumerate(totals)
+        ]
+        sim = MulticoreSimulator(
+            machine(),
+            tasks,
+            scheduler_config=SchedulerConfig(num_cores=2, timeslice_cycles=50_000.0),
+        )
+        result = sim.run()
+        executed = sum(
+            t.completions * tasks[i].total_accesses + t_obj.accesses_done
+            for i, (t, t_obj) in enumerate(zip(result.tasks, tasks))
+        )
+        assert sim._shared_cache.stats.total_accesses == executed
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_user_cycles_bounded_by_wall(self, seed):
+        tasks = [make_task(f"t{i}", 3000, seed=seed * 10 + i) for i in range(3)]
+        result = MulticoreSimulator(
+            machine(),
+            tasks,
+            scheduler_config=SchedulerConfig(num_cores=2, timeslice_cycles=50_000.0),
+        ).run()
+        for t in result.tasks:
+            assert t.user_cycles <= result.wall_cycles + 1e-6
+            if t.first_completion_cycles is not None:
+                assert t.first_completion_cycles <= t.user_cycles + 1e-6
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_wall_equals_max_core_time(self, seed):
+        tasks = [make_task(f"t{i}", 2000, seed=seed * 10 + i) for i in range(2)]
+        sim = MulticoreSimulator(machine(), tasks)
+        result = sim.run()
+        assert result.wall_cycles == pytest.approx(sim.core_time.max())
+
+    def test_hits_plus_misses_equals_accesses(self):
+        tasks = [make_task("a", 5000, seed=1), make_task("b", 5000, seed=2)]
+        sim = MulticoreSimulator(machine(), tasks)
+        sim.run()
+        stats = sim._shared_cache.stats
+        assert stats.total_hits + stats.total_misses == stats.total_accesses
+
+    def test_signature_fills_equal_l2_misses(self):
+        from repro.core.signature import SignatureConfig
+
+        tasks = [make_task("a", 5000, seed=1), make_task("b", 5000, seed=2)]
+        sim = MulticoreSimulator(
+            machine(),
+            tasks,
+            signature_config=SignatureConfig(num_cores=2, num_sets=32, ways=2),
+        )
+        result = sim.run()
+        assert (
+            result.signature_stats.fills_tracked
+            == sim._shared_cache.stats.total_misses
+        )
+
+    def test_monotone_budget_monotone_time(self):
+        """More work never takes less user time (same seed/workload)."""
+        times = []
+        for total in (2000, 4000, 8000):
+            result = MulticoreSimulator(
+                machine(), [make_task("t", total, seed=3)]
+            ).run()
+            times.append(result.user_time("t"))
+        assert times == sorted(times)

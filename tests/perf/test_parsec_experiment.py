@@ -1,0 +1,42 @@
+"""Tests for the multithreaded (Figure 12) experiment driver."""
+
+import pytest
+
+from repro.perf.experiment import parsec_two_phase
+from repro.perf.machine import core2duo
+
+
+class TestParsecTwoPhase:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return parsec_two_phase(
+            core2duo(),
+            ["blackscholes", "swaptions"],
+            instructions_per_thread=150_000,
+            phase1_min_wall=20_000_000.0,
+            monitor_interval=2_000_000.0,
+        )
+
+    def test_app_level_times(self, result):
+        assert set(result.names) == {"blackscholes", "swaptions"}
+        for times in result.mapping_times.values():
+            assert set(times) == {"blackscholes", "swaptions"}
+            assert all(v > 0 for v in times.values())
+
+    def test_reference_mappings_cover_process_groupings(self, result):
+        # 2 apps on 2 cores: 1 whole-process grouping + default + chosen.
+        assert len(result.mapping_times) >= 1
+        assert result.chosen_mapping in result.mapping_times
+
+    def test_chosen_mapping_is_thread_level(self, result):
+        # 2 apps x 4 threads = 8 tasks distributed over 2 cores.
+        assert len(result.chosen_mapping.task_ids) == 8
+        sizes = sorted(len(g) for g in result.chosen_mapping.groups)
+        assert sum(sizes) == 8
+
+    def test_improvements_bounded(self, result):
+        for name in result.names:
+            assert 0.0 <= result.improvement(name) <= 1.0
+
+    def test_decisions_made(self, result):
+        assert len(result.decisions) >= 1

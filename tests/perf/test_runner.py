@@ -1,0 +1,92 @@
+"""Tests for run builders (task assembly, signature defaults)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.machine import core2duo, p4xeon
+from repro.perf.runner import (
+    DEFAULT_INSTRUCTIONS,
+    build_parsec_processes,
+    build_tasks,
+    default_signature_config,
+    run_solo,
+)
+
+
+class TestBuildTasks:
+    def test_names_and_parameters(self):
+        tasks = build_tasks(["mcf", "povray"], instructions=1_000_000)
+        assert [t.name for t in tasks] == ["mcf", "povray"]
+        assert tasks[0].accesses_per_kinstr == 45.0
+        assert tasks[0].total_accesses == 45_000
+        assert tasks[1].total_accesses == 1_000
+
+    def test_address_slices_disjoint(self):
+        tasks = build_tasks(["mcf", "hmmer", "libquantum"], instructions=100_000)
+        samples = [set(t.generator.next_batch(2000).tolist()) for t in tasks]
+        for i in range(len(samples)):
+            for j in range(i + 1, len(samples)):
+                assert samples[i].isdisjoint(samples[j])
+
+    def test_deterministic_by_seed(self):
+        a = build_tasks(["gobmk"], instructions=100_000, seed=5)[0]
+        b = build_tasks(["gobmk"], instructions=100_000, seed=5)[0]
+        assert np.array_equal(a.generator.next_batch(100), b.generator.next_batch(100))
+
+    def test_duplicate_names_get_distinct_streams(self):
+        a, b = build_tasks(["gobmk", "gobmk"], instructions=100_000, seed=5)
+        assert not np.array_equal(
+            a.generator.next_batch(100) - a.generator.base_block,
+            b.generator.next_batch(100) - b.generator.base_block,
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(Exception):
+            build_tasks(["quake3"], instructions=1000)
+
+    def test_invalid_instructions(self):
+        with pytest.raises(ValueError):
+            build_tasks(["mcf"], instructions=0)
+
+
+class TestBuildParsec:
+    def test_processes_and_threads(self):
+        procs = build_parsec_processes(["ferret", "dedup"], instructions_per_thread=100_000)
+        assert [p.name for p in procs] == ["ferret", "dedup"]
+        assert all(len(p.tasks) == 4 for p in procs)
+
+    def test_distinct_process_ids(self):
+        procs = build_parsec_processes(["ferret", "dedup"], instructions_per_thread=100_000)
+        assert procs[0].process_id != procs[1].process_id
+
+
+class TestSignatureDefaults:
+    def test_matches_machine_geometry(self):
+        cfg = default_signature_config(core2duo())
+        assert cfg.num_cores == 2
+        assert cfg.num_sets == 4096
+        assert cfg.ways == 16
+        assert cfg.num_entries == 65536  # entries = cache lines (paper)
+        assert cfg.counter_bits == 3
+        assert cfg.num_hashes == 1
+        assert cfg.hash_kind == "xor"
+
+    def test_overrides(self):
+        cfg = default_signature_config(core2duo(), sampling_denominator=4)
+        assert cfg.sampling_denominator == 4
+        assert cfg.num_entries == 65536 // 4
+
+    def test_requires_shared_l2(self):
+        with pytest.raises(ConfigurationError):
+            default_signature_config(p4xeon())
+
+
+class TestRunSolo:
+    def test_completes(self):
+        result = run_solo(core2duo(), "povray", instructions=200_000)
+        assert result.task("povray").completions == 1
+        assert result.user_time("povray") > 0
+
+    def test_default_budget_constant(self):
+        assert DEFAULT_INSTRUCTIONS == 6_000_000

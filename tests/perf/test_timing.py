@@ -1,0 +1,97 @@
+"""Tests for the cycle-accounting timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.timing import TimingModel
+
+
+class TestTimingModel:
+    def test_batch_cycles_formula(self):
+        t = TimingModel(cpi_base=1.0, l2_hit_cycles=10.0, mem_cycles=100.0, queue_coeff=0.0)
+        cycles = t.batch_cycles(instructions=1000, l2_hits=50, l2_misses=10)
+        assert cycles == pytest.approx(1000 + 500 + 1000)
+
+    def test_mlp_divides_miss_penalty(self):
+        t = TimingModel(queue_coeff=0.0)
+        full = t.batch_cycles(0, 0, 100, mlp=1.0)
+        overlapped = t.batch_cycles(0, 0, 100, mlp=4.0)
+        assert overlapped == pytest.approx(full / 4)
+
+    def test_queueing_adds_contention_cost(self):
+        t = TimingModel(queue_coeff=2.0, mem_cycles=100.0)
+        quiet = t.miss_cycles(mlp=1.0, other_intensity=0.0)
+        busy = t.miss_cycles(mlp=1.0, other_intensity=0.01)
+        assert busy == pytest.approx(quiet + 2.0 * 0.01 * 100.0)
+
+    def test_queue_coeff_zero_disables(self):
+        t = TimingModel(queue_coeff=0.0)
+        assert t.miss_cycles(1.0, 5.0) == t.miss_cycles(1.0, 0.0)
+
+    def test_negative_intensity_clamped(self):
+        t = TimingModel()
+        assert t.miss_cycles(1.0, -3.0) == t.miss_cycles(1.0, 0.0)
+
+    def test_monotone_in_misses(self):
+        t = TimingModel()
+        a = t.batch_cycles(1000, 100, 0)
+        b = t.batch_cycles(1000, 90, 10)
+        assert b > a
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cpi_base=0.0),
+            dict(l2_hit_cycles=-1.0),
+            dict(mem_cycles=-1.0),
+            dict(queue_coeff=-0.1),
+            dict(intensity_ema=0.0),
+            dict(intensity_ema=1.5),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TimingModel(**kwargs)
+
+    def test_invalid_mlp(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().miss_cycles(mlp=0.5)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().batch_cycles(-1, 0, 0)
+
+
+class TestMachines:
+    def test_core2duo_matches_paper(self):
+        from repro.perf.machine import core2duo
+
+        m = core2duo()
+        assert m.num_cores == 2
+        assert m.shared_l2
+        assert m.l2.geometry.size_bytes == 4 * 1024 * 1024
+        assert m.clock_hz == pytest.approx(2.6e9)
+
+    def test_p4xeon_private(self):
+        from repro.perf.machine import p4xeon
+
+        m = p4xeon()
+        assert not m.shared_l2
+        assert m.l2.geometry.size_bytes == 2 * 1024 * 1024
+
+    def test_quadcore(self):
+        from repro.perf.machine import quadcore_shared
+
+        assert quadcore_shared().num_cores == 4
+
+    def test_seconds(self):
+        from repro.perf.machine import core2duo
+
+        assert core2duo().seconds(2.6e9) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        from repro.cache.config import core2duo_l2
+        from repro.perf.machine import MachineConfig
+
+        with pytest.raises(ValueError):
+            MachineConfig(name="x", num_cores=0, l2=core2duo_l2())

@@ -1,0 +1,103 @@
+"""Tests for mappings and balanced-mapping enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
+
+
+class TestMapping:
+    def test_core_of(self):
+        m = canonical_mapping([[1, 2], [3]])
+        assert m.core_of(3) != m.core_of(1)
+        assert m.core_of(1) == m.core_of(2)
+
+    def test_unknown_task(self):
+        m = canonical_mapping([[1], [2]])
+        with pytest.raises(AllocationError):
+            m.core_of(9)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(AllocationError):
+            Mapping.from_groups([[1, 2], [2, 3]])
+
+    def test_canonical_is_core_permutation_invariant(self):
+        a = canonical_mapping([[1, 2], [3, 4]])
+        b = canonical_mapping([[3, 4], [1, 2]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_task_ids(self):
+        m = canonical_mapping([[5, 1], [9]])
+        assert m.task_ids == frozenset({1, 5, 9})
+
+    def test_str(self):
+        m = canonical_mapping([[2, 1], [3]])
+        assert str(m) == "{1,2} | {3}"
+
+    def test_num_cores(self):
+        assert canonical_mapping([[1], [2], []]).num_cores == 3
+
+
+class TestBalancedMappings:
+    def test_four_on_two_gives_table1_shape(self):
+        # Paper Table 1: "There are only three possible mappings for 4
+        # processes running on a dual-core".
+        maps = balanced_mappings([0, 1, 2, 3], 2)
+        assert len(maps) == 3
+        group_sets = {
+            frozenset(frozenset(g) for g in m.groups) for m in maps
+        }
+        assert frozenset({frozenset({0, 1}), frozenset({2, 3})}) in group_sets
+        assert frozenset({frozenset({0, 2}), frozenset({1, 3})}) in group_sets
+        assert frozenset({frozenset({0, 3}), frozenset({1, 2})}) in group_sets
+
+    def test_two_on_two(self):
+        maps = balanced_mappings([7, 9], 2)
+        assert len(maps) == 1
+        assert maps[0] == canonical_mapping([[7], [9]])
+
+    def test_single_core(self):
+        maps = balanced_mappings([1, 2, 3], 1)
+        assert len(maps) == 1
+        assert maps[0].groups[0] == frozenset({1, 2, 3})
+
+    def test_odd_tasks_use_ceil_groups(self):
+        maps = balanced_mappings([0, 1, 2], 2)
+        for m in maps:
+            sizes = sorted(len(g) for g in m.groups)
+            assert sizes == [1, 2]
+        assert len(maps) == 3
+
+    def test_no_duplicates(self):
+        maps = balanced_mappings(list(range(6)), 2)
+        assert len(maps) == len(set(maps))
+        assert len(maps) == 10  # C(6,3)/2
+
+    def test_empty_tasks(self):
+        maps = balanced_mappings([], 2)
+        assert len(maps) == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(AllocationError):
+            balanced_mappings([1, 1], 2)
+
+    def test_eight_on_four(self):
+        maps = balanced_mappings(list(range(8)), 4)
+        # 8!/(2!^4 * 4!) = 105 distinct balanced placements.
+        assert len(maps) == 105
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_mapping_covers_all_tasks(self, n_tasks, n_cores):
+        ids = list(range(n_tasks))
+        for m in balanced_mappings(ids, n_cores):
+            assert m.task_ids == frozenset(ids)
+            sizes = [len(g) for g in m.groups if g]
+            if sizes:
+                assert max(sizes) - min(sizes) <= 1

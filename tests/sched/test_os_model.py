@@ -1,0 +1,247 @@
+"""Tests for the OS scheduling model and the syscall boundary."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.errors import SchedulingError
+from repro.sched.affinity import canonical_mapping
+from repro.sched.os_model import OSScheduler, SchedulerConfig
+from repro.sched.process import SimTask
+from repro.sched.syscall import SyscallInterface
+from repro.workloads.patterns import StridedGenerator
+
+
+def make_task(name="t"):
+    return SimTask(
+        name=name,
+        generator=StridedGenerator(50, 1, seed=0),
+        total_accesses=1000,
+        accesses_per_kinstr=10.0,
+    )
+
+
+def make_sched(cores=2, timeslice=100.0, signature=False, smoothing=1.0):
+    sig = None
+    if signature:
+        sig = SignatureUnit(SignatureConfig(num_cores=cores, num_sets=16, ways=2))
+    return (
+        OSScheduler(
+            SchedulerConfig(
+                num_cores=cores,
+                timeslice_cycles=timeslice,
+                context_smoothing=smoothing,
+            ),
+            signature_unit=sig,
+        ),
+        sig,
+    )
+
+
+class TestPlacement:
+    def test_explicit_core(self):
+        sched, _ = make_sched()
+        t = make_task()
+        sched.add_task(t, core=1)
+        assert sched.current_task(1) is t
+        assert sched.current_task(0) is None
+
+    def test_least_loaded_default(self):
+        sched, _ = make_sched()
+        sched.add_task(make_task(), core=0)
+        t2 = make_task()
+        sched.add_task(t2)
+        assert sched.core_of(t2.tid) == 1
+
+    def test_duplicate_add_rejected(self):
+        sched, _ = make_sched()
+        t = make_task()
+        sched.add_task(t, 0)
+        with pytest.raises(SchedulingError):
+            sched.add_task(t, 1)
+
+    def test_runnable_cores(self):
+        sched, _ = make_sched()
+        assert sched.runnable_cores() == []
+        sched.add_task(make_task(), 1)
+        assert sched.runnable_cores() == [1]
+
+    def test_invalid_core(self):
+        sched, _ = make_sched()
+        with pytest.raises(SchedulingError):
+            sched.add_task(make_task(), 5)
+
+
+class TestQuantum:
+    def test_charge_until_expiry(self):
+        sched, _ = make_sched(timeslice=100.0)
+        sched.add_task(make_task(), 0)
+        assert not sched.charge(0, 60.0)
+        assert sched.charge(0, 60.0)
+
+    def test_context_switch_rotates(self):
+        sched, _ = make_sched()
+        a, b = make_task("a"), make_task("b")
+        sched.add_task(a, 0)
+        sched.add_task(b, 0)
+        assert sched.current_task(0) is a
+        sched.context_switch(0)
+        assert sched.current_task(0) is b
+        sched.context_switch(0)
+        assert sched.current_task(0) is a
+
+    def test_switch_resets_quantum(self):
+        sched, _ = make_sched(timeslice=100.0)
+        sched.add_task(make_task(), 0)
+        sched.charge(0, 150.0)
+        sched.context_switch(0)
+        assert not sched.charge(0, 60.0)
+
+    def test_switch_on_idle_core(self):
+        sched, _ = make_sched()
+        assert sched.context_switch(0) is None
+
+    def test_switch_counts(self):
+        sched, _ = make_sched()
+        t = make_task()
+        sched.add_task(t, 0)
+        sched.context_switch(0)
+        assert t.context_switches == 1
+        assert sched.total_context_switches == 1
+
+
+class TestAffinity:
+    def test_queued_task_migrates_immediately(self):
+        sched, _ = make_sched()
+        a, b = make_task("a"), make_task("b")
+        sched.add_task(a, 0)
+        sched.add_task(b, 0)  # b queued behind a
+        sched.set_affinity(b.tid, 1)
+        assert sched.core_of(b.tid) == 1
+        assert sched.total_migrations == 1
+
+    def test_running_task_migrates_at_switch(self):
+        sched, _ = make_sched()
+        a = make_task("a")
+        sched.add_task(a, 0)
+        sched.set_affinity(a.tid, 1)
+        assert sched.core_of(a.tid) == 0  # deferred
+        sched.context_switch(0)
+        assert sched.core_of(a.tid) == 1
+
+    def test_same_core_affinity_noop(self):
+        sched, _ = make_sched()
+        a = make_task()
+        sched.add_task(a, 0)
+        sched.set_affinity(a.tid, 0)
+        assert sched.total_migrations == 0
+
+    def test_pending_cancelled_by_same_core(self):
+        sched, _ = make_sched()
+        a = make_task()
+        sched.add_task(a, 0)
+        sched.set_affinity(a.tid, 1)
+        sched.set_affinity(a.tid, 0)  # cancel
+        sched.context_switch(0)
+        assert sched.core_of(a.tid) == 0
+
+    def test_apply_mapping(self):
+        sched, _ = make_sched()
+        a, b, c = make_task("a"), make_task("b"), make_task("c")
+        for t, core in [(a, 0), (b, 0), (c, 1)]:
+            sched.add_task(t, core)
+        mapping = canonical_mapping([[a.tid, c.tid], [b.tid]])
+        sched.apply_mapping(mapping)
+        sched.context_switch(0)
+        sched.context_switch(1)
+        placement = {t.tid: sched.core_of(t.tid) for t in [a, b, c]}
+        assert placement[a.tid] == placement[c.tid]
+        assert placement[b.tid] != placement[a.tid]
+
+    def test_unknown_task(self):
+        sched, _ = make_sched()
+        with pytest.raises(SchedulingError):
+            sched.set_affinity(12345, 0)
+
+    def test_mapping_too_many_cores(self):
+        sched, _ = make_sched(cores=2)
+        a = make_task()
+        sched.add_task(a, 0)
+        with pytest.raises(SchedulingError):
+            sched.apply_mapping(canonical_mapping([[a.tid], [], []]))
+
+
+class TestSignatureIntegration:
+    def test_switch_updates_context(self):
+        sched, sig = make_sched(signature=True)
+        t = make_task()
+        sched.add_task(t, 0)
+        sig.record_fill_batch(0, np.array([1, 2, 3]))
+        sample = sched.context_switch(0)
+        assert sample is not None
+        ctx = sched.contexts[t.tid]
+        assert ctx.valid
+        assert ctx.occupancy == 3
+        assert ctx.last_core == 0
+
+    def test_mismatched_signature_cores_rejected(self):
+        sig = SignatureUnit(SignatureConfig(num_cores=4, num_sets=16, ways=2))
+        with pytest.raises(SchedulingError):
+            OSScheduler(SchedulerConfig(num_cores=2), signature_unit=sig)
+
+    def test_smoothing_propagates(self):
+        sched, sig = make_sched(signature=True, smoothing=0.5)
+        t = make_task()
+        sched.add_task(t, 0)
+        assert sched.contexts[t.tid].smoothing == 0.5
+
+    def test_invalid_smoothing_config(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(num_cores=2, context_smoothing=0.0)
+
+
+class TestSyscallInterface:
+    def test_query_tasks(self):
+        sched, sig = make_sched(signature=True)
+        a, b = make_task("a"), make_task("b")
+        sched.add_task(a, 0)
+        sched.add_task(b, 1)
+        sys_if = SyscallInterface(sched)
+        views = sys_if.query_tasks()
+        assert [v.name for v in views] == ["a", "b"]
+        assert not views[0].valid
+
+    def test_views_are_snapshots(self):
+        sched, sig = make_sched(signature=True)
+        t = make_task()
+        sched.add_task(t, 0)
+        sig.record_fill_batch(0, np.array([1]))
+        sched.context_switch(0)
+        sys_if = SyscallInterface(sched)
+        view = sys_if.query_tasks()[0]
+        view.symbiosis[0] = -99  # mutating the copy...
+        assert sched.contexts[t.tid].symbiosis[0] != -99
+
+    def test_current_placement_and_set_affinity(self):
+        sched, _ = make_sched()
+        a, b = make_task("a"), make_task("b")
+        sched.add_task(a, 0)
+        sched.add_task(b, 0)
+        sys_if = SyscallInterface(sched)
+        assert sys_if.current_placement() == {a.tid: 0, b.tid: 0}
+        sys_if.set_affinity(b.tid, 1)
+        assert sys_if.current_placement()[b.tid] == 1
+
+    def test_interference_with_core(self):
+        sched, sig = make_sched(signature=True)
+        t = make_task()
+        sched.add_task(t, 0)
+        sig.record_fill_batch(0, np.array([1, 2]))
+        sched.context_switch(0)
+        view = SyscallInterface(sched).query_tasks()[0]
+        # Own-core symbiosis is 0 (RBV == CF) -> clamped interference 1.0.
+        assert view.interference_with_core(0) == 1.0
+
+    def test_num_cores(self):
+        sched, _ = make_sched(cores=3)
+        assert SyscallInterface(sched).num_cores == 3

@@ -1,0 +1,148 @@
+"""Tests for SimTask / SimProcess."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError, WorkloadError
+from repro.sched.process import (
+    INCARNATION_SLICES,
+    INCARNATION_STRIDE_BLOCKS,
+    SimProcess,
+    SimTask,
+    process_from_parsec,
+    task_from_profile,
+)
+from repro.workloads.parsec import parsec_profile
+from repro.workloads.patterns import StridedGenerator
+from repro.workloads.spec import spec_profile
+
+
+def make_task(total=100, base=0, **kw):
+    defaults = dict(
+        name="t",
+        generator=StridedGenerator(50, 1, base_block=base, seed=0),
+        total_accesses=total,
+        accesses_per_kinstr=10.0,
+    )
+    defaults.update(kw)
+    return SimTask(**defaults)
+
+
+class TestSimTask:
+    def test_unique_tids(self):
+        assert make_task().tid != make_task().tid
+
+    def test_instructions_for(self):
+        task = make_task(accesses_per_kinstr=20.0)
+        assert task.instructions_for(100) == pytest.approx(5000.0)
+
+    def test_advance_accumulates(self):
+        task = make_task(total=100)
+        done = task.advance(40, 1000.0)
+        assert not done
+        assert task.remaining_accesses == 60
+        assert task.user_cycles == 1000.0
+
+    def test_completion_and_restart(self):
+        task = make_task(total=100)
+        task.advance(100, 5000.0)
+        assert task.completed_once
+        assert task.completions == 1
+        assert task.first_completion_cycles == 5000.0
+        assert task.accesses_done == 0  # restarted
+
+    def test_first_completion_sticky(self):
+        task = make_task(total=10)
+        task.advance(10, 100.0)
+        task.advance(10, 900.0)
+        assert task.first_completion_cycles == 100.0
+        assert task.completions == 2
+
+    def test_restart_shifts_address_slice(self):
+        task = make_task(total=10, base=1000)
+        first = task.generator.next_batch(5)
+        task.generator.reset()
+        task.advance(10, 1.0)
+        second = task.generator.next_batch(5)
+        assert (second - first == INCARNATION_STRIDE_BLOCKS).all()
+
+    def test_incarnations_cycle(self):
+        task = make_task(total=10, base=0)
+        for _ in range(INCARNATION_SLICES):
+            task.advance(10, 1.0)
+        # After a full cycle the slice wraps to the original base.
+        assert task.generator.base_block == 0
+
+    def test_overrun_rejected(self):
+        task = make_task(total=10)
+        with pytest.raises(SchedulingError):
+            task.advance(11, 1.0)
+
+    def test_reset_runtime(self):
+        task = make_task(total=10, base=7)
+        task.advance(10, 1.0)
+        task.context_switches = 3
+        task.reset_runtime()
+        assert task.completions == 0
+        assert task.first_completion_cycles is None
+        assert task.generator.base_block == 7
+        assert task.context_switches == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_task(total=0)
+        with pytest.raises(WorkloadError):
+            make_task(accesses_per_kinstr=0.0)
+        with pytest.raises(WorkloadError):
+            make_task(mlp=0.5)
+
+
+class TestSimProcess:
+    def test_groups_tasks_under_one_pid(self):
+        tasks = [make_task(), make_task()]
+        proc = SimProcess(name="app", tasks=tasks)
+        assert tasks[0].process_id == tasks[1].process_id == proc.process_id
+
+    def test_completed_once_requires_all_threads(self):
+        tasks = [make_task(total=10), make_task(total=10)]
+        proc = SimProcess(name="app", tasks=tasks)
+        tasks[0].advance(10, 1.0)
+        assert not proc.completed_once
+        tasks[1].advance(10, 2.0)
+        assert proc.completed_once
+
+    def test_process_user_time_is_slowest_thread(self):
+        tasks = [make_task(total=10), make_task(total=10)]
+        proc = SimProcess(name="app", tasks=tasks)
+        tasks[0].advance(10, 100.0)
+        tasks[1].advance(10, 300.0)
+        assert proc.user_cycles_first_completion == 300.0
+
+    def test_incomplete_process_time_is_none(self):
+        proc = SimProcess(name="app", tasks=[make_task(total=10)])
+        assert proc.user_cycles_first_completion is None
+
+    def test_empty_process_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimProcess(name="app", tasks=[])
+
+
+class TestFactories:
+    def test_task_from_profile(self):
+        profile = spec_profile("gobmk")
+        task = task_from_profile(profile, instructions=1_000_000, seed=1)
+        assert task.name == "gobmk"
+        assert task.total_accesses == 5000
+        assert task.mlp == profile.mlp
+
+    def test_process_from_parsec(self):
+        profile = parsec_profile("ferret")
+        proc = process_from_parsec(profile, instructions_per_thread=100_000, seed=1)
+        assert len(proc.tasks) == 4
+        assert {t.name for t in proc.tasks} == {f"ferret.t{i}" for i in range(4)}
+        pids = {t.process_id for t in proc.tasks}
+        assert len(pids) == 1
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            task_from_profile(spec_profile("gobmk"), instructions=0)

@@ -1,0 +1,69 @@
+"""Tests for the repro-cli command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mix_defaults(self):
+        args = build_parser().parse_args(["mix", "mcf", "povray"])
+        assert args.names == ["mcf", "povray"]
+        assert args.policy == "weighted"
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
+class TestProfiles:
+    def test_lists_pools(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "ferret" in out
+        assert "SPEC2006-like pool" in out
+
+
+class TestMix:
+    def test_unknown_benchmark(self, capsys):
+        assert main(["mix", "doom3", "mcf"]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().out
+
+    def test_small_mix_runs(self, capsys):
+        code = main(
+            ["mix", "povray", "sjeng", "--instructions", "150000", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen schedule" in out
+        assert "povray" in out
+
+
+class TestPairwise:
+    def test_needs_two(self, capsys):
+        assert main(["pairwise", "mcf"]) == 2
+
+    def test_unknown(self, capsys):
+        assert main(["pairwise", "mcf", "doom3"]) == 2
+
+    def test_runs(self, capsys):
+        code = main(
+            ["pairwise", "povray", "sjeng", "--instructions", "150000"]
+        )
+        assert code == 0
+        assert "worst-case degradation" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Docs-vs-code consistency checks.
+
+Keeps README/DESIGN claims honest: the quickstart snippet must run, every
+bench listed in the README table must exist, and the public API promised
+by the README import line must resolve.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO / "README.md").read_text()
+
+    def test_quickstart_imports_resolve(self, readme):
+        import repro
+
+        match = re.search(r"from repro import ([^\n]+)", readme)
+        assert match, "README quickstart import line missing"
+        for name in [n.strip() for n in match.group(1).split(",")]:
+            assert hasattr(repro, name), f"repro.{name} promised by README"
+
+    def test_quickstart_snippet_runs_scaled_down(self):
+        from repro import core2duo, two_phase, WeightedInterferenceGraphPolicy
+
+        machine = core2duo()
+        result = two_phase(
+            machine,
+            ["povray", "sjeng"],
+            WeightedInterferenceGraphPolicy(),
+            instructions=150_000,
+            phase1_min_wall=10_000_000.0,
+        )
+        assert result.chosen_mapping is not None
+        for name in result.names:
+            assert 0.0 <= result.improvement(name) <= 1.0
+
+    def test_all_listed_benches_exist(self, readme):
+        for match in re.finditer(r"`(bench_[a-z0-9_]+\.py)`", readme):
+            assert (REPO / "benchmarks" / match.group(1)).exists(), match.group(1)
+
+    def test_all_listed_examples_exist(self, readme):
+        for match in re.finditer(r"`examples/([a-z0-9_]+\.py)`", readme):
+            assert (REPO / "examples" / match.group(1)).exists(), match.group(1)
+
+
+class TestBenchCoverage:
+    def test_every_paper_artifact_has_a_bench(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        required = {
+            "bench_fig01_footprint_concept.py",
+            "bench_fig02_counters_vs_footprint.py",
+            "bench_fig03a_pairwise_private.py",
+            "bench_fig03b_pairwise_shared.py",
+            "bench_fig05_occupancy_tracking.py",
+            "bench_table1_mapping_runtimes.py",
+            "bench_fig10_native_improvement.py",
+            "bench_fig11_vm_improvement.py",
+            "bench_fig12_parsec.py",
+            "bench_fig13_algorithms.py",
+            "bench_fig14_hash_functions.py",
+            "bench_sec54_overhead.py",
+        }
+        missing = required - benches
+        assert not missing, f"paper artifacts without a bench: {missing}"
+
+    def test_design_md_mentions_every_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for bench in (REPO / "benchmarks").glob("bench_fig*.py"):
+            stem = bench.name
+            assert stem in design or stem.replace(".py", "") in design, stem
+
+
+class TestExamples:
+    def test_at_least_three_scenarios_plus_quickstart(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        names = {p.name for p in examples}
+        assert "quickstart.py" in names
+        assert len(examples) >= 4
+
+    def test_examples_have_docstrings(self):
+        for path in (REPO / "examples").glob("*.py"):
+            text = path.read_text()
+            assert text.lstrip().startswith(('"""', "#!")), path.name

@@ -1,0 +1,104 @@
+"""Tests for trace containers and interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.interleave import proportional, round_robin
+from repro.trace.record import LabelledTrace, windows
+
+
+def trace(source, blocks):
+    return LabelledTrace(source=source, blocks=np.asarray(blocks, dtype=np.int64))
+
+
+class TestLabelledTrace:
+    def test_len_and_dtype(self):
+        t = trace(0, [1, 2, 3])
+        assert len(t) == 3
+        assert t.blocks.dtype == np.int64
+
+    def test_byte_addresses(self):
+        t = trace(0, [0, 1, 2])
+        assert t.byte_addresses().tolist() == [0, 64, 128]
+
+    def test_slice(self):
+        t = trace(1, range(10))
+        s = t.slice(2, 5)
+        assert s.source == 1
+        assert s.blocks.tolist() == [2, 3, 4]
+
+    def test_slice_past_end(self):
+        t = trace(0, [1, 2])
+        assert t.slice(1, 99).blocks.tolist() == [2]
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace(-1, [1])
+
+    def test_windows(self):
+        t = trace(0, range(10))
+        ws = list(windows(t, 4))
+        assert [len(w) for w in ws] == [4, 4, 2]
+        assert ws[2].blocks.tolist() == [8, 9]
+
+    def test_windows_bad_size(self):
+        with pytest.raises(ValueError):
+            list(windows(trace(0, [1]), 0))
+
+
+class TestRoundRobin:
+    def test_alternates_sources(self):
+        a = trace(0, range(6))
+        b = trace(1, range(100, 106))
+        merged = round_robin([a, b], chunk=2)
+        assert [p.source for p in merged] == [0, 1, 0, 1, 0, 1]
+
+    def test_uneven_lengths_drain(self):
+        a = trace(0, range(2))
+        b = trace(1, range(100, 110))
+        merged = round_robin([a, b], chunk=2)
+        total_b = sum(len(p) for p in merged if p.source == 1)
+        assert total_b == 10
+        total_a = sum(len(p) for p in merged if p.source == 0)
+        assert total_a == 2
+
+    def test_preserves_order_within_source(self):
+        a = trace(0, range(10))
+        merged = round_robin([a], chunk=3)
+        rebuilt = np.concatenate([p.blocks for p in merged])
+        assert rebuilt.tolist() == list(range(10))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WorkloadError):
+            round_robin([])
+
+
+class TestProportional:
+    def test_rate_ratio_respected(self):
+        a = trace(0, range(1000))
+        b = trace(1, range(1000))
+        merged = proportional([a, b], rates=[3.0, 1.0], chunk=1)
+        first_200 = merged[:200]
+        share_a = sum(1 for p in first_200 if p.source == 0) / 200
+        assert 0.65 < share_a < 0.85
+
+    def test_all_data_emitted(self):
+        a = trace(0, range(50))
+        b = trace(1, range(30))
+        merged = proportional([a, b], rates=[1.0, 2.0], chunk=7)
+        assert sum(len(p) for p in merged if p.source == 0) == 50
+        assert sum(len(p) for p in merged if p.source == 1) == 30
+
+    def test_order_preserved_within_source(self):
+        a = trace(0, range(40))
+        b = trace(1, range(100, 140))
+        merged = proportional([a, b], rates=[1.0, 1.0], chunk=8)
+        rebuilt = np.concatenate([p.blocks for p in merged if p.source == 0])
+        assert rebuilt.tolist() == list(range(40))
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(WorkloadError):
+            proportional([trace(0, [1])], rates=[0.0])
+        with pytest.raises(WorkloadError):
+            proportional([trace(0, [1])], rates=[1.0, 2.0])

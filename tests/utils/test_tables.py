@@ -1,0 +1,73 @@
+"""Tests for ASCII table/bar-chart rendering."""
+
+import pytest
+
+from repro.utils.tables import format_bar_chart, format_percent, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(
+            ["name", "time"],
+            [["povray", 125.0], ["gobmk", 99.0]],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "125.00" in out and "99.00" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+        assert out.splitlines()[1].startswith("=")
+
+    def test_none_renders_dash(self):
+        out = format_table(["a"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_digits(self):
+        out = format_table(["a"], [[1.23456]], float_digits=4)
+        assert "1.2346" in out
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["v"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_text_columns_left_aligned(self):
+        out = format_table(["name"], [["ab"], ["abcd"]])
+        rows = out.splitlines()[2:]
+        assert rows[0].startswith("ab")
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_value(self):
+        out = format_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        la, lb = out.splitlines()
+        assert lb.count("#") == 10
+        assert la.count("#") == 5
+
+    def test_empty_values(self):
+        assert format_bar_chart({}, title="t") == "t"
+        assert format_bar_chart({}) == ""
+
+    def test_zero_max_draws_no_bars(self):
+        out = format_bar_chart({"a": 0.0})
+        assert "#" not in out
+
+    def test_title_and_unit(self):
+        out = format_bar_chart({"a": 1.5}, title="Improvements", unit="%")
+        assert out.splitlines()[0] == "Improvements"
+        assert "1.50%" in out
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.54) == "54.0%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=2) == "12.35%"

@@ -1,0 +1,87 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    is_power_of_two,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_and_coerces(self):
+        assert require_positive(3, "x") == 3
+        assert require_positive(3.0, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive(bad, "x")
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("three", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="num_sets"):
+            require_positive(-1, "num_sets")
+
+
+class TestRequireNonNegative:
+    def test_zero_ok(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1, "x")
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 20])
+    def test_is_power_of_two_true(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not is_power_of_two(value)
+
+    def test_require_accepts(self):
+        assert require_power_of_two(64, "x") == 64
+
+    @pytest.mark.parametrize("bad", [0, 3, 12])
+    def test_require_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_power_of_two(bad, "x")
+
+
+class TestRequireInRange:
+    def test_bounds_inclusive(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_in_range(bad, 0.0, 1.0, "x")

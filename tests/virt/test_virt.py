@@ -1,0 +1,212 @@
+"""Tests for the virtualization layer (VMs, hypervisor, Dom0 agent)."""
+
+import numpy as np
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.cache.config import tiny_cache
+from repro.errors import ConfigurationError
+from repro.perf.machine import MachineConfig
+from repro.perf.timing import TimingModel
+from repro.sched.affinity import canonical_mapping
+from repro.sched.os_model import SchedulerConfig
+from repro.sched.process import SimTask
+from repro.virt.dom0 import Dom0AllocationAgent
+from repro.virt.hypervisor import DOM0_NAME, Hypervisor
+from repro.virt.overhead import VirtualizationOverhead
+from repro.virt.vm import VirtualMachine
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.patterns import RandomRegionGenerator
+from repro.workloads.spec import spec_profile
+
+
+def tiny_machine():
+    return MachineConfig(
+        name="tiny",
+        num_cores=2,
+        l2=tiny_cache(sets=64, ways=4),
+        shared_l2=True,
+        timing=TimingModel(),
+    )
+
+
+def small_profile(name="toy"):
+    return WorkloadProfile(
+        name=name,
+        category="moderate",
+        working_set_kb=8,
+        hot_set_kb=4,
+        accesses_per_kinstr=20.0,
+        pattern="zipf",
+        locality=0.9,
+    )
+
+
+def make_vm(name="toy", instructions=100_000, base=0, seed=0):
+    return VirtualMachine.from_profile(
+        small_profile(name), instructions=instructions, base_block=base, seed=seed
+    )
+
+
+class TestVirtualMachine:
+    def test_single_vcpu_from_profile(self):
+        vm = make_vm()
+        assert len(vm.vcpus) == 1
+        assert vm.vcpus[0].name == "vm:toy"
+        assert vm.vcpus[0].total_accesses == 2000
+
+    def test_vcpus_share_process_id(self):
+        tasks = [
+            SimTask(
+                name=f"v{i}",
+                generator=RandomRegionGenerator(64, seed=i),
+                total_accesses=100,
+                accesses_per_kinstr=10.0,
+            )
+            for i in range(2)
+        ]
+        vm = VirtualMachine(name="multi", vcpus=tasks)
+        assert tasks[0].process_id == tasks[1].process_id == vm.process_id
+
+    def test_tids(self):
+        vm = make_vm()
+        assert vm.tids == [vm.vcpus[0].tid]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(name="x", vcpus=[])
+
+
+class TestOverhead:
+    def test_virtualize_timing(self):
+        base = TimingModel(cpi_base=1.0, per_access_cycles=0.0)
+        ov = VirtualizationOverhead(cpi_multiplier=1.5, per_access_cycles=40.0)
+        virt = ov.virtualize_timing(base)
+        assert virt.cpi_base == pytest.approx(1.5)
+        assert virt.per_access_cycles == pytest.approx(40.0)
+        assert virt.mem_cycles == base.mem_cycles
+
+    def test_virtualized_batch_costs_more(self):
+        base = TimingModel()
+        virt = VirtualizationOverhead().virtualize_timing(base)
+        assert virt.batch_cycles(1000, 50, 10) > base.batch_cycles(1000, 50, 10)
+
+    def test_dom0_toggle(self):
+        assert VirtualizationOverhead(dom0_footprint_kb=0).includes_dom0 is False
+        assert VirtualizationOverhead().includes_dom0 is True
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            VirtualizationOverhead(cpi_multiplier=0.9)
+        with pytest.raises(ConfigurationError):
+            VirtualizationOverhead(per_access_cycles=-1.0)
+
+
+class TestHypervisor:
+    def test_machine_is_taxed(self):
+        hv = Hypervisor(tiny_machine(), [make_vm()])
+        assert hv.machine.timing.per_access_cycles > 0
+        assert "xen" in hv.machine.name
+
+    def test_dom0_task_injected(self):
+        hv = Hypervisor(tiny_machine(), [make_vm()])
+        names = [t.name for t in hv.all_tasks]
+        assert DOM0_NAME in names
+        assert len(hv.guest_tasks) == 1
+
+    def test_dom0_disabled(self):
+        ov = VirtualizationOverhead(dom0_footprint_kb=0)
+        hv = Hypervisor(tiny_machine(), [make_vm()], overhead=ov)
+        assert hv.dom0_task is None
+        assert len(hv.all_tasks) == 1
+
+    def test_world_switch_cost_added(self):
+        hv = Hypervisor(tiny_machine(), [make_vm()])
+        cfg = hv.scheduler_config()
+        assert cfg.context_switch_cycles > SchedulerConfig(2).context_switch_cycles
+
+    def test_run_completes_vms(self):
+        vms = [make_vm("a", base=0, seed=1), make_vm("b", base=5000, seed=2)]
+        hv = Hypervisor(tiny_machine(), vms)
+        result = hv.run(
+            scheduler_config=SchedulerConfig(2, timeslice_cycles=100_000.0)
+        )
+        assert hv.vm_user_time(result, "a") > 0
+        assert hv.vm_user_time(result, "b") > 0
+
+    def test_vm_user_time_unknown(self):
+        hv = Hypervisor(tiny_machine(), [make_vm()])
+        result = hv.run()
+        with pytest.raises(KeyError):
+            hv.vm_user_time(result, "nope")
+
+    def test_mapping_pins_guests_dom0_floats(self):
+        vms = [make_vm("a", base=0, seed=1), make_vm("b", base=5000, seed=2)]
+        hv = Hypervisor(tiny_machine(), vms)
+        mapping = canonical_mapping([[vms[0].vcpus[0].tid], [vms[1].vcpus[0].tid]])
+        sim = hv.simulator(mapping=mapping)
+        # Dom0 was placed on some core without displacing the mapping.
+        placement = {
+            t.tid: sim.scheduler.core_of(t.tid) for t in hv.all_tasks
+        }
+        assert placement[vms[0].vcpus[0].tid] != placement[vms[1].vcpus[0].tid]
+
+    def test_duplicate_vm_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hypervisor(tiny_machine(), [make_vm("a"), make_vm("a")])
+
+    def test_no_vms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hypervisor(tiny_machine(), [])
+
+    def test_virtualized_run_slower_than_native(self):
+        from repro.perf.simulator import MulticoreSimulator
+
+        vm = make_vm("a", instructions=200_000)
+        native_task = SimTask(
+            name="native",
+            generator=small_profile().make_generator(seed=vm.vcpus[0].generator.seed),
+            total_accesses=vm.vcpus[0].total_accesses,
+            accesses_per_kinstr=20.0,
+        )
+        native = MulticoreSimulator(tiny_machine(), [native_task]).run()
+        hv = Hypervisor(
+            tiny_machine(), [vm],
+            overhead=VirtualizationOverhead(dom0_footprint_kb=0),
+        )
+        virt = hv.run()
+        assert hv.vm_user_time(virt, "a") > native.user_time("native")
+
+
+class TestDom0Agent:
+    def test_agent_excludes_dom0(self):
+        machine = tiny_machine()
+        vms = [make_vm(f"vm{i}", base=4000 * i, seed=i) for i in range(4)]
+        hv = Hypervisor(machine, vms)
+        from repro.perf.runner import default_signature_config
+        from repro.core.signature import SignatureConfig
+
+        sig = SignatureConfig(num_cores=2, num_sets=64, ways=4)
+        agent = Dom0AllocationAgent(WeightSortPolicy(), interval_cycles=200_000.0)
+        result = hv.run(
+            signature_config=sig,
+            monitor=agent,
+            scheduler_config=SchedulerConfig(2, timeslice_cycles=50_000.0),
+            min_wall_cycles=3_000_000.0,
+        )
+        assert len(result.decisions) > 0
+        dom0_tid = hv.dom0_task.tid
+        for decision in result.decisions:
+            assert dom0_tid not in decision.task_ids
+
+    def test_agent_skips_invalid(self):
+        machine = tiny_machine()
+        hv = Hypervisor(machine, [make_vm()])
+        sim = hv.simulator(
+            signature_config=__import__("repro.core.signature", fromlist=["SignatureConfig"]).SignatureConfig(
+                num_cores=2, num_sets=64, ways=4
+            )
+        )
+        agent = Dom0AllocationAgent(WeightSortPolicy(), interval_cycles=100.0)
+        assert agent.invoke(sim.syscall) is None
+        assert agent.skipped_invocations == 1

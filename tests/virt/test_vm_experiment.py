@@ -1,0 +1,88 @@
+"""Tests for the VM two-phase experiment drivers (tiny budgets)."""
+
+import pytest
+
+from repro.alloc import WeightSortPolicy
+from repro.perf.machine import core2duo
+from repro.virt.dom0 import vm_mix_sweep, vm_two_phase
+from repro.virt.overhead import VirtualizationOverhead
+
+INSTR = 150_000
+
+
+class TestVmTwoPhase:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return vm_two_phase(
+            core2duo(),
+            ["povray", "gobmk", "sjeng", "perlbench"],
+            WeightSortPolicy(),
+            instructions=INSTR,
+            phase1_min_wall=30_000_000.0,
+            monitor_interval=2_000_000.0,
+        )
+
+    def test_all_mappings_measured(self, result):
+        assert len(result.mapping_times) >= 3
+        for times in result.mapping_times.values():
+            assert set(times) == {"povray", "gobmk", "sjeng", "perlbench"}
+
+    def test_chosen_mapping_present(self, result):
+        assert result.chosen_mapping in result.mapping_times
+
+    def test_improvements_bounded(self, result):
+        for name in result.names:
+            assert 0.0 <= result.improvement(name) <= 1.0
+
+    def test_decisions_exclude_nothing_relevant(self, result):
+        # Every decision maps exactly the four guest vcpus.
+        for decision in result.decisions:
+            assert len(decision.task_ids) == 4
+
+    def test_dom0_never_in_decisions(self, result):
+        guest_tids = result.chosen_mapping.task_ids
+        for decision in result.decisions:
+            assert decision.task_ids == guest_tids
+
+
+class TestVmSweep:
+    def test_sweep_shape(self):
+        sweep = vm_mix_sweep(
+            core2duo(),
+            [("povray", "gobmk", "sjeng", "perlbench")],
+            WeightSortPolicy(),
+            instructions=INSTR,
+            phase1_min_wall=20_000_000.0,
+            monitor_interval=2_000_000.0,
+        )
+        assert len(sweep.mix_results) == 1
+        assert set(sweep.benchmarks()) == {"povray", "gobmk", "sjeng", "perlbench"}
+
+
+class TestOverheadDampening:
+    def test_virtualization_increases_times(self):
+        native_like = vm_two_phase(
+            core2duo(),
+            ["povray", "sjeng"],
+            WeightSortPolicy(),
+            instructions=INSTR,
+            overhead=VirtualizationOverhead(
+                cpi_multiplier=1.0,
+                per_access_cycles=0.0,
+                vm_switch_cycles=0.0,
+                dom0_footprint_kb=0,
+            ),
+            phase1_min_wall=10_000_000.0,
+            monitor_interval=2_000_000.0,
+        )
+        taxed = vm_two_phase(
+            core2duo(),
+            ["povray", "sjeng"],
+            WeightSortPolicy(),
+            instructions=INSTR,
+            overhead=VirtualizationOverhead(),
+            phase1_min_wall=10_000_000.0,
+            monitor_interval=2_000_000.0,
+        )
+        for name in ("povray", "sjeng"):
+            assert taxed.best_time(name) > native_like.best_time(name)

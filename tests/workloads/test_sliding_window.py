@@ -1,0 +1,69 @@
+"""Tests for the sliding-window (aim9-style) generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import SlidingWindowGenerator
+
+
+class TestSlidingWindow:
+    def test_live_window_bound(self):
+        gen = SlidingWindowGenerator(window_blocks=50, churn=0.4, seed=0)
+        out = gen.next_batch(5000)
+        running_max = np.maximum.accumulate(out)
+        assert ((running_max - out) <= 50).all()
+
+    def test_cursor_advances_with_churn(self):
+        gen = SlidingWindowGenerator(window_blocks=50, churn=0.5, seed=0)
+        out = gen.next_batch(10_000)
+        # Fresh-block fraction ~ churn.
+        advance = out.max()
+        assert 4000 < advance < 6000
+
+    def test_full_churn_is_pure_stream(self):
+        gen = SlidingWindowGenerator(window_blocks=10, churn=1.0, seed=0)
+        out = gen.next_batch(100)
+        assert out.tolist() == list(range(1, 101))
+
+    def test_base_block_applied(self):
+        gen = SlidingWindowGenerator(window_blocks=10, churn=0.5, base_block=1000, seed=0)
+        assert gen.next_batch(100).min() >= 1000
+
+    def test_reset_replays(self):
+        gen = SlidingWindowGenerator(window_blocks=20, churn=0.3, seed=5)
+        first = gen.next_batch(500)
+        gen.reset()
+        assert np.array_equal(gen.next_batch(500), first)
+
+    def test_batch_split_invariance(self):
+        a = SlidingWindowGenerator(window_blocks=20, churn=0.3, seed=5)
+        b = SlidingWindowGenerator(window_blocks=20, churn=0.3, seed=5)
+        one = a.next_batch(400)
+        two = np.concatenate([b.next_batch(137), b.next_batch(263)])
+        assert np.array_equal(one, two)
+
+    def test_invalid_churn(self):
+        with pytest.raises(WorkloadError):
+            SlidingWindowGenerator(10, churn=0.0)
+        with pytest.raises(WorkloadError):
+            SlidingWindowGenerator(10, churn=1.5)
+
+    def test_addresses_never_negative(self):
+        gen = SlidingWindowGenerator(window_blocks=1000, churn=0.1, seed=1)
+        assert gen.next_batch(200).min() >= 0
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_window_property_holds(self, window, churn, n):
+        gen = SlidingWindowGenerator(window_blocks=window, churn=churn, seed=0)
+        out = gen.next_batch(n)
+        running_max = np.maximum.accumulate(out)
+        assert ((running_max - out) <= window).all()
+        assert (out >= 0).all()
