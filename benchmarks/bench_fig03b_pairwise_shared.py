@@ -6,7 +6,7 @@ mcf+libquantum) — scheduling-sensitive contention the private machine
 does not show.
 """
 
-from conftest import run_once
+from conftest import orchestrator_for, run_once
 
 from repro.analysis.figures import figure3b_shared_pairs
 from repro.analysis.report import render_pairwise
@@ -14,14 +14,18 @@ from repro.utils.tables import format_percent
 from repro.workloads.spec import spec_profile_names
 
 
-def bench_figure3b_shared(benchmark, report, full_scale):
+def bench_figure3b_shared(benchmark, report, full_scale, jobs):
     pool = spec_profile_names() if full_scale else [
         "mcf", "libquantum", "povray", "gobmk", "hmmer", "omnetpp",
     ]
     instructions = 6_000_000 if full_scale else 3_000_000
     result = run_once(
         benchmark,
-        lambda: figure3b_shared_pairs(pool, instructions=instructions),
+        lambda: figure3b_shared_pairs(
+            pool,
+            instructions=instructions,
+            orchestrator=orchestrator_for(jobs),
+        ),
     )
     text = render_pairwise(
         result, "Figure 3(b): worst-case degradation, shared L2 (Core 2 Duo)"

@@ -11,7 +11,7 @@ raises the coverage).
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import orchestrator_for, run_once
 
 from repro.alloc import WeightedInterferenceGraphPolicy
 from repro.analysis.figures import figure10_native_sweep
@@ -19,7 +19,7 @@ from repro.analysis.report import render_sweep
 from repro.utils.tables import format_percent
 
 
-def bench_figure10_native(benchmark, report, full_scale):
+def bench_figure10_native(benchmark, report, full_scale, jobs):
     mixes_per_benchmark = 6 if full_scale else 3
     sweep = run_once(
         benchmark,
@@ -27,6 +27,7 @@ def bench_figure10_native(benchmark, report, full_scale):
             policy=WeightedInterferenceGraphPolicy(),
             mixes_per_benchmark=mixes_per_benchmark,
             seed=3,
+            orchestrator=orchestrator_for(jobs),
         ),
     )
     text = render_sweep(

@@ -6,7 +6,7 @@ of winners.
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import orchestrator_for, run_once
 
 from repro.alloc import WeightedInterferenceGraphPolicy
 from repro.analysis.figures import SHOWCASE_MIXES
@@ -18,7 +18,7 @@ from repro.virt import vm_mix_sweep
 from repro.workloads.spec import spec_profile_names
 
 
-def bench_figure11_vm(benchmark, report, full_scale):
+def bench_figure11_vm(benchmark, report, full_scale, jobs):
     sampled = stratified_mixes(
         spec_profile_names(),
         mixes_per_benchmark=4 if full_scale else 2,
@@ -31,7 +31,11 @@ def bench_figure11_vm(benchmark, report, full_scale):
     sweep = run_once(
         benchmark,
         lambda: vm_mix_sweep(
-            core2duo(), mixes, WeightedInterferenceGraphPolicy(), seed=3
+            core2duo(),
+            mixes,
+            WeightedInterferenceGraphPolicy(),
+            seed=3,
+            orchestrator=orchestrator_for(jobs),
         ),
     )
     text = render_sweep(

@@ -22,6 +22,27 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker count from REPRO_JOBS (default 1: the serial code path).
+
+    Set ``REPRO_JOBS=4`` to fan the sweep harnesses out over a
+    :class:`repro.jobs.Orchestrator` process pool; results stay
+    bit-identical to the serial orchestrated run (see
+    ``docs/orchestration.md``).
+    """
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def orchestrator_for(jobs: int):
+    """An :class:`~repro.jobs.Orchestrator` for *jobs* > 1, else ``None``."""
+    if jobs <= 1:
+        return None
+    from repro.jobs import Orchestrator
+
+    return Orchestrator(jobs=jobs)
+
+
 @pytest.fixture()
 def report():
     """Print a rendered report block and persist it under results/."""

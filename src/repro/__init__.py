@@ -10,6 +10,8 @@ The package is organised by subsystem:
 * :mod:`repro.virt` — Xen-like hypervisor layer
 * :mod:`repro.alloc` — the three symbiotic allocation algorithms
 * :mod:`repro.perf` — closed-loop timing simulation and experiments
+* :mod:`repro.jobs` — parallel experiment orchestration with a
+  content-addressed result cache
 * :mod:`repro.analysis` — result handling and figure builders
 
 The most common entry points are re-exported here; see README.md for a
@@ -40,6 +42,10 @@ from repro.perf import (
     run_solo,
     two_phase,
 )
+
+# Imported after repro.perf: the experiment drivers and the job specs
+# reference each other, and the cycle only resolves perf-first.
+from repro.jobs import Orchestrator, RunSpec
 from repro.virt import Hypervisor, VirtualMachine, vm_two_phase
 from repro.workloads import (
     parsec_pool,
@@ -60,6 +66,8 @@ __all__ = [
     "CountingBloomFilter",
     "SignatureConfig",
     "SignatureUnit",
+    "Orchestrator",
+    "RunSpec",
     "MulticoreSimulator",
     "TimingModel",
     "build_tasks",

@@ -23,6 +23,7 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, CacheGeometry, core2duo_l2, tiny_cache
 from repro.cache.tlb import TLB, PageFaultTracker
 from repro.core.signature import SignatureConfig, SignatureUnit
+from repro.jobs.spec import WorkloadSpec
 from repro.perf.experiment import (
     MixResult,
     SweepResult,
@@ -268,12 +269,13 @@ def figure3a_private_pairs(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
 ):
     """Figure 3(a): worst-case degradation, pairs timesharing a private L2."""
     pool = list(names) if names else spec_profile_names()
     return pairwise_private_timeshare(
         p4xeon(), pool, instructions=instructions, seed=seed,
-        batch_accesses=batch_accesses,
+        batch_accesses=batch_accesses, orchestrator=orchestrator,
     )
 
 
@@ -282,12 +284,13 @@ def figure3b_shared_pairs(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
 ):
     """Figure 3(b): worst-case degradation, pairs sharing the Core 2 L2."""
     pool = list(names) if names else spec_profile_names()
     return pairwise_shared(
         core2duo(), pool, instructions=instructions, seed=seed,
-        batch_accesses=batch_accesses,
+        batch_accesses=batch_accesses, orchestrator=orchestrator,
     )
 
 
@@ -299,13 +302,21 @@ def table1_mapping_runtimes(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
 ) -> Tuple[List[str], Dict]:
     """Table 1: povray/gobmk/libquantum/hmmer under all three mappings."""
     machine = machine or core2duo()
     names = ["povray", "gobmk", "libquantum", "hmmer"]
     tasks = build_tasks(names, instructions=instructions, seed=seed)
+    workload = None
+    if orchestrator is not None:
+        workload = WorkloadSpec(
+            kind="spec", names=tuple(names), instructions=instructions,
+            seed=seed,
+        )
     times = run_all_mappings(
-        machine, tasks, seed=seed, batch_accesses=batch_accesses
+        machine, tasks, seed=seed, batch_accesses=batch_accesses,
+        orchestrator=orchestrator, workload=workload,
     )
     return names, times
 
@@ -331,9 +342,14 @@ def figure10_native_sweep(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     mixes_per_benchmark: int = 4,
+    orchestrator=None,
     **two_phase_kwargs,
 ) -> SweepResult:
-    """Figure 10: per-benchmark max/avg improvement, native execution."""
+    """Figure 10: per-benchmark max/avg improvement, native execution.
+
+    Pass an *orchestrator* to fan the whole sweep out in parallel with
+    result caching (see :mod:`repro.jobs`).
+    """
     if mixes is None:
         sampled = stratified_mixes(
             spec_profile_names(), mixes_per_benchmark=mixes_per_benchmark, seed=seed
@@ -346,7 +362,7 @@ def figure10_native_sweep(
     policy = policy or WeightedInterferenceGraphPolicy()
     return mix_sweep(
         core2duo(), mixes, policy, instructions=instructions, seed=seed,
-        **two_phase_kwargs,
+        orchestrator=orchestrator, **two_phase_kwargs,
     )
 
 
@@ -354,9 +370,15 @@ def figure12_parsec_sweep(
     app_mixes: Sequence[Sequence[str]],
     instructions_per_thread: int = DEFAULT_INSTRUCTIONS // 4,
     seed: int = 0,
+    orchestrator=None,
     **kwargs,
 ) -> SweepResult:
-    """Figure 12: multithreaded PARSEC mixes under the two-phase policy."""
+    """Figure 12: multithreaded PARSEC mixes under the two-phase policy.
+
+    With an *orchestrator*, each mix's phase batch runs through the job
+    subsystem (mix-level results remain sequential because each mix seeds
+    its own policy).
+    """
     sweep = SweepResult()
     for i, mix in enumerate(app_mixes):
         sweep.add(
@@ -365,6 +387,7 @@ def figure12_parsec_sweep(
                 list(mix),
                 instructions_per_thread=instructions_per_thread,
                 seed=seed + i,
+                orchestrator=orchestrator,
                 **kwargs,
             )
         )

@@ -9,11 +9,17 @@ Subcommands
     per-benchmark improvements (the Figure 10 metric).
 ``pairwise``
     Pairwise worst-case degradations for a set of benchmarks (Figure 3).
+``sweep``
+    A stratified Figure-10-style mix sweep through the job orchestrator
+    (parallel workers and an on-disk result cache).
 ``figure``
     Regenerate a quick paper figure (1, 2/5, or table1) at reduced scale.
 
 All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``pairwise`` accept ``--instructions`` to trade fidelity for speed.
+``mix`` and ``sweep`` accept ``--jobs`` (parallel simulation workers) and
+``--cache-dir`` (content-addressed result cache) — see
+:mod:`repro.jobs`.
 """
 
 from __future__ import annotations
@@ -30,13 +36,17 @@ from repro.alloc import (
 from repro.analysis.figures import (
     figure1_concept,
     figure2_counters_vs_footprint,
+    figure10_native_sweep,
     table1_mapping_runtimes,
 )
 from repro.analysis.report import (
     render_counter_series,
     render_pairwise,
+    render_sweep,
     render_table1,
 )
+from repro.errors import ConfigurationError
+from repro.jobs import Orchestrator
 from repro.perf.experiment import pairwise_shared, two_phase
 from repro.perf.machine import core2duo
 from repro.utils.tables import format_percent, format_table
@@ -71,17 +81,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mix.add_argument("--instructions", type=int, default=6_000_000)
     mix.add_argument("--seed", type=int, default=3)
+    _add_jobs_arguments(mix)
 
     pw = sub.add_parser("pairwise", help="pairwise degradations (Figure 3b)")
     pw.add_argument("names", nargs="+", help="benchmark names")
     pw.add_argument("--instructions", type=int, default=3_000_000)
     pw.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep", help="stratified mix sweep through the job orchestrator"
+    )
+    sweep.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="weighted",
+        help="allocation policy (default: weighted)",
+    )
+    sweep.add_argument(
+        "--mixes-per-benchmark", type=int, default=2,
+        help="stratified coverage: mixes containing each benchmark",
+    )
+    sweep.add_argument("--instructions", type=int, default=1_000_000)
+    sweep.add_argument("--seed", type=int, default=3)
+    _add_jobs_arguments(sweep)
+
     fig = sub.add_parser("figure", help="regenerate a quick paper figure")
     fig.add_argument("which", choices=["1", "2", "5", "table1"])
     fig.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the orchestration flags shared by ``mix`` and ``sweep``."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel simulation workers (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the content-addressed result cache",
+    )
+
+
+def _make_orchestrator(args: argparse.Namespace) -> Optional[Orchestrator]:
+    """Build an orchestrator from ``--jobs``/``--cache-dir`` (or ``None``).
+
+    ``--jobs 1`` with no cache keeps the exact serial code path; either
+    flag opts the command into the :mod:`repro.jobs` subsystem.
+    """
+    if args.jobs <= 1 and args.cache_dir is None:
+        return None
+    return Orchestrator(jobs=max(1, args.jobs), cache_dir=args.cache_dir)
 
 
 def _cmd_profiles() -> int:
@@ -120,14 +169,22 @@ def _cmd_mix(args: argparse.Namespace) -> int:
         print(f"unknown benchmarks: {unknown}; see 'repro-cli profiles'")
         return 2
     machine = core2duo()
+    try:
+        orchestrator = _make_orchestrator(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
     result = two_phase(
         machine,
         args.names,
         _POLICIES[args.policy](seed=args.seed),
         instructions=args.instructions,
         seed=args.seed,
+        orchestrator=orchestrator,
     )
     print(f"mix: {', '.join(args.names)}   policy: {args.policy}")
+    if orchestrator is not None:
+        print(orchestrator.counters.summary())
     print(f"phase-1 decisions: {len(result.decisions)}")
     print(f"chosen schedule: {result.chosen_mapping}\n")
     rows = [
@@ -169,6 +226,31 @@ def _cmd_pairwise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        orchestrator = _make_orchestrator(args) or Orchestrator(jobs=1)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+    sweep = figure10_native_sweep(
+        policy=_POLICIES[args.policy](seed=args.seed),
+        instructions=args.instructions,
+        seed=args.seed,
+        mixes_per_benchmark=args.mixes_per_benchmark,
+        orchestrator=orchestrator,
+    )
+    print(
+        render_sweep(
+            sweep,
+            f"Figure 10-style sweep ({len(sweep.mix_results)} mixes, "
+            f"policy: {args.policy})",
+        )
+    )
+    print()
+    print(orchestrator.counters.summary())
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.which == "1":
         out = figure1_concept()
@@ -203,6 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mix(args)
     if args.command == "pairwise":
         return _cmd_pairwise(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
     raise AssertionError("unreachable")

@@ -17,6 +17,7 @@ __all__ = [
     "AllocationError",
     "WorkloadError",
     "SimulationError",
+    "JobError",
 ]
 
 
@@ -59,3 +60,8 @@ class WorkloadError(ReproError, ValueError):
 
 class SimulationError(ReproError):
     """The closed-loop performance simulation reached an invalid state."""
+
+
+class JobError(ReproError):
+    """A job-orchestration failure: a worker crashed past its retry
+    budget, a job timed out, or a run spec could not be executed."""

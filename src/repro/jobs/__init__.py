@@ -1,0 +1,64 @@
+"""Parallel experiment orchestration with content-addressed caching.
+
+The paper's evaluation is thousands of independent simulations (every
+balanced mapping of every mix, twice over for the VM experiments). This
+subpackage turns each simulation into a declarative, picklable
+:class:`~repro.jobs.spec.RunSpec` — pure data with a stable SHA-256 key —
+and provides the machinery to execute batches of them:
+
+* :mod:`repro.jobs.spec` — run specifications, their executor, and the
+  JSON-safe :class:`~repro.jobs.spec.RunOutcome` summaries;
+* :mod:`repro.jobs.keys` — canonical JSON and content-addressed keys;
+* :mod:`repro.jobs.cache` — an atomic, corruption-tolerant on-disk
+  result cache keyed by spec hash;
+* :mod:`repro.jobs.pool` — a crash-recovering process pool with
+  deterministic result ordering;
+* :mod:`repro.jobs.events` — structured progress/telemetry events;
+* :mod:`repro.jobs.orchestrator` — the facade tying it together:
+  dedupe, cache check, fan-out, event reporting.
+
+The experiment drivers (:mod:`repro.perf.experiment`,
+:mod:`repro.virt.dom0`) accept an optional ``orchestrator=`` argument;
+passing one routes their simulations through this subsystem (parallel
+and cached), while the default ``None`` preserves the serial in-process
+code path exactly.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
+from repro.jobs.events import EVENT_KINDS, EventCounters, EventLog, JobEvent
+from repro.jobs.keys import SPEC_SCHEMA_VERSION, canonical_json, spec_key
+from repro.jobs.orchestrator import Orchestrator
+from repro.jobs.pool import WorkerPool
+from repro.jobs.spec import (
+    MonitorSpec,
+    RunOutcome,
+    RunSpec,
+    TaskOutcome,
+    WorkloadSpec,
+    execute_spec,
+    make_run_spec,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "SPEC_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "CacheStats",
+    "ResultCache",
+    "EventCounters",
+    "EventLog",
+    "JobEvent",
+    "canonical_json",
+    "spec_key",
+    "Orchestrator",
+    "WorkerPool",
+    "MonitorSpec",
+    "RunOutcome",
+    "RunSpec",
+    "TaskOutcome",
+    "WorkloadSpec",
+    "execute_spec",
+    "make_run_spec",
+]

@@ -1,0 +1,139 @@
+"""On-disk, content-addressed result cache for simulation runs.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — two-character fan-out keeps
+directories small for large sweeps. Each file is a versioned envelope::
+
+    {"version": 1, "key": "<sha256>", "spec": {...}, "outcome": {...}}
+
+Guarantees:
+
+* **Atomic writes** — results are written to a temporary file in the
+  destination directory and published with ``os.replace``, so readers
+  never observe a torn file and concurrent writers of the same key
+  simply race to install identical bytes.
+* **Corruption tolerance** — unreadable, truncated, mis-keyed or
+  wrong-version entries are treated as misses (and counted), never
+  raised; the next ``put`` overwrites them.
+* **Versioned schema** — :data:`CACHE_SCHEMA_VERSION` is embedded in the
+  envelope; bumping it orphans old entries instead of misreading them.
+
+The cache stores *summaries* (the picklable/JSON outcome of a run), not
+simulator objects, so entries are stable across refactors of the live
+code paths as long as the spec schema holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.jobs.keys import canonical_json
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache"]
+
+#: Version of the on-disk envelope; bump to orphan incompatible entries.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Read/write tallies of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """Content-addressed store of run outcomes under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write. An existing
+        non-directory path is rejected immediately rather than failing
+        with an opaque error on the first write mid-sweep.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(
+                f"cache root {self.root} exists and is not a directory"
+            )
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of a key's envelope."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached outcome for *key*, or ``None`` on a miss.
+
+        Every failure mode — missing file, unreadable bytes, invalid
+        JSON, version or key mismatch, missing outcome field — is a miss;
+        corrupt entries additionally bump ``stats.corrupt``.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="ascii")
+        except (FileNotFoundError, NotADirectoryError):
+            self.stats.misses += 1
+            return None
+        except (OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if envelope["version"] != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            if envelope["key"] != key:
+                raise ValueError("key mismatch")
+            outcome = envelope["outcome"]
+            if not isinstance(outcome, dict):
+                raise ValueError("outcome is not an object")
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return outcome
+
+    def put(self, key: str, spec: Dict[str, Any], outcome: Dict[str, Any]) -> Path:
+        """Atomically store *outcome* (and its spec, for auditing).
+
+        The envelope is staged in a temporary file within the target
+        directory and installed with ``os.replace`` so a crash mid-write
+        never leaves a partially written entry under the final name.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "outcome": outcome,
+        }
+        text = canonical_json(envelope)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path

@@ -1,0 +1,136 @@
+"""Structured progress/telemetry events for the job orchestrator.
+
+The orchestrator and the worker pool narrate a batch's life cycle as
+:class:`JobEvent` records — submitted, deduplicated, cache hit, started,
+completed, retried, timed out, failed — collected by an :class:`EventLog`
+that keeps rolling counters (:class:`EventCounters`) plus a bounded tail
+of recent events. Callers (the CLI, benches, tests) can attach a ``sink``
+callable to observe events as they happen; the counters are what the
+acceptance criteria assert against (e.g. "a warm-cache re-run performs
+zero new simulations" is ``counters.executed == 0``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+__all__ = ["EVENT_KINDS", "JobEvent", "EventCounters", "EventLog"]
+
+#: Every event kind the orchestrator/pool may emit.
+EVENT_KINDS = (
+    "batch_start",   # a run_specs() batch was accepted
+    "submitted",     # one spec entered the batch
+    "deduped",       # spec was identical to an earlier one in the batch
+    "cache_hit",     # result served from the on-disk cache
+    "started",       # simulation began executing (in-process or worker)
+    "completed",     # simulation finished; wall_time carries the duration
+    "retried",       # job resubmitted after a worker crash / timeout
+    "timeout",       # job exceeded its per-job wall-clock budget
+    "failed",        # job gave up (deterministic error or retries spent)
+    "batch_end",     # the batch resolved; wall_time carries batch duration
+)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One orchestration event.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    key:
+        Content-addressed spec key the event refers to ('' for batch-level
+        events).
+    label:
+        Human-readable tag (e.g. ``'mix:mcf+povray/mapping 2'``).
+    attempt:
+        1-based execution attempt (0 when not applicable).
+    wall_time:
+        Seconds attributable to the event (job duration on ``completed``,
+        batch duration on ``batch_end``).
+    detail:
+        Free-form context (error text, counts).
+    """
+
+    kind: str
+    key: str = ""
+    label: str = ""
+    attempt: int = 0
+    wall_time: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class EventCounters:
+    """Rolling tallies over every event seen by one :class:`EventLog`."""
+
+    submitted: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    completed: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (for reports and assertions)."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line human summary of the tallies."""
+        return (
+            f"jobs: {self.submitted} submitted, {self.deduped} deduped, "
+            f"{self.cache_hits} cached, {self.executed} executed, "
+            f"{self.retried} retried, {self.failed} failed"
+        )
+
+
+class EventLog:
+    """Collects :class:`JobEvent` records and maintains counters.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with every event as it is emitted
+        (CLI progress printing, test instrumentation).
+    keep:
+        Number of most-recent events retained in :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[JobEvent], None]] = None,
+        keep: int = 1024,
+    ):
+        self.sink = sink
+        self.counters = EventCounters()
+        self.events: Deque[JobEvent] = deque(maxlen=keep)
+
+    _COUNTER_OF = {
+        "submitted": "submitted",
+        "deduped": "deduped",
+        "cache_hit": "cache_hits",
+        "completed": "executed",
+        "retried": "retried",
+        "timeout": "timeouts",
+        "failed": "failed",
+        "batch_start": "batches",
+    }
+
+    def emit(self, kind: str, **fields) -> JobEvent:
+        """Record one event (and forward it to the sink, if any)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = JobEvent(kind=kind, **fields)
+        self.events.append(event)
+        counter = self._COUNTER_OF.get(kind)
+        if counter is not None:
+            setattr(self.counters, counter, getattr(self.counters, counter) + 1)
+        if self.sink is not None:
+            self.sink(event)
+        return event

@@ -1,0 +1,170 @@
+"""The orchestration facade: dedupe, cache, fan out, report.
+
+:class:`Orchestrator` is the single entry point the experiment drivers
+talk to. Given a batch of :class:`~repro.jobs.spec.RunSpec` objects it:
+
+1. **dedupes** — identical specs (by content-addressed key) are executed
+   once and their outcome shared;
+2. **checks the cache** — previously computed outcomes are served from
+   the on-disk :class:`~repro.jobs.cache.ResultCache` (when configured);
+3. **fans out** — remaining misses run on a
+   :class:`~repro.jobs.pool.WorkerPool` (``jobs > 1``) or in-process
+   (``jobs == 1``), always producing results in submission order;
+4. **reports** — every step is narrated through an
+   :class:`~repro.jobs.events.EventLog` whose counters back the
+   acceptance assertions (e.g. a warm-cache batch must show
+   ``counters.executed == 0``).
+
+Because outcomes are pure data keyed by pure data, a batch's results are
+independent of worker count: ``jobs=4`` and ``jobs=1`` produce identical
+outcomes for identical specs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.jobs.cache import ResultCache
+from repro.jobs.events import EventLog, JobEvent
+from repro.jobs.keys import spec_key
+from repro.jobs.pool import DEFAULT_MP_CONTEXT, WorkerPool
+from repro.jobs.spec import RunOutcome, RunSpec, execute_spec
+
+__all__ = ["Orchestrator"]
+
+
+class Orchestrator:
+    """Runs batches of run specs with dedup, caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Parallel worker processes. ``1`` (default) executes in-process —
+        no subprocesses, no pickling — while keeping dedup and caching.
+    cache_dir:
+        Optional directory for the on-disk result cache; ``None``
+        disables persistent caching (batch-level dedup still applies).
+    timeout:
+        Optional per-job wall-clock budget in seconds (pooled mode only).
+    retries:
+        Extra attempts after a worker crash or timeout.
+    backoff:
+        Crash-recovery backoff base in seconds.
+    mp_context:
+        Multiprocessing start method; defaults to ``'spawn'``.
+    on_event:
+        Optional sink receiving every :class:`~repro.jobs.events.JobEvent`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        mp_context: Optional[str] = None,
+        on_event: Optional[Callable[[JobEvent], None]] = None,
+    ):
+        self.jobs = jobs
+        self.cache = None if cache_dir is None else ResultCache(cache_dir)
+        self.log = EventLog(sink=on_event)
+        self._pool = (
+            None
+            if jobs <= 1
+            else WorkerPool(
+                jobs,
+                mp_context=mp_context or DEFAULT_MP_CONTEXT,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+            )
+        )
+
+    @property
+    def counters(self):
+        """The rolling :class:`~repro.jobs.events.EventCounters`."""
+        return self.log.counters
+
+    # ------------------------------------------------------------------
+    def run_spec(self, spec: RunSpec) -> RunOutcome:
+        """Execute a single spec (a one-element batch)."""
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+        """Execute a batch; outcomes align index-for-index with *specs*.
+
+        Identical specs are executed once; cached specs are not executed
+        at all. The returned outcomes carry ``cached=True`` when served
+        from the on-disk cache.
+        """
+        batch_started = time.monotonic()
+        self.log.emit("batch_start", detail=f"{len(specs)} specs")
+
+        keys: List[str] = []
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            key = spec_key(spec)
+            keys.append(key)
+            if key in unique:
+                self.log.emit("deduped", key=key)
+            else:
+                unique[key] = spec
+                self.log.emit("submitted", key=key)
+
+        outcomes: Dict[str, RunOutcome] = {}
+        misses: List[str] = []
+        for key, spec in unique.items():
+            cached = None if self.cache is None else self.cache.get(key)
+            if cached is not None:
+                outcomes[key] = RunOutcome.from_dict(cached, cached=True)
+                self.log.emit("cache_hit", key=key)
+            else:
+                misses.append(key)
+
+        if misses:
+            payloads = [unique[key].to_dict() for key in misses]
+            if self._pool is None:
+                raw = []
+                for key, payload in zip(misses, payloads):
+                    self.log.emit("started", key=key, attempt=1)
+                    job_started = time.monotonic()
+                    raw.append(execute_spec(payload))
+                    self.log.emit(
+                        "completed", key=key, attempt=1,
+                        wall_time=time.monotonic() - job_started,
+                    )
+            else:
+                def forward(kind: str, index: int = 0, **fields) -> None:
+                    fields.pop("wall_time", None)
+                    self.log.emit(
+                        kind, key=misses[index],
+                        attempt=fields.get("attempt", 0),
+                        detail=fields.get("detail", ""),
+                    )
+
+                wave_started = time.monotonic()
+                raw = self._pool.run(
+                    execute_spec, payloads, on_event=forward
+                )
+                elapsed = time.monotonic() - wave_started
+                for key in misses:
+                    self.log.emit(
+                        "completed", key=key,
+                        wall_time=elapsed / len(misses),
+                    )
+            for key, outcome_dict in zip(misses, raw):
+                outcomes[key] = RunOutcome.from_dict(outcome_dict)
+                if self.cache is not None:
+                    self.cache.put(
+                        key, unique[key].to_dict(), outcome_dict
+                    )
+
+        self.counters.completed += len(specs)
+        self.log.emit(
+            "batch_end",
+            wall_time=time.monotonic() - batch_started,
+            detail=self.counters.summary(),
+        )
+        return [outcomes[key] for key in keys]

@@ -1,0 +1,212 @@
+"""Process-pool execution of run specs with crash recovery.
+
+:class:`WorkerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the semantics the orchestrator needs:
+
+* **Deterministic ordering** — results come back in submission order
+  regardless of completion order, so parallel batches are drop-in
+  replacements for serial loops.
+* **Crash recovery** — when a worker dies (segfault, ``os._exit``, OOM
+  kill) the executor reports :class:`~concurrent.futures.process.\
+BrokenProcessPool` for *every* in-flight future without identifying the
+  culprit. The pool rebuilds the executor, charges one attempt to every
+  unfinished job, sleeps an exponential backoff, and resubmits — so a
+  single crashing job fails alone after its retry budget while innocent
+  bystanders complete on a later wave.
+* **Timeouts** — an optional per-job wall-clock budget, measured from the
+  wave's submission (a conservative approximation: queue wait counts
+  against the budget).
+* **Deterministic failures fail fast** — a job that raises an ordinary
+  exception inside the worker is not retried; the traceback is wrapped in
+  :class:`~repro.errors.JobError` and raised immediately, because re-running
+  a deterministic simulation cannot change the outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, JobError
+
+__all__ = ["WorkerPool"]
+
+#: Default multiprocessing start method: 'spawn' gives workers a clean
+#: interpreter (no inherited global task-id counters, no fork/thread
+#: hazards) at the cost of a slower start-up.
+DEFAULT_MP_CONTEXT = "spawn"
+
+
+class WorkerPool:
+    """Bounded pool of worker processes executing picklable jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (must be >= 1; 1 still uses a subprocess —
+        callers wanting in-process execution should bypass the pool).
+    mp_context:
+        Multiprocessing start method ('spawn', 'fork', 'forkserver').
+    timeout:
+        Optional per-job wall-clock budget in seconds, measured from the
+        submission of the job's wave.
+    retries:
+        How many *additional* attempts a job gets after a worker crash or
+        timeout (deterministic exceptions are never retried).
+    backoff:
+        Base of the exponential crash-recovery sleep:
+        ``backoff * 2**(attempt-1)`` seconds after the attempt-th crash.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        mp_context: str = DEFAULT_MP_CONTEXT,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+    ):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=get_context(self.mp_context)
+        )
+
+    @staticmethod
+    def _stop_executor(executor: ProcessPoolExecutor) -> None:
+        """Abandon *executor*, terminating its worker processes.
+
+        ``shutdown(wait=False)`` alone leaves in-flight jobs running in
+        the old workers, and the interpreter joins every worker at exit —
+        a single runaway (timed-out) job would then hang the process
+        forever. The worker table is a private attribute, hence the
+        defensive ``getattr``.
+        """
+        workers = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in workers:
+            process.terminate()
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        on_event: Optional[Callable[..., Any]] = None,
+    ) -> List[Any]:
+        """Execute ``fn(payload)`` for every payload; results in order.
+
+        *fn* must be a module-level (picklable) callable. *on_event*, if
+        given, is called as ``on_event(kind, index=..., attempt=...,
+        detail=...)`` for ``'started'``-less lifecycle points the pool can
+        observe: ``'retried'``, ``'timeout'`` and ``'failed'``.
+
+        Raises :class:`~repro.errors.JobError` when any job fails
+        deterministically or exhausts its retry budget; remaining jobs of
+        the batch are abandoned (their futures cancelled).
+        """
+
+        def notify(kind: str, **fields: Any) -> None:
+            if on_event is not None:
+                on_event(kind, **fields)
+
+        results: List[Any] = [None] * len(payloads)
+        done = [False] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending = list(range(len(payloads)))
+        executor = self._make_executor()
+        try:
+            while pending:
+                wave_started = time.monotonic()
+                futures: Dict[Any, int] = {}
+                crashed = False
+                try:
+                    for index in pending:
+                        attempts[index] += 1
+                        futures[executor.submit(fn, payloads[index])] = index
+                    not_done = set(futures)
+                    while not_done:
+                        budget = None
+                        if self.timeout is not None:
+                            budget = self.timeout - (
+                                time.monotonic() - wave_started
+                            )
+                            if budget <= 0:
+                                break
+                        finished, not_done = wait(
+                            not_done, timeout=budget,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not finished:
+                            break  # timed out with jobs still running
+                        for future in finished:
+                            index = futures[future]
+                            try:
+                                results[index] = future.result()
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as exc:
+                                # Deterministic in-job failure: retrying a
+                                # deterministic simulation cannot help.
+                                notify(
+                                    "failed", index=index,
+                                    attempt=attempts[index],
+                                    detail=f"{type(exc).__name__}: {exc}",
+                                )
+                                for other in futures:
+                                    other.cancel()
+                                raise JobError(
+                                    f"job {index} failed: "
+                                    f"{type(exc).__name__}: {exc}"
+                                ) from exc
+                            done[index] = True
+                except BrokenProcessPool:
+                    crashed = True
+
+                pending = [i for i in range(len(payloads)) if not done[i]]
+                if not pending:
+                    break
+                # Crash or timeout: the culprit is unknowable (a broken
+                # pool poisons every in-flight future), so every
+                # unfinished job is charged one attempt.
+                kind = "retried" if crashed else "timeout"
+                exhausted = [
+                    i for i in pending if attempts[i] > self.retries
+                ]
+                if exhausted:
+                    for i in pending:
+                        notify(
+                            "failed", index=i, attempt=attempts[i],
+                            detail="worker crashed" if crashed else "timed out",
+                        )
+                    raise JobError(
+                        f"jobs {exhausted} gave up after "
+                        f"{attempts[exhausted[0]]} attempts "
+                        f"({'worker crash' if crashed else 'timeout'})"
+                    )
+                for i in pending:
+                    notify(kind, index=i, attempt=attempts[i])
+                if crashed:
+                    self._stop_executor(executor)
+                    executor = self._make_executor()
+                    wave = max(attempts[i] for i in pending)
+                    time.sleep(self.backoff * (2 ** (wave - 1)))
+                else:
+                    # Timed-out jobs are still running in the old pool;
+                    # kill it so resubmissions start on fresh workers.
+                    self._stop_executor(executor)
+                    executor = self._make_executor()
+        finally:
+            self._stop_executor(executor)
+        return results

@@ -23,6 +23,12 @@ import numpy as np
 from repro.alloc.monitor import UserLevelMonitor
 from repro.alloc.multithreaded import TwoPhasePolicy
 from repro.errors import ConfigurationError, SimulationError
+from repro.jobs.spec import (
+    MonitorSpec,
+    WorkloadSpec,
+    make_run_spec,
+    policy_to_spec,
+)
 from repro.perf.machine import MachineConfig
 from repro.perf.runner import (
     DEFAULT_INSTRUCTIONS,
@@ -36,6 +42,7 @@ from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
 from repro.sched.os_model import SchedulerConfig
 from repro.sched.process import SimProcess, SimTask
 from repro.utils.rng import make_rng
+from repro.workloads.parsec import parsec_profile
 
 __all__ = [
     "PairwiseResult",
@@ -89,25 +96,64 @@ def _pairwise(
     seed: int,
     mapping_builder,
     batch_accesses: int,
+    pair_groups: Optional[Sequence[Sequence[int]]] = None,
+    orchestrator=None,
 ) -> PairwiseResult:
-    solo = {
-        name: run_solo(
-            machine, name, instructions=instructions, seed=seed,
-            batch_accesses=batch_accesses,
-        ).user_time(name)
-        for name in names
-    }
-    pair_times: Dict[Tuple[str, str], Dict[str, float]] = {}
-    for a, b in itertools.combinations(sorted(names), 2):
-        tasks = build_tasks([a, b], instructions=instructions, seed=seed)
-        mapping = mapping_builder(tasks)
-        result = run_mix(
-            machine, tasks, mapping=mapping, seed=seed,
-            batch_accesses=batch_accesses,
+    if orchestrator is None:
+        solo = {
+            name: run_solo(
+                machine, name, instructions=instructions, seed=seed,
+                batch_accesses=batch_accesses,
+            ).user_time(name)
+            for name in names
+        }
+        pair_times: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for a, b in itertools.combinations(sorted(names), 2):
+            tasks = build_tasks([a, b], instructions=instructions, seed=seed)
+            mapping = mapping_builder(tasks)
+            result = run_mix(
+                machine, tasks, mapping=mapping, seed=seed,
+                batch_accesses=batch_accesses,
+            )
+            pair_times[(a, b)] = {
+                a: result.user_time(a), b: result.user_time(b)
+            }
+        return PairwiseResult(
+            names=tuple(sorted(names)), solo_times=solo, pair_times=pair_times
         )
-        pair_times[(a, b)] = {a: result.user_time(a), b: result.user_time(b)}
+
+    # Orchestrated: one batch of solo runs + one spec per pair, with the
+    # pair's placement expressed over task indices 0 (=a) and 1 (=b).
+    ordered = sorted(names)
+    pairs = list(itertools.combinations(ordered, 2))
+    specs = [
+        make_run_spec(
+            machine,
+            WorkloadSpec(kind="spec", names=(name,),
+                         instructions=instructions, seed=seed),
+            seed=seed, batch_accesses=batch_accesses,
+        )
+        for name in ordered
+    ] + [
+        make_run_spec(
+            machine,
+            WorkloadSpec(kind="spec", names=(a, b),
+                         instructions=instructions, seed=seed),
+            mapping=pair_groups,
+            seed=seed, batch_accesses=batch_accesses,
+        )
+        for a, b in pairs
+    ]
+    outcomes = orchestrator.run_specs(specs)
+    solo = {
+        name: outcomes[i].user_time(name) for i, name in enumerate(ordered)
+    }
+    pair_times = {
+        (a, b): {a: out.user_time(a), b: out.user_time(b)}
+        for (a, b), out in zip(pairs, outcomes[len(ordered):])
+    }
     return PairwiseResult(
-        names=tuple(sorted(names)), solo_times=solo, pair_times=pair_times
+        names=tuple(ordered), solo_times=solo, pair_times=pair_times
     )
 
 
@@ -117,6 +163,7 @@ def pairwise_shared(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
 ) -> PairwiseResult:
     """Figure 3(b): pairs on different cores sharing the L2."""
     if not machine.shared_l2 or machine.num_cores < 2:
@@ -128,6 +175,8 @@ def pairwise_shared(
         seed,
         lambda tasks: canonical_mapping([[tasks[0].tid], [tasks[1].tid]]),
         batch_accesses,
+        pair_groups=[[0], [1]],
+        orchestrator=orchestrator,
     )
 
 
@@ -137,6 +186,7 @@ def pairwise_private_timeshare(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
 ) -> PairwiseResult:
     """Figure 3(a): pairs confined to a single core with a private L2.
 
@@ -153,6 +203,8 @@ def pairwise_private_timeshare(
             + [[] for _ in range(machine.num_cores - 1)]
         ),
         batch_accesses,
+        pair_groups=[[0, 1]] + [[] for _ in range(machine.num_cores - 1)],
+        orchestrator=orchestrator,
     )
 
 
@@ -167,6 +219,25 @@ def default_mapping_for(tasks: Sequence[SimTask], num_cores: int) -> Mapping:
     return canonical_mapping(groups)
 
 
+def _sample_mappings(
+    mappings: List[Mapping], seed: int, max_mappings: Optional[int]
+) -> List[Mapping]:
+    """Deterministically cap a mapping list to *max_mappings* samples."""
+    if max_mappings is not None and len(mappings) > max_mappings:
+        rng = make_rng(seed)
+        idx = rng.choice(len(mappings), size=max_mappings, replace=False)
+        mappings = [mappings[i] for i in sorted(idx)]
+    return mappings
+
+
+def _default_index_mapping(num_tasks: int, num_cores: int) -> Mapping:
+    """Round-robin default placement over task indices 0..num_tasks-1."""
+    groups: List[List[int]] = [[] for _ in range(num_cores)]
+    for i in range(num_tasks):
+        groups[i % num_cores].append(i)
+    return canonical_mapping(groups)
+
+
 def run_all_mappings(
     machine: MachineConfig,
     tasks: Sequence[SimTask],
@@ -174,6 +245,8 @@ def run_all_mappings(
     batch_accesses: int = 256,
     scheduler_config: Optional[SchedulerConfig] = None,
     max_mappings: Optional[int] = None,
+    orchestrator=None,
+    workload: Optional[WorkloadSpec] = None,
 ) -> Dict[Mapping, Dict[str, float]]:
     """User time of every task under every balanced mapping (Table 1).
 
@@ -181,23 +254,50 @@ def run_all_mappings(
     tasks on 4 cores); *max_mappings* caps the measured set to a
     deterministic random sample — best/worst are then over the sampled
     reference set, which EXPERIMENTS.md notes explicitly.
+
+    With an *orchestrator*, the per-mapping simulations run as one
+    (possibly parallel, cached) batch; *workload* must then describe how
+    to rebuild *tasks* declaratively, and the mappings' task ids are
+    translated to the workload's index namespace for execution. The
+    returned dict is keyed by the original tid-space mappings either way.
     """
-    mappings = balanced_mappings([t.tid for t in tasks], machine.num_cores)
-    if max_mappings is not None and len(mappings) > max_mappings:
-        rng = make_rng(seed)
-        idx = rng.choice(len(mappings), size=max_mappings, replace=False)
-        mappings = [mappings[i] for i in sorted(idx)]
+    mappings = _sample_mappings(
+        balanced_mappings([t.tid for t in tasks], machine.num_cores),
+        seed,
+        max_mappings,
+    )
     times: Dict[Mapping, Dict[str, float]] = {}
-    for mapping in mappings:
-        result = run_mix(
+    if orchestrator is None:
+        for mapping in mappings:
+            result = run_mix(
+                machine,
+                tasks,
+                mapping=mapping,
+                seed=seed,
+                batch_accesses=batch_accesses,
+                scheduler_config=scheduler_config,
+            )
+            times[mapping] = {t.name: result.user_time(t.name) for t in tasks}
+        return times
+    if workload is None:
+        raise ConfigurationError(
+            "run_all_mappings with an orchestrator needs a workload spec"
+        )
+    tid_to_ix = {t.tid: i for i, t in enumerate(tasks)}
+    specs = [
+        make_run_spec(
             machine,
-            tasks,
-            mapping=mapping,
+            workload,
+            mapping=[[tid_to_ix[tid] for tid in g] for g in m.groups],
+            scheduler=scheduler_config,
             seed=seed,
             batch_accesses=batch_accesses,
-            scheduler_config=scheduler_config,
         )
-        times[mapping] = {t.name: result.user_time(t.name) for t in tasks}
+        for m in mappings
+    ]
+    outcomes = orchestrator.run_specs(specs)
+    for mapping, outcome in zip(mappings, outcomes):
+        times[mapping] = {t.name: outcome.user_time(t.name) for t in tasks}
     return times
 
 
@@ -242,6 +342,141 @@ class MixResult:
         return self.oracle_improvement(name) - self.improvement(name)
 
 
+def _phase1_scheduler_default(machine: MachineConfig) -> SchedulerConfig:
+    """The standard phase-1 scheduler (long quanta, smoothed contexts).
+
+    Phase-1 quanta must be long enough for each task to re-fault its
+    working set (so the RBV occupancy reflects the footprint, the Figure 5
+    premise) yet short enough for many samples; smoothing stabilises the
+    allocator against quantum-to-quantum noise.
+    """
+    return SchedulerConfig(
+        num_cores=machine.num_cores,
+        timeslice_cycles=8_000_000.0,
+        context_smoothing=0.6,
+    )
+
+
+class _TwoPhasePlan:
+    """One mix's two-phase methodology as a batch of run specs.
+
+    The plan submits the phase-1 (signature-gathering) spec and every
+    phase-2 reference-mapping spec *together* — phase 2 measures the full
+    reference set regardless of phase 1's outcome, so there is no
+    sequential dependency and a whole sweep's plans can share one batch.
+    Only the rare "chosen mapping outside the reference set" measurement
+    needs a second round, surfaced by :meth:`resolve`.
+
+    Note one deliberate divergence from the serial path: the policy is
+    rebuilt from its declarative form for each plan, so a stateful policy
+    (the interference policies advance an invocation counter that feeds
+    their tie-break seeds) starts fresh per mix instead of carrying state
+    across a sweep. Results are self-consistent across worker counts
+    either way, which is the property the cache keys rely on.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        names: Sequence[str],
+        policy,
+        *,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        seed: int = 0,
+        batch_accesses: int = 256,
+        monitor_interval: float = 8_000_000.0,
+        signature_overrides: Optional[dict] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        phase1_scheduler: Optional[SchedulerConfig] = None,
+        phase1_min_wall: float = 160_000_000.0,
+        apply_during_phase1: bool = True,
+        max_mappings: Optional[int] = None,
+    ):
+        self.names = tuple(names)
+        self.machine = machine
+        self.seed = seed
+        self.batch_accesses = batch_accesses
+        self.scheduler_config = scheduler_config
+        self.workload = WorkloadSpec(
+            kind="spec", names=self.names, instructions=instructions, seed=seed
+        )
+        policy_name, policy_kwargs = policy_to_spec(policy)
+        monitor = MonitorSpec.make(
+            policy_name,
+            policy_kwargs,
+            interval_cycles=monitor_interval,
+            apply=apply_during_phase1,
+        )
+        phase1_spec = make_run_spec(
+            machine,
+            self.workload,
+            monitor=monitor,
+            signature=default_signature_config(
+                machine, **(signature_overrides or {})
+            ),
+            scheduler=phase1_scheduler or _phase1_scheduler_default(machine),
+            seed=seed,
+            batch_accesses=batch_accesses,
+            min_wall_cycles=phase1_min_wall,
+        )
+        self.mappings = _sample_mappings(
+            balanced_mappings(list(range(len(self.names))), machine.num_cores),
+            seed,
+            max_mappings,
+        )
+        self.specs = [phase1_spec] + [
+            self._measure_spec(m) for m in self.mappings
+        ]
+        self.default = _default_index_mapping(
+            len(self.names), machine.num_cores
+        )
+        self.chosen: Optional[Mapping] = None
+        self.decisions: Tuple[Mapping, ...] = ()
+        self.mapping_times: Dict[Mapping, Dict[str, float]] = {}
+
+    def _measure_spec(self, mapping: Mapping):
+        """The phase-2 measurement spec of one index-space mapping."""
+        return make_run_spec(
+            self.machine,
+            self.workload,
+            mapping=[sorted(g) for g in mapping.groups],
+            scheduler=self.scheduler_config,
+            seed=self.seed,
+            batch_accesses=self.batch_accesses,
+        )
+
+    def resolve(self, outcomes):
+        """Consume this plan's slice of batch outcomes.
+
+        Returns the extra measurement spec needed when the chosen mapping
+        fell outside the reference set, else ``None``.
+        """
+        phase1 = outcomes[0]
+        self.decisions = tuple(phase1.decisions_mappings())
+        self.chosen = (phase1.majority_mapping() or self.default).canonical()
+        self.mapping_times = {
+            m: {name: out.user_time(name) for name in self.names}
+            for m, out in zip(self.mappings, outcomes[1:])
+        }
+        if self.chosen not in self.mapping_times:
+            return self._measure_spec(self.chosen)
+        return None
+
+    def finish(self, extra=None) -> MixResult:
+        """Assemble the :class:`MixResult` (after any extra measurement)."""
+        if extra is not None:
+            self.mapping_times[self.chosen] = {
+                name: extra.user_time(name) for name in self.names
+            }
+        return MixResult(
+            names=self.names,
+            mapping_times=self.mapping_times,
+            chosen_mapping=self.chosen,
+            default_mapping=self.default,
+            decisions=self.decisions,
+        )
+
+
 def two_phase(
     machine: MachineConfig,
     names: Sequence[str],
@@ -256,6 +491,7 @@ def two_phase(
     phase1_min_wall: float = 160_000_000.0,
     apply_during_phase1: bool = True,
     max_mappings: Optional[int] = None,
+    orchestrator=None,
 ) -> MixResult:
     """The full Section 4 methodology for one mix.
 
@@ -265,22 +501,43 @@ def two_phase(
     schedule. Phase 2 (the paper's real-machine runs): measure every
     balanced mapping and report the chosen one's improvement over each
     benchmark's worst case.
+
+    With an *orchestrator*, both phases are expressed as declarative run
+    specs and submitted as one batch (phase 2's reference set does not
+    depend on phase 1's outcome), executing in parallel and hitting the
+    result cache; mappings in the returned :class:`MixResult` are then in
+    the spec index namespace (task index = position in *names*).
     """
+    if orchestrator is not None:
+        plan = _TwoPhasePlan(
+            machine,
+            names,
+            policy,
+            instructions=instructions,
+            seed=seed,
+            batch_accesses=batch_accesses,
+            monitor_interval=monitor_interval,
+            signature_overrides=signature_overrides,
+            scheduler_config=scheduler_config,
+            phase1_scheduler=phase1_scheduler,
+            phase1_min_wall=phase1_min_wall,
+            apply_during_phase1=apply_during_phase1,
+            max_mappings=max_mappings,
+        )
+        extra_spec = plan.resolve(orchestrator.run_specs(plan.specs))
+        extra = (
+            orchestrator.run_spec(extra_spec)
+            if extra_spec is not None
+            else None
+        )
+        return plan.finish(extra)
     tasks = build_tasks(list(names), instructions=instructions, seed=seed)
     sig = default_signature_config(machine, **(signature_overrides or {}))
     monitor = UserLevelMonitor(
         policy, interval_cycles=monitor_interval, apply=apply_during_phase1
     )
     if phase1_scheduler is None:
-        # Phase-1 quanta must be long enough for each task to re-fault its
-        # working set (so the RBV occupancy reflects the footprint, the
-        # Figure 5 premise) yet short enough for many samples; smoothing
-        # stabilises the allocator against quantum-to-quantum noise.
-        phase1_scheduler = SchedulerConfig(
-            num_cores=machine.num_cores,
-            timeslice_cycles=8_000_000.0,
-            context_smoothing=0.6,
-        )
+        phase1_scheduler = _phase1_scheduler_default(machine)
     phase1 = run_mix(
         machine,
         tasks,
@@ -404,10 +661,46 @@ def mix_sweep(
     instructions: int = DEFAULT_INSTRUCTIONS,
     seed: int = 0,
     batch_accesses: int = 256,
+    orchestrator=None,
     **two_phase_kwargs,
 ) -> SweepResult:
-    """Run the two-phase methodology over many mixes (Figure 10/11 data)."""
+    """Run the two-phase methodology over many mixes (Figure 10/11 data).
+
+    With an *orchestrator*, every mix's phase-1 and phase-2 specs are
+    concatenated into a single batch — the whole sweep fans out at once —
+    followed by at most one small batch for chosen-outside-reference
+    measurements. Results are identical for any worker count.
+    """
     sweep = SweepResult()
+    if orchestrator is not None:
+        plans = [
+            _TwoPhasePlan(
+                machine,
+                list(mix),
+                policy,
+                instructions=instructions,
+                seed=seed + i,
+                batch_accesses=batch_accesses,
+                **two_phase_kwargs,
+            )
+            for i, mix in enumerate(mixes)
+        ]
+        outcomes = orchestrator.run_specs(
+            [spec for plan in plans for spec in plan.specs]
+        )
+        position = 0
+        extra_specs = []
+        for plan in plans:
+            chunk = outcomes[position:position + len(plan.specs)]
+            position += len(plan.specs)
+            extra_specs.append(plan.resolve(chunk))
+        pending = [s for s in extra_specs if s is not None]
+        extras = iter(orchestrator.run_specs(pending)) if pending else iter(())
+        for plan, extra_spec in zip(plans, extra_specs):
+            sweep.add(
+                plan.finish(next(extras) if extra_spec is not None else None)
+            )
+        return sweep
     for i, mix in enumerate(mixes):
         sweep.add(
             two_phase(
@@ -437,6 +730,7 @@ def parsec_two_phase(
     scheduler_config: Optional[SchedulerConfig] = None,
     phase1_scheduler: Optional[SchedulerConfig] = None,
     phase1_min_wall: float = 160_000_000.0,
+    orchestrator=None,
 ) -> MixResult:
     """Two-phase methodology for a mix of multithreaded applications.
 
@@ -446,7 +740,25 @@ def parsec_two_phase(
     intractable (C(16,8)/2 mappings), and the paper's reported baseline is
     likewise schedule-level. Improvements are per *application* user time
     (slowest thread's first completion).
+
+    With an *orchestrator*, phase 1 and the whole reference set run as one
+    batch; mappings are then in flat thread-index space (threads numbered
+    in application order).
     """
+    if orchestrator is not None:
+        return _parsec_two_phase_orchestrated(
+            machine,
+            app_names,
+            instructions_per_thread=instructions_per_thread,
+            seed=seed,
+            batch_accesses=batch_accesses,
+            monitor_interval=monitor_interval,
+            method=method,
+            scheduler_config=scheduler_config,
+            phase1_scheduler=phase1_scheduler,
+            phase1_min_wall=phase1_min_wall,
+            orchestrator=orchestrator,
+        )
     processes = build_parsec_processes(
         list(app_names), instructions_per_thread=instructions_per_thread, seed=seed
     )
@@ -455,11 +767,7 @@ def parsec_two_phase(
     policy = TwoPhasePolicy(method=method, seed=seed)
     monitor = UserLevelMonitor(policy, interval_cycles=monitor_interval, apply=True)
     if phase1_scheduler is None:
-        phase1_scheduler = SchedulerConfig(
-            num_cores=machine.num_cores,
-            timeslice_cycles=8_000_000.0,
-            context_smoothing=0.6,
-        )
+        phase1_scheduler = _phase1_scheduler_default(machine)
     phase1 = run_mix(
         machine,
         tasks,
@@ -519,4 +827,103 @@ def parsec_two_phase(
         chosen_mapping=chosen,
         default_mapping=default,
         decisions=tuple(phase1.decisions),
+    )
+
+
+def _parsec_two_phase_orchestrated(
+    machine: MachineConfig,
+    app_names: Sequence[str],
+    *,
+    instructions_per_thread: int,
+    seed: int,
+    batch_accesses: int,
+    monitor_interval: float,
+    method: str,
+    scheduler_config: Optional[SchedulerConfig],
+    phase1_scheduler: Optional[SchedulerConfig],
+    phase1_min_wall: float,
+    orchestrator,
+) -> MixResult:
+    """:func:`parsec_two_phase` through the job orchestrator.
+
+    Thread indices are flat: application ``i`` owns the contiguous range
+    after its predecessors' threads, mirroring the build order of
+    :func:`~repro.perf.runner.build_parsec_processes`.
+    """
+    names = tuple(app_names)
+    workload = WorkloadSpec(
+        kind="parsec",
+        names=names,
+        instructions=instructions_per_thread,
+        seed=seed,
+    )
+    spans: List[range] = []
+    start = 0
+    for name in names:
+        count = parsec_profile(name).threads
+        spans.append(range(start, start + count))
+        start += count
+
+    def measure(mapping: Mapping):
+        return make_run_spec(
+            machine,
+            workload,
+            mapping=[sorted(g) for g in mapping.groups],
+            scheduler=scheduler_config,
+            seed=seed,
+            batch_accesses=batch_accesses,
+        )
+
+    phase1_spec = make_run_spec(
+        machine,
+        workload,
+        monitor=MonitorSpec.make(
+            "two_phase",
+            {"method": method, "seed": seed},
+            interval_cycles=monitor_interval,
+            apply=True,
+        ),
+        signature=default_signature_config(machine),
+        scheduler=phase1_scheduler or _phase1_scheduler_default(machine),
+        seed=seed,
+        batch_accesses=batch_accesses,
+        min_wall_cycles=phase1_min_wall,
+    )
+    default = _default_index_mapping(start, machine.num_cores)
+    candidates = []
+    for proc_mapping in balanced_mappings(
+        list(range(len(names))), machine.num_cores
+    ):
+        groups = [
+            [i for app in sorted(g) for i in spans[app]]
+            for g in proc_mapping.groups
+        ]
+        candidates.append(canonical_mapping(groups))
+    if default not in candidates:
+        candidates.append(default)
+
+    outcomes = orchestrator.run_specs(
+        [phase1_spec] + [measure(m) for m in candidates]
+    )
+    phase1 = outcomes[0]
+    chosen = (phase1.majority_mapping() or default).canonical()
+
+    def app_times(outcome) -> Dict[str, float]:
+        return {
+            name: outcome.process_time(i) for i, name in enumerate(names)
+        }
+
+    mapping_times: Dict[Mapping, Dict[str, float]] = {
+        m: app_times(out) for m, out in zip(candidates, outcomes[1:])
+    }
+    if chosen not in mapping_times:
+        mapping_times[chosen] = app_times(
+            orchestrator.run_spec(measure(chosen))
+        )
+    return MixResult(
+        names=names,
+        mapping_times=mapping_times,
+        chosen_mapping=chosen,
+        default_mapping=default,
+        decisions=tuple(phase1.decisions_mappings()),
     )

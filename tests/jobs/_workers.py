@@ -1,0 +1,42 @@
+"""Picklable worker functions for the pool tests.
+
+Spawn-started workers import jobs by qualified name, so anything
+submitted to a :class:`~repro.jobs.pool.WorkerPool` must live in a real
+importable module — not in a test function and not in ``__main__``.
+"""
+
+import os
+import time
+
+
+def square(x):
+    """Return ``x * x`` (the trivial happy-path job)."""
+    return x * x
+
+
+def crash_until_marker(payload):
+    """Die hard (``os._exit``) until a marker file exists, then succeed.
+
+    *payload* is ``(marker_path, value)``. The first execution creates
+    the marker and kills the worker process without Python cleanup —
+    indistinguishable from a segfault from the pool's point of view. Any
+    later attempt sees the marker and returns *value*, so a pool with a
+    retry budget must complete the job on its second wave.
+    """
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="ascii") as handle:
+            handle.write("crashed once\n")
+        os._exit(1)
+    return value
+
+
+def raise_value_error(x):
+    """Raise a deterministic in-job exception (never retried)."""
+    raise ValueError(f"deterministic failure for {x!r}")
+
+
+def sleep_forever(x):
+    """Block far beyond any test timeout (for timeout handling tests)."""
+    time.sleep(3600)
+    return x

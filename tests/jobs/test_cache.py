@@ -1,0 +1,96 @@
+"""Result-cache behaviour: hits, misses, and every corruption mode.
+
+The cache must never raise on bad on-disk state — a damaged entry is a
+miss (counted as corrupt) that the next ``put`` silently heals.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jobs import CACHE_SCHEMA_VERSION, ResultCache
+
+KEY = "ab" + "0" * 62
+SPEC = {"schema": 1, "fake": True}
+OUTCOME = {"wall_cycles": 123.0, "tasks": []}
+
+
+def test_miss_then_hit_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(KEY) is None
+    cache.put(KEY, SPEC, OUTCOME)
+    assert cache.get(KEY) == OUTCOME
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.writes == 1
+    assert cache.stats.corrupt == 0
+
+
+def test_fanout_layout(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(KEY, SPEC, OUTCOME)
+    assert path == tmp_path / KEY[:2] / f"{KEY}.json"
+    assert path.exists()
+    # No stray temp files left behind.
+    assert [p.name for p in path.parent.iterdir()] == [path.name]
+
+
+def corrupt_variants():
+    """Every on-disk corruption the cache must treat as a miss."""
+    good = {
+        "version": CACHE_SCHEMA_VERSION,
+        "key": KEY,
+        "spec": SPEC,
+        "outcome": OUTCOME,
+    }
+    wrong_version = dict(good, version=CACHE_SCHEMA_VERSION + 1)
+    wrong_key = dict(good, key="cd" + "0" * 62)
+    not_a_dict = dict(good, outcome=[1, 2, 3])
+    return [
+        b"",  # empty file
+        b"{\"version\": 1,",  # truncated JSON
+        b"\xff\xfe garbage \x00",  # non-ASCII garbage
+        json.dumps(wrong_version).encode(),
+        json.dumps(wrong_key).encode(),
+        json.dumps(not_a_dict).encode(),
+        json.dumps([1, 2]).encode(),  # envelope is not an object
+    ]
+
+
+def test_corrupt_entries_are_counted_misses(tmp_path):
+    for i, payload in enumerate(corrupt_variants()):
+        cache = ResultCache(tmp_path / str(i))
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(payload)
+        assert cache.get(KEY) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 1
+
+
+def test_put_heals_a_corrupt_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(KEY)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not json at all")
+    assert cache.get(KEY) is None
+    cache.put(KEY, SPEC, OUTCOME)
+    assert cache.get(KEY) == OUTCOME
+
+
+def test_non_directory_root_rejected_up_front(tmp_path):
+    """A root that exists as a file fails at construction, not mid-sweep."""
+    not_a_dir = tmp_path / "cache.file"
+    not_a_dir.write_text("occupied")
+    with pytest.raises(ConfigurationError, match="not a directory"):
+        ResultCache(not_a_dir)
+
+
+def test_distinct_keys_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    other_key = "cd" + "1" * 62
+    cache.put(KEY, SPEC, OUTCOME)
+    cache.put(other_key, SPEC, {"wall_cycles": 456.0, "tasks": []})
+    assert cache.get(KEY)["wall_cycles"] == 123.0
+    assert cache.get(other_key)["wall_cycles"] == 456.0

@@ -1,0 +1,67 @@
+"""Worker-pool semantics: ordering, crash recovery, fail-fast errors.
+
+Worker functions live in :mod:`tests.jobs._workers` because spawn-started
+children import jobs by qualified module name.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, JobError
+from repro.jobs import WorkerPool
+from tests.jobs import _workers
+
+
+def test_results_in_submission_order():
+    pool = WorkerPool(jobs=2)
+    assert pool.run(_workers.square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        WorkerPool(jobs=0)
+    with pytest.raises(ConfigurationError):
+        WorkerPool(jobs=1, retries=-1)
+
+
+def test_crash_is_retried_to_completion(tmp_path):
+    """A worker killed mid-job (os._exit) completes on the retry wave."""
+    marker = tmp_path / "crashed.marker"
+    events = []
+    pool = WorkerPool(jobs=2, retries=2, backoff=0.01)
+    results = pool.run(
+        _workers.crash_until_marker,
+        [(str(marker), 41), (str(marker), 42)],
+        on_event=lambda kind, **f: events.append((kind, f.get("index"))),
+    )
+    assert results == [41, 42]
+    assert marker.exists()
+    assert any(kind == "retried" for kind, _ in events)
+    assert not any(kind == "failed" for kind, _ in events)
+
+
+def test_crash_exhausts_retry_budget(tmp_path):
+    """With retries=0 a crashing job raises after its single attempt."""
+    marker = tmp_path / "never-read.marker"
+    pool = WorkerPool(jobs=1, retries=0, backoff=0.01)
+    with pytest.raises(JobError, match="worker crash"):
+        pool.run(_workers.crash_until_marker, [(str(marker), 1)])
+
+
+def test_deterministic_exception_fails_fast():
+    """An in-job exception is wrapped in JobError and never retried."""
+    events = []
+    pool = WorkerPool(jobs=1, retries=5, backoff=0.01)
+    with pytest.raises(JobError, match="deterministic failure"):
+        pool.run(
+            _workers.raise_value_error,
+            ["boom"],
+            on_event=lambda kind, **f: events.append((kind, f.get("attempt"))),
+        )
+    assert events == [("failed", 1)]  # one attempt, despite retries=5
+
+
+def test_timeout_retries_then_gives_up():
+    """A job exceeding its wall budget is charged attempts until it fails."""
+    pool = WorkerPool(jobs=1, timeout=0.5, retries=1, backoff=0.01)
+    with pytest.raises(JobError, match="timeout"):
+        pool.run(_workers.sleep_forever, [0])
