@@ -6,19 +6,46 @@ pushes the resulting mapping back by setting affinity bits. It also keeps
 the decision history so the evaluation methodology's majority vote
 ("the allocation picked by the simulated allocator majority of the times is
 considered to be the chosen schedule", Section 4.1) can be computed.
+
+Graceful degradation
+--------------------
+The CBF signature is lossy hardware: counters saturate, sampling windows
+drop, and a corrupted reading silently yields a garbage schedule. Before
+every policy invocation the monitor therefore runs the
+:func:`~repro.core.signature.assess_signature` validation layer over each
+task's reading. If any reading is unhealthy the invocation *degrades*: the
+policy is skipped, the default round-robin placement is applied instead,
+and a structured degradation event (invocation number, per-task verdicts)
+is recorded so sweeps can name the affected mixes in their
+:class:`~repro.jobs.failures.FailureReport`. A fully degraded phase-1 run
+ends with no decisions, so the majority vote falls back to the default
+schedule — a bad signature yields a safe mapping, never a garbage one.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.alloc.base import AllocationPolicy
+from repro.core.signature import HealthReport, assess_signature
 from repro.errors import AllocationError
-from repro.sched.affinity import Mapping
-from repro.sched.syscall import SyscallInterface
+from repro.sched.affinity import Mapping, canonical_mapping
+from repro.sched.syscall import SyscallInterface, TaskView
 
-__all__ = ["UserLevelMonitor"]
+__all__ = ["UserLevelMonitor", "fallback_mapping"]
+
+
+def fallback_mapping(tasks: Sequence[TaskView], num_cores: int) -> Mapping:
+    """The safe default placement: round-robin over tasks in tid order.
+
+    This is the mapping the simulator would use with no allocator at all,
+    so falling back to it can never be worse than not monitoring.
+    """
+    groups: List[List[int]] = [[] for _ in range(num_cores)]
+    for i, task in enumerate(sorted(tasks, key=lambda t: t.tid)):
+        groups[i % num_cores].append(task.tid)
+    return canonical_mapping(groups)
 
 
 class UserLevelMonitor:
@@ -35,6 +62,17 @@ class UserLevelMonitor:
     apply:
         Whether decisions are pushed back via affinity bits during the run
         (phase-1 behaviour) or merely recorded.
+    signature_capacity:
+        Filter entry count of the attached signature unit; enables the
+        saturation and beyond-capacity health checks. ``None`` keeps only
+        the always-safe corruption checks.
+    saturation_fraction:
+        Occupancy fraction of capacity declared saturated (default 1.0:
+        only an exactly-full filter, which healthy workloads never reach).
+    stale_after:
+        Declare a task's signature stale after this many consecutive
+        invocations without a fresh sample (``None`` disables staleness
+        tracking, the default).
     """
 
     def __init__(
@@ -42,25 +80,84 @@ class UserLevelMonitor:
         policy: AllocationPolicy,
         interval_cycles: float = 4_000_000.0,
         apply: bool = True,
+        signature_capacity: Optional[int] = None,
+        saturation_fraction: float = 1.0,
+        stale_after: Optional[int] = None,
     ):
         if interval_cycles <= 0:
             raise AllocationError("interval_cycles must be positive")
+        if stale_after is not None and stale_after < 1:
+            raise AllocationError("stale_after must be >= 1 (or None)")
         self.policy = policy
         self.interval_cycles = float(interval_cycles)
         self.apply = apply
+        self.signature_capacity = signature_capacity
+        self.saturation_fraction = saturation_fraction
+        self.stale_after = stale_after
         self.decisions: List[Mapping] = []
         self.skipped_invocations = 0
+        #: Structured degradation events (JSON-native dicts).
+        self.degradations: List[dict] = []
+        self._invocations = 0
+        self._last_seen: Dict[int, int] = {}
+        self._stale_count: Dict[int, int] = {}
+
+    def _assess(self, task: TaskView) -> HealthReport:
+        """Health-check one task view (staleness needs invocation history)."""
+        last = None
+        if self.stale_after is not None:
+            previous = self._last_seen.get(task.tid)
+            if previous is not None and task.samples_seen <= previous:
+                self._stale_count[task.tid] = (
+                    self._stale_count.get(task.tid, 0) + 1
+                )
+            else:
+                self._stale_count[task.tid] = 0
+            if self._stale_count[task.tid] >= self.stale_after:
+                # Force the stale verdict by replaying the frozen counter.
+                last = task.samples_seen
+            self._last_seen[task.tid] = task.samples_seen
+        return assess_signature(
+            task.occupancy,
+            task.symbiosis,
+            capacity=self.signature_capacity,
+            saturation_fraction=self.saturation_fraction,
+            samples_seen=task.samples_seen if last is not None else None,
+            last_samples_seen=last,
+        )
 
     def invoke(self, syscall: SyscallInterface) -> Optional[Mapping]:
         """One allocator invocation.
 
-        Returns the decided mapping, or ``None`` while any task still lacks
-        a signature sample (early in the run, before its first context
-        switch).
+        Returns the decided mapping; ``None`` while any task still lacks a
+        signature sample (early in the run) or when the invocation
+        degraded because a task's signature failed its health check — in
+        the degraded case the default round-robin placement is applied
+        (when ``apply`` is set) and a degradation event recorded instead.
         """
+        self._invocations += 1
         tasks = syscall.query_tasks()
         if not tasks or any(not t.valid for t in tasks):
             self.skipped_invocations += 1
+            return None
+        unhealthy = {}
+        for task in tasks:
+            report = self._assess(task)
+            if not report.ok:
+                unhealthy[task.name] = report
+        if unhealthy:
+            self.degradations.append(
+                {
+                    "invocation": self._invocations,
+                    "action": "fallback-default-mapping",
+                    "tasks": {
+                        name: {"status": r.status, "reason": r.reason}
+                        for name, r in sorted(unhealthy.items())
+                    },
+                }
+            )
+            if self.apply:
+                syscall.apply_mapping(fallback_mapping(tasks, syscall.num_cores))
             return None
         mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
         self.decisions.append(mapping)
@@ -76,6 +173,10 @@ class UserLevelMonitor:
         return counts.most_common(1)[0][0]
 
     def reset(self) -> None:
-        """Clear decision history."""
+        """Clear decision history, degradation events and staleness state."""
         self.decisions.clear()
         self.skipped_invocations = 0
+        self.degradations.clear()
+        self._invocations = 0
+        self._last_seen.clear()
+        self._stale_count.clear()

@@ -19,7 +19,11 @@ All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``pairwise`` accept ``--instructions`` to trade fidelity for speed.
 ``mix`` and ``sweep`` accept ``--jobs`` (parallel simulation workers) and
 ``--cache-dir`` (content-addressed result cache) — see
-:mod:`repro.jobs`.
+:mod:`repro.jobs` — plus the robustness flags: ``--keep-going`` /
+``--fail-fast`` (salvage failing mixes into a failure report vs abort on
+the first error; fail-fast is the default) and ``--resume JOURNAL``
+(write-ahead journal of completed runs; re-invoking with the same
+journal re-executes only what had not finished).
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ from repro.analysis.report import (
     render_sweep,
     render_table1,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.jobs import Orchestrator
 from repro.perf.experiment import pairwise_shared, two_phase
 from repro.perf.machine import core2duo
@@ -120,17 +124,59 @@ def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="directory for the content-addressed result cache",
     )
+    going = parser.add_mutually_exclusive_group()
+    going.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        help="salvage failing runs into a failure report instead of aborting",
+    )
+    going.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort on the first failing run (default)",
+    )
+    parser.set_defaults(keep_going=False)
+    parser.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="write-ahead journal file; completed runs recorded there are "
+        "replayed instead of re-executed (checkpoint/resume)",
+    )
 
 
 def _make_orchestrator(args: argparse.Namespace) -> Optional[Orchestrator]:
-    """Build an orchestrator from ``--jobs``/``--cache-dir`` (or ``None``).
+    """Build an orchestrator from the orchestration flags (or ``None``).
 
-    ``--jobs 1`` with no cache keeps the exact serial code path; either
+    The default flag set (``--jobs 1``, no cache, fail-fast, no journal)
+    keeps the exact serial code path; any orchestration or robustness
     flag opts the command into the :mod:`repro.jobs` subsystem.
     """
-    if args.jobs <= 1 and args.cache_dir is None:
+    if (
+        args.jobs <= 1
+        and args.cache_dir is None
+        and not args.keep_going
+        and args.resume is None
+    ):
         return None
-    return Orchestrator(jobs=max(1, args.jobs), cache_dir=args.cache_dir)
+    return Orchestrator(
+        jobs=max(1, args.jobs),
+        cache_dir=args.cache_dir,
+        journal=args.resume,
+        keep_going=args.keep_going,
+    )
+
+
+def _print_failures(sweep) -> None:
+    """Print a keep-going sweep's failure report (when non-trivial)."""
+    report = sweep.failures
+    if report.ok:
+        return
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  failed {'+'.join(failure.mix)}: {failure.error}")
+    for degradation in report.degradations:
+        print(
+            f"  degraded {'+'.join(degradation.mix)}: "
+            f"{len(degradation.events)} event(s), fell back to the "
+            "default schedule"
+        )
 
 
 def _cmd_profiles() -> int:
@@ -174,17 +220,27 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}")
         return 2
-    result = two_phase(
-        machine,
-        args.names,
-        _POLICIES[args.policy](seed=args.seed),
-        instructions=args.instructions,
-        seed=args.seed,
-        orchestrator=orchestrator,
-    )
+    try:
+        result = two_phase(
+            machine,
+            args.names,
+            _POLICIES[args.policy](seed=args.seed),
+            instructions=args.instructions,
+            seed=args.seed,
+            orchestrator=orchestrator,
+        )
+    except SimulationError as exc:
+        print(f"mix failed: {exc}")
+        return 1
     print(f"mix: {', '.join(args.names)}   policy: {args.policy}")
     if orchestrator is not None:
         print(orchestrator.counters.summary())
+    if result.degradations:
+        print(
+            f"DEGRADED: signature failed health checks "
+            f"({len(result.degradations)} event(s)); chosen schedule is "
+            "the default fallback"
+        )
     print(f"phase-1 decisions: {len(result.decisions)}")
     print(f"chosen schedule: {result.chosen_mapping}\n")
     rows = [
@@ -238,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         mixes_per_benchmark=args.mixes_per_benchmark,
         orchestrator=orchestrator,
+        keep_going=args.keep_going,
     )
     print(
         render_sweep(
@@ -248,7 +305,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print()
     print(orchestrator.counters.summary())
-    return 0
+    _print_failures(sweep)
+    return 1 if sweep.failures.failures else 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:

@@ -38,7 +38,14 @@ from repro.core.overhead import (
     software_overhead,
 )
 from repro.core.sampling import SetSampler
-from repro.core.signature import SignatureConfig, SignatureStats, SignatureUnit
+from repro.core.signature import (
+    HealthReport,
+    SignatureConfig,
+    SignatureHealth,
+    SignatureStats,
+    SignatureUnit,
+    assess_signature,
+)
 
 __all__ = [
     "BloomFilter",
@@ -63,7 +70,10 @@ __all__ = [
     "paper_hardware_overhead",
     "software_overhead",
     "SetSampler",
+    "HealthReport",
     "SignatureConfig",
+    "SignatureHealth",
     "SignatureStats",
     "SignatureUnit",
+    "assess_signature",
 ]

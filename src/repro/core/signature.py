@@ -61,7 +61,127 @@ from repro.utils.validation import (
     require_power_of_two,
 )
 
-__all__ = ["SignatureConfig", "SignatureStats", "SignatureUnit"]
+__all__ = [
+    "SignatureConfig",
+    "SignatureStats",
+    "SignatureUnit",
+    "SignatureHealth",
+    "HealthReport",
+    "assess_signature",
+]
+
+
+class SignatureHealth:
+    """Health verdicts for a signature reading (the validation layer).
+
+    The CBF signature is lossy hardware by design: counters saturate,
+    sampling drops accesses, and a frozen or garbled reading silently
+    yields a garbage schedule. Consumers (the user-level monitor, the
+    allocation policies) classify each reading before trusting it:
+
+    * :data:`OK` — the reading is plausible and fresh;
+    * :data:`SATURATED` — the filter is (effectively) full: occupancy
+      carries no discriminating signal between tasks;
+    * :data:`STALE` — the reading has not been refreshed for too long
+      (dropped sampling windows, a wedged signature unit);
+    * :data:`CORRUPT` — the reading is physically impossible (negative
+      or non-finite occupancy/symbiosis, occupancy beyond capacity).
+    """
+
+    OK = "ok"
+    SATURATED = "saturated"
+    STALE = "stale"
+    CORRUPT = "corrupt"
+
+    #: Every verdict, worst first (the order degradation reports sort by).
+    ALL = (CORRUPT, STALE, SATURATED, OK)
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Outcome of one :func:`assess_signature` check.
+
+    Parameters
+    ----------
+    status:
+        One of the :class:`SignatureHealth` verdicts.
+    reason:
+        Human-readable explanation ('' for healthy readings).
+    """
+
+    status: str
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the reading can be trusted by an allocation policy."""
+        return self.status == SignatureHealth.OK
+
+
+def assess_signature(
+    occupancy: float,
+    symbiosis: Optional[Sequence] = None,
+    *,
+    capacity: Optional[int] = None,
+    saturation_fraction: float = 1.0,
+    samples_seen: Optional[int] = None,
+    last_samples_seen: Optional[int] = None,
+) -> HealthReport:
+    """Classify one signature reading as ok / saturated / stale / corrupt.
+
+    Parameters
+    ----------
+    occupancy:
+        RBV/CF popcount reported for the entity.
+    symbiosis:
+        Optional per-core symbiosis values of the same reading.
+    capacity:
+        Filter entry count (``SignatureConfig.num_entries``); enables the
+        saturation and beyond-capacity checks.
+    saturation_fraction:
+        Occupancy fraction of *capacity* at which the filter is declared
+        saturated (1.0 = only an exactly-full filter, the conservative
+        default that cannot misfire on healthy workloads).
+    samples_seen / last_samples_seen:
+        Sample counters from the current and previous observation; equal
+        values mean no fresh sample arrived in between (stale). Pass
+        ``None`` to skip the staleness check.
+
+    Checks are ordered worst-first: a corrupt reading is reported as
+    corrupt even if it would also count as saturated.
+    """
+    if not np.isfinite(occupancy) or occupancy < 0:
+        return HealthReport(
+            SignatureHealth.CORRUPT, f"occupancy {occupancy!r} is impossible"
+        )
+    if symbiosis is not None:
+        values = np.asarray(symbiosis, dtype=np.float64)
+        if not np.all(np.isfinite(values)) or (values < 0).any():
+            return HealthReport(
+                SignatureHealth.CORRUPT,
+                "symbiosis vector contains negative or non-finite entries",
+            )
+    if capacity is not None and occupancy > capacity:
+        return HealthReport(
+            SignatureHealth.CORRUPT,
+            f"occupancy {occupancy:g} exceeds filter capacity {capacity}",
+        )
+    if (
+        samples_seen is not None
+        and last_samples_seen is not None
+        and samples_seen <= last_samples_seen
+    ):
+        return HealthReport(
+            SignatureHealth.STALE,
+            f"no fresh sample since the last check ({samples_seen} seen)",
+        )
+    if capacity is not None and occupancy >= saturation_fraction * capacity:
+        return HealthReport(
+            SignatureHealth.SATURATED,
+            f"occupancy {occupancy:g} >= {saturation_fraction:.0%} "
+            f"of {capacity} entries",
+        )
+    return HealthReport(SignatureHealth.OK)
 
 
 def _next_power_of_two(n: int) -> int:
@@ -179,6 +299,20 @@ class SignatureUnit:
         self.last_filters = [BitVector(self.num_entries) for _ in range(self.num_cores)]
         self.stats = SignatureStats()
         self._shift = int(np.log2(config.sampling_denominator))
+        #: Optional fault injector (see :mod:`repro.faults.injectors`).
+        self.injector = None
+
+    def attach_injector(self, injector) -> None:
+        """Attach a fault injector to this unit (``None`` detaches).
+
+        The injector's ``after_events(unit)`` hook runs after every
+        recorded event batch and may mutate counters/filters in place;
+        its ``transform_sample(unit, core, sample)`` hook intercepts
+        every context-switch sample and may corrupt it or drop it
+        (return ``None``). Used by :mod:`repro.faults` to emulate lossy
+        or broken signature hardware deterministically.
+        """
+        self.injector = injector
 
     # ------------------------------------------------------------------
     # index computation
@@ -348,6 +482,8 @@ class SignatureUnit:
         """
         if self._presence and not self.config.exact:
             self._record_events_presence(core, fills, fill_slots, evictions, evict_slots)
+            if self.injector is not None:
+                self.injector.after_events(self)
             return
         if (
             self.config.exact
@@ -376,9 +512,13 @@ class SignatureUnit:
                     None if evict_slots is None else evict_slots[e : e + 1],
                 )
                 e += 1
+            if self.injector is not None:
+                self.injector.after_events(self)
             return
         self.record_fill_batch(core, fills, fill_slots)
         self.record_eviction_batch(evictions, evict_slots)
+        if self.injector is not None:
+            self.injector.after_events(self)
 
     def _record_events_presence(
         self,
@@ -499,15 +639,24 @@ class SignatureUnit:
     # ------------------------------------------------------------------
     # context switches and queries
     # ------------------------------------------------------------------
-    def on_context_switch(self, core: int) -> SignatureSample:
-        """Compute the outgoing entity's sample, then re-snapshot the LF."""
+    def on_context_switch(self, core: int) -> Optional[SignatureSample]:
+        """Compute the outgoing entity's sample, then re-snapshot the LF.
+
+        With a fault injector attached the sample may be corrupted or
+        dropped entirely (``None``) — emulating garbled signature words
+        and lost sampling windows respectively. Consumers must treat a
+        ``None`` sample as "no observation this switch".
+        """
         self._check_core(core)
         rbv = running_bit_vector(self.core_filters[core], self.last_filters[core])
         occupancy = rbv.popcount()
         sym = symbiosis_vector(rbv, self.core_filters)
         self.last_filters[core].load_from(self.core_filters[core])
         self.stats.context_switches += 1
-        return SignatureSample(core=core, occupancy=occupancy, symbiosis=sym)
+        sample = SignatureSample(core=core, occupancy=occupancy, symbiosis=sym)
+        if self.injector is not None:
+            sample = self.injector.transform_sample(self, core, sample)
+        return sample
 
     def peek_rbv(self, core: int) -> BitVector:
         """Current RBV of *core* without snapshotting (debug/inspection)."""

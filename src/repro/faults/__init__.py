@@ -1,0 +1,51 @@
+"""Deterministic fault injection and chaos testing for the pipeline.
+
+The reproduction's north star is a production-scale system, and
+production means degraded inputs: saturated counters, dropped sampling
+windows, crashed workers, torn cache files. This subpackage makes every
+one of those failure modes injectable *deterministically* (seeded, pure
+functions of spec identity) so the graceful-degradation paths threaded
+through :mod:`repro.core`, :mod:`repro.alloc` and :mod:`repro.jobs` are
+pinned by tests rather than asserted in prose:
+
+* :mod:`repro.faults.injectors` — signature-hardware faults (saturate /
+  corrupt / drop / zero / stale) attachable to a live
+  :class:`~repro.core.signature.SignatureUnit` or embedded in a
+  :class:`~repro.jobs.spec.RunSpec` fault plan;
+* :mod:`repro.faults.chaos` — the orchestration chaos harness: seeded
+  worker kills, past-timeout delays, and cache-file corruption.
+
+See ``docs/robustness.md`` for the fault model and degradation matrix.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import (
+    ChaosConfig,
+    chaos_execute_spec,
+    corrupt_cache_entries,
+)
+from repro.faults.injectors import (
+    INJECTOR_KINDS,
+    CorruptSampleInjector,
+    DropSampleInjector,
+    SaturateCountersInjector,
+    SignatureFaultInjector,
+    StaleSignatureInjector,
+    ZeroWordsInjector,
+    build_injector,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "chaos_execute_spec",
+    "corrupt_cache_entries",
+    "INJECTOR_KINDS",
+    "CorruptSampleInjector",
+    "DropSampleInjector",
+    "SaturateCountersInjector",
+    "SignatureFaultInjector",
+    "StaleSignatureInjector",
+    "ZeroWordsInjector",
+    "build_injector",
+]

@@ -1,0 +1,177 @@
+"""Seeded chaos harness for the orchestration pipeline.
+
+Turns the crash-recovery claims of :mod:`repro.jobs` into a pinned,
+deterministic test surface: under a fixed seed the harness kills worker
+processes mid-job (``os._exit``, indistinguishable from a segfault),
+delays jobs past their wall-clock budget, and corrupts on-disk cache
+entries — and a sweep run under all of that must still produce
+byte-identical summaries to a fault-free run.
+
+Determinism
+-----------
+Every chaos decision is a pure function of ``(seed, spec key, fault
+kind)`` via :func:`~repro.utils.rng.stable_seed` — no global RNG, no
+wall-clock input — so the same seed always kills the same jobs. Faults
+that must strike only once (a kill or delay that would otherwise defeat
+any retry budget) leave a marker file named after the spec key; the
+retry attempt sees the marker and runs clean, exactly like a transient
+hardware fault.
+
+Usage
+-----
+Build a :class:`ChaosConfig` and pass :meth:`ChaosConfig.executor` to the
+orchestrator in place of the default spec executor::
+
+    chaos = ChaosConfig(seed=7, kill_fraction=0.5, marker_dir=tmp)
+    orch = Orchestrator(jobs=2, retries=2, executor=chaos.executor())
+
+Cache corruption is applied between runs with
+:func:`corrupt_cache_entries` (the cache quarantines what it cannot
+parse and recomputes — see :mod:`repro.jobs.cache`).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+from repro.jobs.keys import spec_key
+from repro.jobs.spec import execute_spec
+from repro.utils.rng import stable_seed
+
+__all__ = ["ChaosConfig", "chaos_execute_spec", "corrupt_cache_entries"]
+
+#: Resolution of the seeded fraction draws.
+_DRAW_SPAN = 1 << 32
+
+
+def _draw(seed: int, key: str, fault: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (spec, fault) pair."""
+    return (stable_seed(seed, key, fault) % _DRAW_SPAN) / _DRAW_SPAN
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What the chaos harness injects, as pure (picklable) data.
+
+    Parameters
+    ----------
+    seed:
+        Root of every chaos decision; same seed = same faults.
+    marker_dir:
+        Directory for the strike-once marker files (must be shared by
+        parent and workers).
+    kill_fraction:
+        Fraction of jobs whose first execution dies via ``os._exit``.
+    delay_fraction:
+        Fraction of jobs whose first execution sleeps *delay_seconds*
+        before running (drive it past the pool timeout to exercise the
+        timeout/retry path).
+    delay_seconds:
+        Sleep injected into delayed jobs.
+    """
+
+    seed: int
+    marker_dir: str
+    kill_fraction: float = 0.0
+    delay_fraction: float = 0.0
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_fraction", "delay_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (what travels to worker processes)."""
+        return {
+            "seed": self.seed,
+            "marker_dir": str(self.marker_dir),
+            "kill_fraction": self.kill_fraction,
+            "delay_fraction": self.delay_fraction,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    def executor(self):
+        """A picklable drop-in for the orchestrator's spec executor."""
+        return functools.partial(chaos_execute_spec, self.to_dict())
+
+
+def _strike_once(marker_dir: Path, key: str, fault: str) -> bool:
+    """True exactly once per (spec, fault): records a marker file."""
+    marker = marker_dir / f"{key[:16]}.{fault}"
+    if marker.exists():
+        return False
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    marker.write_text("struck\n", encoding="ascii")
+    return True
+
+
+def chaos_execute_spec(
+    chaos: Mapping[str, Any], payload: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Execute one run spec, possibly injecting a seeded fault first.
+
+    Module-level (and used through :func:`functools.partial`) so it is
+    picklable into spawn-started workers. The fault, if any, strikes
+    before the simulation touches shared state, so a killed or delayed
+    job re-executes cleanly on its retry wave.
+    """
+    key = spec_key(dict(payload))
+    marker_dir = Path(chaos["marker_dir"])
+    seed = int(chaos["seed"])
+    if (
+        chaos.get("kill_fraction", 0.0) > 0.0
+        and _draw(seed, key, "kill") < chaos["kill_fraction"]
+        and _strike_once(marker_dir, key, "kill")
+    ):
+        os._exit(23)  # hard kill: no Python cleanup, like a segfault
+    if (
+        chaos.get("delay_fraction", 0.0) > 0.0
+        and _draw(seed, key, "delay") < chaos["delay_fraction"]
+        and _strike_once(marker_dir, key, "delay")
+    ):
+        time.sleep(float(chaos.get("delay_seconds", 0.0)))
+    return execute_spec(payload)
+
+
+def corrupt_cache_entries(
+    root, seed: int = 0, fraction: float = 1.0
+) -> List[Path]:
+    """Deterministically corrupt a fraction of on-disk cache entries.
+
+    Walks every committed envelope under *root* and, for a seeded subset,
+    applies one of four corruption modes (rotating deterministically by
+    key): truncation mid-JSON, garbage bytes, a zero-length file, and a
+    valid-JSON-wrong-shape document. Returns the corrupted paths. The
+    cache must quarantine every one of them and recompute.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    corrupted: List[Path] = []
+    root = Path(root)
+    if not root.exists():
+        return corrupted
+    for path in sorted(root.glob("*/*.json")):
+        if _draw(seed, path.stem, "cache") >= fraction:
+            continue
+        mode = stable_seed(seed, path.stem, "cache-mode") % 4
+        if mode == 0:
+            text = path.read_text(encoding="ascii")
+            path.write_text(text[: max(1, len(text) // 2)], encoding="ascii")
+        elif mode == 1:
+            path.write_bytes(b"\x00\xff garbage \xfe\x01")
+        elif mode == 2:
+            path.write_bytes(b"")
+        else:
+            path.write_text('{"not": "an envelope"}', encoding="ascii")
+        corrupted.append(path)
+    return corrupted

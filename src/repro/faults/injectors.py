@@ -1,0 +1,263 @@
+"""Deterministic, seeded fault injectors for the signature hardware.
+
+The paper's CBF signature is lossy *by design*: 4-bit counters saturate,
+set sampling drops accesses, and a single garbled word turns an accurate
+footprint into noise. These injectors reproduce those hardware failure
+modes on a live :class:`~repro.core.signature.SignatureUnit` so the
+validation layer (:func:`~repro.core.signature.assess_signature`), the
+monitor's fallback path, and the sweep-level degradation reporting can be
+exercised deterministically.
+
+Every injector is pure data (:meth:`~SignatureFaultInjector.to_dict`) so a
+fault plan can travel inside a :class:`~repro.jobs.spec.RunSpec` to a
+worker process, and every stochastic choice draws from a stream derived
+from the injector's seed — the same spec + same fault dict reproduce the
+same degraded run bit-for-bit on any host.
+
+Injector kinds
+--------------
+``saturate``
+    Pins every counter at its maximum and sets every Core Filter bit after
+    each event batch: the filter is full, occupancy carries no signal
+    (detected as *saturated* when the monitor knows the filter capacity).
+``corrupt``
+    Garbles outgoing context-switch samples (negative occupancy and
+    symbiosis) with a seeded probability — a physically impossible reading
+    (detected as *corrupt* unconditionally).
+``drop``
+    Drops outgoing samples with a seeded probability: lost sampling
+    windows. Contexts stop refreshing (detected as *stale* when the
+    monitor tracks sample counters).
+``zero``
+    Zeroes a seeded fraction of counter words and the matching filter
+    bits after each batch — silent word corruption that *shrinks*
+    footprints (usually undetectable; exercises policy robustness).
+``stale``
+    Drops every sample after a fixed number of context switches: the
+    signature freezes in time (detected as *stale*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.context import SignatureSample
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "INJECTOR_KINDS",
+    "SignatureFaultInjector",
+    "SaturateCountersInjector",
+    "CorruptSampleInjector",
+    "DropSampleInjector",
+    "ZeroWordsInjector",
+    "StaleSignatureInjector",
+    "build_injector",
+]
+
+
+class SignatureFaultInjector:
+    """Base class: a no-op injector with the two unit hooks.
+
+    Parameters
+    ----------
+    seed:
+        Root of the injector's private random stream (derived per kind,
+        so two different injectors with the same seed stay independent).
+    """
+
+    kind = "noop"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = derive_rng(self.seed, "faults", self.kind)
+
+    def after_events(self, unit) -> None:
+        """Hook run after every recorded event batch (may mutate *unit*)."""
+
+    def transform_sample(
+        self, unit, core: int, sample: SignatureSample
+    ) -> Optional[SignatureSample]:
+        """Hook run on every outgoing sample; may corrupt it or drop it."""
+        return sample
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (embeddable in a run spec's fault plan)."""
+        return {"kind": self.kind, "seed": self.seed}
+
+
+class SaturateCountersInjector(SignatureFaultInjector):
+    """Pin every counter at max and set every CF bit after each batch.
+
+    The Last Filters are cleared as well: a saturated unit re-floods its
+    Core Filters faster than the context-switch snapshot can mask them,
+    so the RBV reads all-ones. Because that re-flooding outpaces *any*
+    snapshot, outgoing samples are rewritten to the flooded unit's exact
+    reading — occupancy equal to the filter capacity, symbiosis all zeros
+    (``popcount(full RBV ^ full CF) == 0``) — regardless of how many
+    switches happen between event batches. This is the "footprint fills
+    the filter" signal the validation layer flags as
+    :data:`~repro.core.signature.SignatureHealth` ``SATURATED``.
+    """
+
+    kind = "saturate"
+
+    def after_events(self, unit) -> None:
+        """Flood the counters and Core Filters (the filter is now full)."""
+        unit.counters.fill(unit.counter_max)
+        everything = np.arange(unit.num_entries, dtype=np.int64)
+        for cf in unit.core_filters:
+            cf.set_many(everything)
+        for lf in unit.last_filters:
+            lf.zero()
+
+    def transform_sample(self, unit, core, sample):
+        """Report the flooded unit's reading: full RBV, zero symbiosis."""
+        return SignatureSample(
+            core=sample.core,
+            occupancy=unit.num_entries,
+            symbiosis=np.zeros(unit.num_cores, dtype=np.int64),
+        )
+
+
+class CorruptSampleInjector(SignatureFaultInjector):
+    """Garble outgoing samples with probability *rate* (default 1.0).
+
+    A corrupted sample reports a negative occupancy and negated symbiosis
+    — values no real filter can produce, so the validation layer flags it
+    regardless of configuration.
+    """
+
+    kind = "corrupt"
+
+    def __init__(self, seed: int = 0, rate: float = 1.0):
+        super().__init__(seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("corrupt rate must be in [0, 1]")
+        self.rate = float(rate)
+
+    def transform_sample(self, unit, core, sample):
+        """Replace the sample with an impossible reading (seeded coin)."""
+        if self.rate < 1.0 and self._rng.random() >= self.rate:
+            return sample
+        return SignatureSample(
+            core=sample.core,
+            occupancy=-1 - int(sample.occupancy),
+            symbiosis=-(np.asarray(sample.symbiosis, dtype=np.int64) + 1),
+        )
+
+    def to_dict(self):
+        """JSON-native form including the corruption rate."""
+        return {"kind": self.kind, "seed": self.seed, "rate": self.rate}
+
+
+class DropSampleInjector(SignatureFaultInjector):
+    """Drop outgoing samples with probability *rate* (default 1.0)."""
+
+    kind = "drop"
+
+    def __init__(self, seed: int = 0, rate: float = 1.0):
+        super().__init__(seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("drop rate must be in [0, 1]")
+        self.rate = float(rate)
+
+    def transform_sample(self, unit, core, sample):
+        """Lose the sampling window (seeded coin)."""
+        if self.rate < 1.0 and self._rng.random() >= self.rate:
+            return sample
+        return None
+
+    def to_dict(self):
+        """JSON-native form including the drop rate."""
+        return {"kind": self.kind, "seed": self.seed, "rate": self.rate}
+
+
+class ZeroWordsInjector(SignatureFaultInjector):
+    """Zero a seeded fraction of counter words (and their CF bits).
+
+    Unlike saturation this fault *shrinks* apparent footprints — the
+    nastiest kind, because a too-small signature looks healthy. The
+    injected set is re-drawn every batch from the seeded stream.
+    """
+
+    kind = "zero"
+
+    def __init__(self, seed: int = 0, fraction: float = 0.5):
+        super().__init__(seed)
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("zero fraction must be in (0, 1]")
+        self.fraction = float(fraction)
+
+    def after_events(self, unit) -> None:
+        """Clear a random word subset, as a dropped-write burst would."""
+        count = max(1, int(self.fraction * unit.num_entries))
+        idx = self._rng.choice(unit.num_entries, size=count, replace=False)
+        idx = np.sort(idx.astype(np.int64))
+        unit.counters[idx] = 0
+        for cf in unit.core_filters:
+            cf.clear_many(idx)
+
+    def to_dict(self):
+        """JSON-native form including the zeroed fraction."""
+        return {"kind": self.kind, "seed": self.seed, "fraction": self.fraction}
+
+
+class StaleSignatureInjector(SignatureFaultInjector):
+    """Freeze the signature after *after_switches* context switches."""
+
+    kind = "stale"
+
+    def __init__(self, seed: int = 0, after_switches: int = 0):
+        super().__init__(seed)
+        if after_switches < 0:
+            raise ConfigurationError("after_switches must be >= 0")
+        self.after_switches = int(after_switches)
+        self._switches = 0
+
+    def transform_sample(self, unit, core, sample):
+        """Deliver samples normally until the freeze point, then none."""
+        self._switches += 1
+        if self._switches > self.after_switches:
+            return None
+        return sample
+
+    def to_dict(self):
+        """JSON-native form including the freeze point."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "after_switches": self.after_switches,
+        }
+
+
+#: Registry of constructible injector kinds.
+_REGISTRY = {
+    cls.kind: cls
+    for cls in (
+        SaturateCountersInjector,
+        CorruptSampleInjector,
+        DropSampleInjector,
+        ZeroWordsInjector,
+        StaleSignatureInjector,
+    )
+}
+
+#: Names of every injector kind a fault plan may reference.
+INJECTOR_KINDS = tuple(sorted(_REGISTRY))
+
+
+def build_injector(spec: Mapping[str, Any]) -> SignatureFaultInjector:
+    """Instantiate an injector from its dict form (``{"kind": ..., ...}``)."""
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown injector kind {kind!r}; known: {INJECTOR_KINDS}"
+        ) from None
+    return cls(**params)

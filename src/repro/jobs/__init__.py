@@ -12,10 +12,15 @@ and provides the machinery to execute batches of them:
 * :mod:`repro.jobs.cache` — an atomic, corruption-tolerant on-disk
   result cache keyed by spec hash;
 * :mod:`repro.jobs.pool` — a crash-recovering process pool with
-  deterministic result ordering;
+  deterministic result ordering, per-job-start timeouts and an optional
+  keep-going mode;
+* :mod:`repro.jobs.journal` — a write-ahead journal of completed specs
+  (checkpoint/resume for interrupted sweeps);
+* :mod:`repro.jobs.failures` — structured failure/degradation records
+  (:class:`~repro.jobs.failures.FailureReport`) for keep-going sweeps;
 * :mod:`repro.jobs.events` — structured progress/telemetry events;
 * :mod:`repro.jobs.orchestrator` — the facade tying it together:
-  dedupe, cache check, fan-out, event reporting.
+  dedupe, journal replay, cache check, fan-out, event reporting.
 
 The experiment drivers (:mod:`repro.perf.experiment`,
 :mod:`repro.virt.dom0`) accept an optional ``orchestrator=`` argument;
@@ -28,6 +33,13 @@ from __future__ import annotations
 
 from repro.jobs.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
 from repro.jobs.events import EVENT_KINDS, EventCounters, EventLog, JobEvent
+from repro.jobs.failures import (
+    FailureReport,
+    JobFailure,
+    MixDegradation,
+    MixFailure,
+)
+from repro.jobs.journal import JOURNAL_SCHEMA_VERSION, RunJournal
 from repro.jobs.keys import SPEC_SCHEMA_VERSION, canonical_json, spec_key
 from repro.jobs.orchestrator import Orchestrator
 from repro.jobs.pool import WorkerPool
@@ -44,9 +56,15 @@ from repro.jobs.spec import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "SPEC_SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "EVENT_KINDS",
     "CacheStats",
     "ResultCache",
+    "RunJournal",
+    "FailureReport",
+    "JobFailure",
+    "MixDegradation",
+    "MixFailure",
     "EventCounters",
     "EventLog",
     "JobEvent",

@@ -7,13 +7,18 @@ directories small for large sweeps. Each file is a versioned envelope::
 
 Guarantees:
 
-* **Atomic writes** — results are written to a temporary file in the
-  destination directory and published with ``os.replace``, so readers
-  never observe a torn file and concurrent writers of the same key
-  simply race to install identical bytes.
-* **Corruption tolerance** — unreadable, truncated, mis-keyed or
-  wrong-version entries are treated as misses (and counted), never
-  raised; the next ``put`` overwrites them.
+* **Atomic, durable writes** — results are written to a temporary file
+  in the destination directory, ``fsync``-ed, and published with
+  ``os.replace``, so readers never observe a torn file, a power loss
+  cannot leave a zero-length "committed" entry, and concurrent writers
+  of the same key simply race to install identical bytes.
+* **Corruption tolerance with quarantine** — unreadable, truncated,
+  mis-keyed or wrong-version entries are treated as misses (and
+  counted), never raised; the offending file is renamed to
+  ``<name>.json.corrupt`` so the evidence survives for post-mortems
+  while the entry is transparently recomputed. The first quarantine per
+  cache instance is logged at warning level, the rest at debug — one
+  loud signal, no log spam.
 * **Versioned schema** — :data:`CACHE_SCHEMA_VERSION` is embedded in the
   envelope; bumping it orphans old entries instead of misreading them.
 
@@ -25,6 +30,7 @@ code paths as long as the spec schema holds.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -35,6 +41,8 @@ from repro.errors import ConfigurationError
 from repro.jobs.keys import canonical_json
 
 __all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache"]
+
+logger = logging.getLogger(__name__)
 
 #: Version of the on-disk envelope; bump to orphan incompatible entries.
 CACHE_SCHEMA_VERSION = 1
@@ -47,6 +55,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    quarantined: int = 0
     writes: int = 0
 
 
@@ -78,7 +87,9 @@ class ResultCache:
 
         Every failure mode — missing file, unreadable bytes, invalid
         JSON, version or key mismatch, missing outcome field — is a miss;
-        corrupt entries additionally bump ``stats.corrupt``.
+        corrupt entries additionally bump ``stats.corrupt`` and are
+        quarantined (renamed to ``<name>.json.corrupt``) so the evidence
+        survives while the next ``put`` reinstalls a clean entry.
         """
         path = self.path_for(key)
         try:
@@ -86,9 +97,9 @@ class ResultCache:
         except (FileNotFoundError, NotADirectoryError):
             self.stats.misses += 1
             return None
-        except (OSError, UnicodeDecodeError):
+        except (OSError, UnicodeDecodeError) as exc:
             self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._quarantine(path, f"unreadable: {exc}")
             return None
         try:
             envelope = json.loads(text)
@@ -99,19 +110,43 @@ class ResultCache:
             outcome = envelope["outcome"]
             if not isinstance(outcome, dict):
                 raise ValueError("outcome is not an object")
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
             self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._quarantine(path, str(exc))
             return None
         self.stats.hits += 1
         return outcome
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (``.corrupt`` suffix) and count it.
+
+        The first quarantine per cache instance logs at warning level so
+        the operator sees one loud signal; subsequent ones log at debug.
+        Rename failures (e.g. the file vanished under us) are swallowed —
+        quarantine is best-effort evidence preservation, never an error.
+        """
+        self.stats.corrupt += 1
+        level = logging.WARNING if self.stats.quarantined == 0 else logging.DEBUG
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        self.stats.quarantined += 1
+        logger.log(
+            level,
+            "quarantined corrupt cache entry %s (%s)",
+            path,
+            reason,
+        )
 
     def put(self, key: str, spec: Dict[str, Any], outcome: Dict[str, Any]) -> Path:
         """Atomically store *outcome* (and its spec, for auditing).
 
         The envelope is staged in a temporary file within the target
-        directory and installed with ``os.replace`` so a crash mid-write
-        never leaves a partially written entry under the final name.
+        directory, flushed and ``fsync``-ed, then installed with
+        ``os.replace`` — so a crash mid-write never leaves a partially
+        written entry under the final name, and a power loss immediately
+        after the replace cannot surface a committed-but-empty file.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -128,6 +163,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="ascii") as handle:
                 handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

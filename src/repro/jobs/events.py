@@ -24,6 +24,8 @@ EVENT_KINDS = (
     "submitted",     # one spec entered the batch
     "deduped",       # spec was identical to an earlier one in the batch
     "cache_hit",     # result served from the on-disk cache
+    "journal_hit",   # result replayed from the write-ahead run journal
+    "quarantined",   # corrupt cache entry moved aside (.corrupt) on read
     "started",       # simulation began executing (in-process or worker)
     "completed",     # simulation finished; wall_time carries the duration
     "retried",       # job resubmitted after a worker crash / timeout
@@ -70,6 +72,8 @@ class EventCounters:
     submitted: int = 0
     deduped: int = 0
     cache_hits: int = 0
+    journal_hits: int = 0
+    quarantined: int = 0
     executed: int = 0
     retried: int = 0
     timeouts: int = 0
@@ -115,6 +119,8 @@ class EventLog:
         "submitted": "submitted",
         "deduped": "deduped",
         "cache_hit": "cache_hits",
+        "journal_hit": "journal_hits",
+        "quarantined": "quarantined",
         "completed": "executed",
         "retried": "retried",
         "timeout": "timeouts",

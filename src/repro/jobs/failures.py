@@ -1,0 +1,149 @@
+"""Structured failure and degradation reporting for keep-going sweeps.
+
+A fail-fast sweep aborts on the first bad mix; a *keep-going* sweep
+finishes everything it can and salvages the rest into data. Three records
+carry that salvage:
+
+* :class:`JobFailure` — one spec that gave up (deterministic error, retry
+  budget exhausted, or timeout), with its attempt count and wall time. In
+  keep-going mode the pool/orchestrator return these **in the result
+  slot** of the failed job instead of raising.
+* :class:`MixFailure` — a whole mix that could not produce a result
+  (a phase-2 measurement failed), with the underlying error.
+* :class:`MixDegradation` — a mix that completed *degraded*: its phase-1
+  signature was unhealthy or crashed, so it fell back to the default
+  schedule; the events name what went wrong.
+
+:class:`FailureReport` aggregates them per sweep and renders the one-line
+summary the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["JobFailure", "MixFailure", "MixDegradation", "FailureReport"]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One spec's terminal failure (returned in its result slot).
+
+    Parameters
+    ----------
+    error:
+        Human-readable cause (exception text, 'worker crashed', ...).
+    attempts:
+        Execution attempts charged before giving up.
+    wall_time:
+        Seconds attributable to the failed attempts (best effort).
+    index:
+        Position in the submitted batch (-1 when not applicable).
+    key:
+        Content-addressed spec key ('' at pool level, filled by the
+        orchestrator).
+    """
+
+    error: str
+    attempts: int = 1
+    wall_time: float = 0.0
+    index: int = -1
+    key: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (for reports and logs)."""
+        return {
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_time": self.wall_time,
+            "index": self.index,
+            "key": self.key,
+        }
+
+
+@dataclass(frozen=True)
+class MixFailure:
+    """One mix that produced no usable result in a keep-going sweep."""
+
+    mix: Tuple[str, ...]
+    error: str
+    attempts: int = 1
+    wall_time: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form."""
+        return {
+            "mix": list(self.mix),
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass(frozen=True)
+class MixDegradation:
+    """One mix that completed on the default-schedule fallback.
+
+    ``events`` carries the monitor's structured degradation events (or a
+    synthesized one when phase 1 itself crashed) so the report names the
+    failing signature, not just the mix.
+    """
+
+    mix: Tuple[str, ...]
+    events: Tuple[Dict[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form."""
+        return {"mix": list(self.mix), "events": list(self.events)}
+
+
+@dataclass
+class FailureReport:
+    """Everything a keep-going sweep salvaged about its failures."""
+
+    failures: List[MixFailure] = field(default_factory=list)
+    degradations: List[MixDegradation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the sweep saw neither failures nor degradations."""
+        return not self.failures and not self.degradations
+
+    def failed_mixes(self) -> List[Tuple[str, ...]]:
+        """Mixes that produced no result."""
+        return [f.mix for f in self.failures]
+
+    def degraded_mixes(self) -> List[Tuple[str, ...]]:
+        """Mixes that fell back to the default schedule."""
+        return [d.mix for d in self.degradations]
+
+    def add_failure(self, failure: MixFailure) -> None:
+        """Record one failed mix."""
+        self.failures.append(failure)
+
+    def add_degradation(self, degradation: MixDegradation) -> None:
+        """Record one degraded mix."""
+        self.degradations.append(degradation)
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        if self.ok:
+            return "failures: none"
+        parts = []
+        if self.failures:
+            names = ", ".join("+".join(m) for m in self.failed_mixes())
+            parts.append(f"{len(self.failures)} failed mix(es): {names}")
+        if self.degradations:
+            names = ", ".join("+".join(m) for m in self.degraded_mixes())
+            parts.append(
+                f"{len(self.degradations)} degraded mix(es): {names}"
+            )
+        return "failures: " + "; ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form."""
+        return {
+            "failures": [f.to_dict() for f in self.failures],
+            "degradations": [d.to_dict() for d in self.degradations],
+        }

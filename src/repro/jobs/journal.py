@@ -1,0 +1,139 @@
+"""Write-ahead journal of completed run specs (checkpoint/resume).
+
+An hours-long sweep interrupted at 90% should re-execute 10%, not 100%.
+The journal is the crash-safe record that makes that possible: one
+append-only file where every *completed* spec is recorded as a single
+JSON line *before* its outcome is reported to the caller::
+
+    {"version": 1, "key": "<sha256>", "outcome": {...}}\n
+
+Recovery rules (what makes it a WAL rather than a log):
+
+* every record is written as one ``write()`` of a full line, flushed and
+  ``fsync``-ed before :meth:`RunJournal.record` returns — a completed
+  spec survives a power loss;
+* :meth:`RunJournal.load` tolerates a torn tail: a final line without a
+  newline terminator, or any line that does not parse as a valid record,
+  is skipped (and counted in :attr:`RunJournal.corrupt_lines`) — an
+  interrupted append never poisons the journal;
+* duplicate keys are benign (last record wins) — re-running a batch that
+  partially journaled is idempotent.
+
+The journal is *per sweep run* and self-contained (outcomes inline), so
+resuming needs neither the result cache nor re-execution of finished
+specs; the orchestrator consults it before the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.jobs.keys import canonical_json
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "RunJournal"]
+
+#: Version of the journal line schema; bump to orphan old journals.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class RunJournal:
+    """Append-only record of completed spec keys and their outcomes.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) on the first record. An
+        existing directory at this path is rejected immediately.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.exists() and self.path.is_dir():
+            raise ConfigurationError(
+                f"journal path {self.path} is a directory"
+            )
+        self.corrupt_lines = 0
+        self.records_written = 0
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Replay the journal: key -> outcome for every intact record.
+
+        Torn or garbled lines (interrupted appends, disk corruption) are
+        skipped and counted — never raised — so a crashed sweep's journal
+        always loads.
+        """
+        replayed: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        try:
+            text = self.path.read_text(encoding="ascii")
+        except FileNotFoundError:
+            return replayed
+        except (OSError, UnicodeDecodeError):
+            self.corrupt_lines += 1
+            return replayed
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record["version"] != JOURNAL_SCHEMA_VERSION:
+                    raise ValueError("journal schema mismatch")
+                key = record["key"]
+                outcome = record["outcome"]
+                if not isinstance(key, str) or not isinstance(outcome, dict):
+                    raise ValueError("malformed journal record")
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            replayed[key] = outcome
+        return replayed
+
+    def record(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Durably append one completed spec (single line, fsynced).
+
+        The line is fully serialised before the file is touched, written
+        with one ``write`` call, flushed and fsynced — so a crash leaves
+        at worst one torn *trailing* line, which :meth:`load` skips. If
+        the file already ends in a torn line (a previous run died
+        mid-append), a newline is prefixed first so the fragment stays
+        isolated instead of corrupting this record too.
+        """
+        line = (
+            canonical_json(
+                {
+                    "version": JOURNAL_SCHEMA_VERSION,
+                    "key": key,
+                    "outcome": outcome,
+                }
+            )
+            + "\n"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail_is_torn():
+            line = "\n" + line
+        with open(self.path, "a", encoding="ascii") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.records_written += 1
+
+    def _tail_is_torn(self) -> bool:
+        """True when the journal exists, is non-empty, and lacks a final
+        newline — the signature of an append interrupted mid-write."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False
+
+    def __len__(self) -> int:
+        """Number of intact records currently in the journal file."""
+        return len(self.load())
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r})"

@@ -1,16 +1,24 @@
-"""The orchestration facade: dedupe, cache, fan out, report.
+"""The orchestration facade: dedupe, journal, cache, fan out, report.
 
 :class:`Orchestrator` is the single entry point the experiment drivers
 talk to. Given a batch of :class:`~repro.jobs.spec.RunSpec` objects it:
 
 1. **dedupes** — identical specs (by content-addressed key) are executed
    once and their outcome shared;
-2. **checks the cache** — previously computed outcomes are served from
-   the on-disk :class:`~repro.jobs.cache.ResultCache` (when configured);
-3. **fans out** — remaining misses run on a
+2. **replays the journal** — when a write-ahead
+   :class:`~repro.jobs.journal.RunJournal` is attached, specs recorded as
+   completed by an earlier (possibly crashed) run are served from the
+   journal without touching the cache or a worker;
+3. **checks the cache** — previously computed outcomes are served from
+   the on-disk :class:`~repro.jobs.cache.ResultCache` (when configured),
+   which quarantines any corrupt entry it trips over;
+4. **fans out** — remaining misses run on a
    :class:`~repro.jobs.pool.WorkerPool` (``jobs > 1``) or in-process
-   (``jobs == 1``), always producing results in submission order;
-4. **reports** — every step is narrated through an
+   (``jobs == 1``), always producing results in submission order; with
+   ``keep_going=True`` a terminally failed spec yields a
+   :class:`~repro.jobs.failures.JobFailure` in its result slot instead of
+   aborting the batch;
+5. **reports** — every step is narrated through an
    :class:`~repro.jobs.events.EventLog` whose counters back the
    acceptance assertions (e.g. a warm-cache batch must show
    ``counters.executed == 0``).
@@ -23,15 +31,20 @@ outcomes for identical specs.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.jobs.cache import ResultCache
 from repro.jobs.events import EventLog, JobEvent
+from repro.jobs.failures import JobFailure
+from repro.jobs.journal import RunJournal
 from repro.jobs.keys import spec_key
 from repro.jobs.pool import DEFAULT_MP_CONTEXT, WorkerPool
 from repro.jobs.spec import RunOutcome, RunSpec, execute_spec
 
 __all__ = ["Orchestrator"]
+
+#: What one result slot may hold in keep-going mode.
+BatchResult = Union[RunOutcome, JobFailure]
 
 
 class Orchestrator:
@@ -46,7 +59,8 @@ class Orchestrator:
         Optional directory for the on-disk result cache; ``None``
         disables persistent caching (batch-level dedup still applies).
     timeout:
-        Optional per-job wall-clock budget in seconds (pooled mode only).
+        Optional per-job wall-clock budget in seconds (pooled mode only),
+        measured from the job's actual worker-side start.
     retries:
         Extra attempts after a worker crash or timeout.
     backoff:
@@ -55,6 +69,20 @@ class Orchestrator:
         Multiprocessing start method; defaults to ``'spawn'``.
     on_event:
         Optional sink receiving every :class:`~repro.jobs.events.JobEvent`.
+    journal:
+        Optional write-ahead journal — a :class:`RunJournal` or a path to
+        one. Completed specs are durably recorded as they finish, and
+        specs already journaled (by this run or a crashed predecessor)
+        are replayed instead of re-executed.
+    keep_going:
+        When True, a terminally failed spec does not abort the batch:
+        its result slot holds a :class:`JobFailure` and everything else
+        still completes. Default False preserves fail-fast semantics.
+    executor:
+        The spec executor fanned out to workers; defaults to
+        :func:`~repro.jobs.spec.execute_spec`. Must be a picklable
+        callable taking the spec's dict payload (the chaos harness passes
+        :meth:`~repro.faults.chaos.ChaosConfig.executor` here).
     """
 
     def __init__(
@@ -66,10 +94,19 @@ class Orchestrator:
         backoff: float = 0.5,
         mp_context: Optional[str] = None,
         on_event: Optional[Callable[[JobEvent], None]] = None,
+        journal=None,
+        keep_going: bool = False,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
     ):
         self.jobs = jobs
         self.cache = None if cache_dir is None else ResultCache(cache_dir)
         self.log = EventLog(sink=on_event)
+        self.keep_going = keep_going
+        self.executor = execute_spec if executor is None else executor
+        if journal is None or isinstance(journal, RunJournal):
+            self.journal = journal
+        else:
+            self.journal = RunJournal(journal)
         self._pool = (
             None
             if jobs <= 1
@@ -88,16 +125,90 @@ class Orchestrator:
         return self.log.counters
 
     # ------------------------------------------------------------------
-    def run_spec(self, spec: RunSpec) -> RunOutcome:
+    def run_spec(self, spec: RunSpec) -> BatchResult:
         """Execute a single spec (a one-element batch)."""
         return self.run_specs([spec])[0]
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+    def _lookup(self, key: str, replayed: Dict[str, Dict[str, Any]]):
+        """Serve one key from the journal or cache; ``None`` on a miss."""
+        if key in replayed:
+            self.log.emit("journal_hit", key=key)
+            return RunOutcome.from_dict(replayed[key], cached=True)
+        if self.cache is None:
+            return None
+        quarantined_before = self.cache.stats.quarantined
+        cached = self.cache.get(key)
+        if self.cache.stats.quarantined > quarantined_before:
+            self.log.emit("quarantined", key=key)
+        if cached is None:
+            return None
+        self.log.emit("cache_hit", key=key)
+        return RunOutcome.from_dict(cached, cached=True)
+
+    def _execute_serial(self, misses, payloads) -> List[Any]:
+        """In-process execution of the batch's misses (jobs == 1)."""
+        raw: List[Any] = []
+        for index, (key, payload) in enumerate(zip(misses, payloads)):
+            self.log.emit("started", key=key, attempt=1)
+            job_started = time.monotonic()
+            try:
+                raw.append(self.executor(payload))
+            except Exception as exc:
+                detail = f"{type(exc).__name__}: {exc}"
+                self.log.emit(
+                    "failed", key=key, attempt=1, detail=detail
+                )
+                if not self.keep_going:
+                    raise
+                raw.append(
+                    JobFailure(
+                        error=detail, attempts=1,
+                        wall_time=time.monotonic() - job_started,
+                        index=index, key=key,
+                    )
+                )
+                continue
+            self.log.emit(
+                "completed", key=key, attempt=1,
+                wall_time=time.monotonic() - job_started,
+            )
+        return raw
+
+    def _execute_pooled(self, misses, payloads) -> List[Any]:
+        """Fan the batch's misses out to the worker pool."""
+        def forward(kind: str, index: int = 0, **fields) -> None:
+            fields.pop("wall_time", None)
+            self.log.emit(
+                kind, key=misses[index],
+                attempt=fields.get("attempt", 0),
+                detail=fields.get("detail", ""),
+            )
+
+        wave_started = time.monotonic()
+        raw = self._pool.run(
+            self.executor, payloads, on_event=forward,
+            keep_going=self.keep_going,
+        )
+        elapsed = time.monotonic() - wave_started
+        completed = [
+            key for key, r in zip(misses, raw)
+            if not isinstance(r, JobFailure)
+        ]
+        for key in completed:
+            self.log.emit(
+                "completed", key=key, wall_time=elapsed / len(completed),
+            )
+        return raw
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[BatchResult]:
         """Execute a batch; outcomes align index-for-index with *specs*.
 
-        Identical specs are executed once; cached specs are not executed
-        at all. The returned outcomes carry ``cached=True`` when served
-        from the on-disk cache.
+        Identical specs are executed once; journaled or cached specs are
+        not executed at all. The returned outcomes carry ``cached=True``
+        when served from the journal or the on-disk cache. In keep-going
+        mode a slot may hold a :class:`JobFailure` instead of a
+        :class:`~repro.jobs.spec.RunOutcome` — callers opting in must
+        check each slot.
         """
         batch_started = time.monotonic()
         self.log.emit("batch_start", detail=f"{len(specs)} specs")
@@ -113,53 +224,34 @@ class Orchestrator:
                 unique[key] = spec
                 self.log.emit("submitted", key=key)
 
-        outcomes: Dict[str, RunOutcome] = {}
+        replayed = {} if self.journal is None else self.journal.load()
+        outcomes: Dict[str, BatchResult] = {}
         misses: List[str] = []
-        for key, spec in unique.items():
-            cached = None if self.cache is None else self.cache.get(key)
-            if cached is not None:
-                outcomes[key] = RunOutcome.from_dict(cached, cached=True)
-                self.log.emit("cache_hit", key=key)
+        for key in unique:
+            found = self._lookup(key, replayed)
+            if found is not None:
+                outcomes[key] = found
             else:
                 misses.append(key)
 
         if misses:
             payloads = [unique[key].to_dict() for key in misses]
             if self._pool is None:
-                raw = []
-                for key, payload in zip(misses, payloads):
-                    self.log.emit("started", key=key, attempt=1)
-                    job_started = time.monotonic()
-                    raw.append(execute_spec(payload))
-                    self.log.emit(
-                        "completed", key=key, attempt=1,
-                        wall_time=time.monotonic() - job_started,
-                    )
+                raw = self._execute_serial(misses, payloads)
             else:
-                def forward(kind: str, index: int = 0, **fields) -> None:
-                    fields.pop("wall_time", None)
-                    self.log.emit(
-                        kind, key=misses[index],
-                        attempt=fields.get("attempt", 0),
-                        detail=fields.get("detail", ""),
+                raw = self._execute_pooled(misses, payloads)
+            for index, (key, result) in enumerate(zip(misses, raw)):
+                if isinstance(result, JobFailure):
+                    outcomes[key] = JobFailure(
+                        error=result.error, attempts=result.attempts,
+                        wall_time=result.wall_time, index=index, key=key,
                     )
-
-                wave_started = time.monotonic()
-                raw = self._pool.run(
-                    execute_spec, payloads, on_event=forward
-                )
-                elapsed = time.monotonic() - wave_started
-                for key in misses:
-                    self.log.emit(
-                        "completed", key=key,
-                        wall_time=elapsed / len(misses),
-                    )
-            for key, outcome_dict in zip(misses, raw):
-                outcomes[key] = RunOutcome.from_dict(outcome_dict)
+                    continue
+                outcomes[key] = RunOutcome.from_dict(result)
                 if self.cache is not None:
-                    self.cache.put(
-                        key, unique[key].to_dict(), outcome_dict
-                    )
+                    self.cache.put(key, unique[key].to_dict(), result)
+                if self.journal is not None:
+                    self.journal.record(key, result)
 
         self.counters.completed += len(specs)
         self.log.emit(

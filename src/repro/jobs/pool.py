@@ -10,20 +10,28 @@ with the semantics the orchestrator needs:
   kill) the executor reports :class:`~concurrent.futures.process.\
 BrokenProcessPool` for *every* in-flight future without identifying the
   culprit. The pool rebuilds the executor, charges one attempt to every
-  unfinished job, sleeps an exponential backoff, and resubmits — so a
-  single crashing job fails alone after its retry budget while innocent
+  unfinished job that had actually *started* (innocent queued jobs are
+  refunded), sleeps an exponential backoff, and resubmits — so a single
+  crashing job fails alone after its retry budget while innocent
   bystanders complete on a later wave.
-* **Timeouts** — an optional per-job wall-clock budget, measured from the
-  wave's submission (a conservative approximation: queue wait counts
-  against the budget).
+* **Timeouts measured from the job's own start** — every job records a
+  worker-side start timestamp the moment a worker picks it up, and its
+  wall-clock budget runs from *that* instant. Queue wait does **not**
+  count against the budget: with more jobs than workers, a job that sat
+  queued behind a slow wave is not charged for time it never ran.
 * **Deterministic failures fail fast** — a job that raises an ordinary
   exception inside the worker is not retried; the traceback is wrapped in
   :class:`~repro.errors.JobError` and raised immediately, because re-running
   a deterministic simulation cannot change the outcome.
+* **Keep-going mode** — with ``keep_going=True``, a job that fails
+  terminally (deterministic error or exhausted retry/timeout budget)
+  returns a :class:`~repro.jobs.failures.JobFailure` **in its result
+  slot** instead of aborting the batch; every other job still completes.
 """
 
 from __future__ import annotations
 
+import queue as queue_module
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -31,6 +39,7 @@ from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, JobError
+from repro.jobs.failures import JobFailure
 
 __all__ = ["WorkerPool"]
 
@@ -38,6 +47,25 @@ __all__ = ["WorkerPool"]
 #: interpreter (no inherited global task-id counters, no fork/thread
 #: hazards) at the cost of a slower start-up.
 DEFAULT_MP_CONTEXT = "spawn"
+
+#: How often the parent wakes to collect worker-side start timestamps
+#: while jobs are running under a timeout (seconds).
+_POLL_INTERVAL = 0.05
+
+
+def _traced_call(start_queue, wave: int, index: int, fn, payload):
+    """Worker-side wrapper: record the actual job start, then run.
+
+    Module-level (picklable by reference) so it survives the trip into a
+    spawn-started worker. The ``(wave, index, time.time())`` record is
+    posted to the manager queue *before* the job body runs — the manager
+    proxy call returns only once the record is enqueued, so by the time
+    the job's future resolves the parent can observe its start. Wall
+    timestamps (``time.time()``) are used because monotonic clocks are
+    not comparable across processes.
+    """
+    start_queue.put((wave, index, time.time()))
+    return fn(payload)
 
 
 class WorkerPool:
@@ -52,7 +80,7 @@ class WorkerPool:
         Multiprocessing start method ('spawn', 'fork', 'forkserver').
     timeout:
         Optional per-job wall-clock budget in seconds, measured from the
-        submission of the job's wave.
+        moment a worker actually starts the job (queue wait is free).
     retries:
         How many *additional* attempts a job gets after a worker crash or
         timeout (deterministic exceptions are never retried).
@@ -99,57 +127,102 @@ class WorkerPool:
         for process in workers:
             process.terminate()
 
+    @staticmethod
+    def _drain_starts(start_queue, wave: int, starts: Dict[int, float]) -> None:
+        """Collect pending start records for *wave* into *starts*.
+
+        Records tagged with an older wave (posted by a worker of an
+        already-killed executor) are discarded — they must not start the
+        clock on this wave's resubmission of the same job.
+        """
+        while True:
+            try:
+                record_wave, index, stamp = start_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except (EOFError, BrokenPipeError, OSError):
+                return
+            if record_wave == wave:
+                starts.setdefault(index, stamp)
+
     def run(
         self,
         fn: Callable[[Any], Any],
         payloads: Sequence[Any],
         on_event: Optional[Callable[..., Any]] = None,
+        keep_going: bool = False,
     ) -> List[Any]:
         """Execute ``fn(payload)`` for every payload; results in order.
 
         *fn* must be a module-level (picklable) callable. *on_event*, if
         given, is called as ``on_event(kind, index=..., attempt=...,
-        detail=...)`` for ``'started'``-less lifecycle points the pool can
-        observe: ``'retried'``, ``'timeout'`` and ``'failed'``.
+        detail=...)`` for the lifecycle points the pool can observe:
+        ``'retried'``, ``'timeout'`` and ``'failed'``.
 
-        Raises :class:`~repro.errors.JobError` when any job fails
-        deterministically or exhausts its retry budget; remaining jobs of
-        the batch are abandoned (their futures cancelled).
+        With ``keep_going=False`` (default) any terminal job failure
+        raises :class:`~repro.errors.JobError` and abandons the rest of
+        the batch. With ``keep_going=True`` the batch always returns a
+        full result list in which each terminally failed job's slot holds
+        a :class:`~repro.jobs.failures.JobFailure` instead of a result.
         """
 
         def notify(kind: str, **fields: Any) -> None:
             if on_event is not None:
                 on_event(kind, **fields)
 
-        results: List[Any] = [None] * len(payloads)
-        done = [False] * len(payloads)
-        attempts = [0] * len(payloads)
-        pending = list(range(len(payloads)))
+        count = len(payloads)
+        results: List[Any] = [None] * count
+        done = [False] * count
+        attempts = [0] * count
+        wall = [0.0] * count
+        pending = list(range(count))
+        wave_number = 0
+
+        ctx = get_context(self.mp_context)
+        manager = ctx.Manager()
+        start_queue = manager.Queue()
         executor = self._make_executor()
         try:
             while pending:
-                wave_started = time.monotonic()
+                wave_number += 1
+                wave_started = time.time()
+                starts: Dict[int, float] = {}
                 futures: Dict[Any, int] = {}
+                expired: List[int] = []
                 crashed = False
                 try:
                     for index in pending:
                         attempts[index] += 1
-                        futures[executor.submit(fn, payloads[index])] = index
+                        futures[
+                            executor.submit(
+                                _traced_call, start_queue, wave_number,
+                                index, fn, payloads[index],
+                            )
+                        ] = index
                     not_done = set(futures)
                     while not_done:
+                        self._drain_starts(start_queue, wave_number, starts)
                         budget = None
                         if self.timeout is not None:
-                            budget = self.timeout - (
-                                time.monotonic() - wave_started
-                            )
-                            if budget <= 0:
-                                break
+                            now = time.time()
+                            expired = [
+                                futures[f] for f in not_done
+                                if futures[f] in starts
+                                and now - starts[futures[f]] >= self.timeout
+                            ]
+                            if expired:
+                                break  # someone overran their own budget
+                            remaining = [
+                                starts[futures[f]] + self.timeout - now
+                                for f in not_done if futures[f] in starts
+                            ]
+                            # Wake at the earliest deadline, but at least
+                            # every poll interval to pick up new starts.
+                            budget = min(remaining + [_POLL_INTERVAL])
                         finished, not_done = wait(
                             not_done, timeout=budget,
                             return_when=FIRST_COMPLETED,
                         )
-                        if not finished:
-                            break  # timed out with jobs still running
                         for future in finished:
                             index = futures[future]
                             try:
@@ -159,54 +232,97 @@ class WorkerPool:
                             except Exception as exc:
                                 # Deterministic in-job failure: retrying a
                                 # deterministic simulation cannot help.
+                                detail = f"{type(exc).__name__}: {exc}"
                                 notify(
                                     "failed", index=index,
-                                    attempt=attempts[index],
-                                    detail=f"{type(exc).__name__}: {exc}",
+                                    attempt=attempts[index], detail=detail,
                                 )
+                                if keep_going:
+                                    self._drain_starts(
+                                        start_queue, wave_number, starts
+                                    )
+                                    elapsed = time.time() - starts.get(
+                                        index, wave_started
+                                    )
+                                    results[index] = JobFailure(
+                                        error=detail,
+                                        attempts=attempts[index],
+                                        wall_time=wall[index] + elapsed,
+                                        index=index,
+                                    )
+                                    done[index] = True
+                                    continue
                                 for other in futures:
                                     other.cancel()
                                 raise JobError(
-                                    f"job {index} failed: "
-                                    f"{type(exc).__name__}: {exc}"
+                                    f"job {index} failed: {detail}"
                                 ) from exc
                             done[index] = True
                 except BrokenProcessPool:
                     crashed = True
 
-                pending = [i for i in range(len(payloads)) if not done[i]]
+                pending = [i for i in range(count) if not done[i]]
                 if not pending:
                     break
-                # Crash or timeout: the culprit is unknowable (a broken
-                # pool poisons every in-flight future), so every
-                # unfinished job is charged one attempt.
-                kind = "retried" if crashed else "timeout"
-                exhausted = [
-                    i for i in pending if attempts[i] > self.retries
-                ]
+
+                # Charge attempts only to the plausible culprits: on a
+                # crash, jobs that had actually started (the culprit is
+                # among them — a queued job cannot kill a worker); on a
+                # timeout, exactly the jobs past their own deadline.
+                # Everyone else gets this wave's attempt refunded.
+                self._drain_starts(start_queue, wave_number, starts)
+                if crashed:
+                    kind, detail = "retried", "worker crashed"
+                    charged = [i for i in pending if i in starts] or list(pending)
+                else:
+                    kind, detail = "timeout", "timed out"
+                    charged = [i for i in pending if i in expired] or list(pending)
+                charged_set = set(charged)
+                for i in pending:
+                    if i not in charged_set:
+                        attempts[i] -= 1
+                for i in charged:
+                    wall[i] += time.time() - starts.get(i, wave_started)
+
+                exhausted = [i for i in charged if attempts[i] > self.retries]
                 if exhausted:
-                    for i in pending:
+                    if not keep_going:
+                        for i in charged:
+                            notify(
+                                "failed", index=i, attempt=attempts[i],
+                                detail=detail,
+                            )
+                        raise JobError(
+                            f"jobs {exhausted} gave up after "
+                            f"{attempts[exhausted[0]]} attempts "
+                            f"({'worker crash' if crashed else 'timeout'})"
+                        )
+                    for i in exhausted:
                         notify(
                             "failed", index=i, attempt=attempts[i],
-                            detail="worker crashed" if crashed else "timed out",
+                            detail=detail,
                         )
-                    raise JobError(
-                        f"jobs {exhausted} gave up after "
-                        f"{attempts[exhausted[0]]} attempts "
-                        f"({'worker crash' if crashed else 'timeout'})"
-                    )
-                for i in pending:
-                    notify(kind, index=i, attempt=attempts[i])
+                        results[i] = JobFailure(
+                            error=detail, attempts=attempts[i],
+                            wall_time=wall[i], index=i,
+                        )
+                        done[i] = True
+                for i in charged:
+                    if not done[i]:
+                        notify(kind, index=i, attempt=attempts[i])
+
+                pending = [i for i in range(count) if not done[i]]
+                if not pending:
+                    break
+                # Crashed executors are unusable; timed-out jobs are
+                # still running in the old workers — either way, start
+                # the next wave on a fresh executor.
+                self._stop_executor(executor)
+                executor = self._make_executor()
                 if crashed:
-                    self._stop_executor(executor)
-                    executor = self._make_executor()
                     wave = max(attempts[i] for i in pending)
-                    time.sleep(self.backoff * (2 ** (wave - 1)))
-                else:
-                    # Timed-out jobs are still running in the old pool;
-                    # kill it so resubmissions start on fresh workers.
-                    self._stop_executor(executor)
-                    executor = self._make_executor()
+                    time.sleep(self.backoff * (2 ** max(0, wave - 1)))
         finally:
             self._stop_executor(executor)
+            manager.shutdown()
         return results

@@ -289,6 +289,12 @@ class RunSpec:
         Interleaving grain of the simulator.
     min_wall_cycles / max_wall_cycles:
         Optional wall-clock bounds (phase-1 gathering / truncated runs).
+    faults:
+        Optional signature fault-injection plan — the ``to_dict`` form of
+        a :class:`~repro.faults.injectors.SignatureFaultInjector`
+        (``{"kind": ..., ...}``). ``None`` (the default) runs fault-free
+        and is **omitted from the canonical dict**, so pre-existing spec
+        keys and cached outcomes stay valid.
     """
 
     machine: TMapping[str, Any]
@@ -302,10 +308,11 @@ class RunSpec:
     batch_accesses: int = 256
     min_wall_cycles: Optional[float] = None
     max_wall_cycles: Optional[float] = None
+    faults: Optional[TMapping[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical plain-dict form (the input to key hashing)."""
-        return {
+        d = {
             "schema": SPEC_SCHEMA_VERSION,
             "machine": dict(self.machine),
             "workload": self.workload.to_dict(),
@@ -322,6 +329,9 @@ class RunSpec:
             "min_wall_cycles": self.min_wall_cycles,
             "max_wall_cycles": self.max_wall_cycles,
         }
+        if self.faults is not None:
+            d["faults"] = dict(self.faults)
+        return d
 
     @classmethod
     def from_dict(cls, d: TMapping[str, Any]) -> "RunSpec":
@@ -346,6 +356,7 @@ class RunSpec:
             batch_accesses=d["batch_accesses"],
             min_wall_cycles=d.get("min_wall_cycles"),
             max_wall_cycles=d.get("max_wall_cycles"),
+            faults=None if d.get("faults") is None else dict(d["faults"]),
         )
 
 
@@ -362,6 +373,7 @@ def make_run_spec(
     batch_accesses: int = 256,
     min_wall_cycles: Optional[float] = None,
     max_wall_cycles: Optional[float] = None,
+    faults: Optional[TMapping[str, Any]] = None,
 ) -> RunSpec:
     """Build a :class:`RunSpec` from live configuration objects."""
     return RunSpec(
@@ -376,6 +388,7 @@ def make_run_spec(
         batch_accesses=batch_accesses,
         min_wall_cycles=min_wall_cycles,
         max_wall_cycles=max_wall_cycles,
+        faults=None if faults is None else dict(faults),
     )
 
 
@@ -401,7 +414,9 @@ class RunOutcome:
     ``decisions``/``majority`` are canonical mappings serialised as
     groups of task indices (each group sorted, groups in canonical
     order). ``cached`` is a parent-side annotation — it is *not* part of
-    the persisted form.
+    the persisted form. ``degradations`` carries the monitor's structured
+    degradation events (empty for healthy runs, and omitted from the
+    persisted form when empty so pre-existing cache entries stay valid).
     """
 
     wall_cycles: float
@@ -409,6 +424,7 @@ class RunOutcome:
     tasks: Tuple[TaskOutcome, ...]
     decisions: Tuple[IndexGroups, ...] = ()
     majority: Optional[IndexGroups] = None
+    degradations: Tuple[Dict[str, Any], ...] = ()
     cached: bool = field(default=False, compare=False)
 
     def user_time(self, name: str) -> float:
@@ -439,7 +455,7 @@ class RunOutcome:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native form (what the result cache stores)."""
-        return {
+        d = {
             "wall_cycles": self.wall_cycles,
             "l2_miss_rate": self.l2_miss_rate,
             "tasks": [asdict(t) for t in self.tasks],
@@ -449,6 +465,9 @@ class RunOutcome:
                 else [list(g) for g in self.majority]
             ),
         }
+        if self.degradations:
+            d["degradations"] = [dict(e) for e in self.degradations]
+        return d
 
     @classmethod
     def from_dict(cls, d: TMapping[str, Any], cached: bool = False) -> "RunOutcome":
@@ -461,6 +480,9 @@ class RunOutcome:
                 _normalize_groups(m) for m in d.get("decisions", ())
             ),
             majority=_normalize_groups(d.get("majority")),
+            degradations=tuple(
+                dict(e) for e in d.get("degradations", ())
+            ),
             cached=cached,
         )
 
@@ -526,9 +548,12 @@ def execute_spec(payload: TMapping[str, Any]) -> Dict[str, Any]:
     mapping = (
         None if spec.mapping is None else Mapping.from_groups(spec.mapping)
     )
+    injector = _build_injector(spec)
 
     if spec.workload.kind == "vm":
-        result = _execute_vm(spec, machine, signature, scheduler, mapping)
+        result = _execute_vm(
+            spec, machine, signature, scheduler, mapping, injector
+        )
     else:
         from repro.perf.runner import run_mix
 
@@ -545,6 +570,7 @@ def execute_spec(payload: TMapping[str, Any]) -> Dict[str, Any]:
             seed=spec.seed,
             min_wall_cycles=spec.min_wall_cycles,
             max_wall_cycles=spec.max_wall_cycles,
+            signature_injector=injector,
         )
 
     outcome = RunOutcome(
@@ -566,29 +592,57 @@ def execute_spec(payload: TMapping[str, Any]) -> Dict[str, Any]:
             None if result.majority_mapping is None
             else _mapping_groups(result.majority_mapping)
         ),
+        degradations=tuple(result.degradations),
     )
     return outcome.to_dict()
 
 
+def _build_injector(spec: RunSpec):
+    """Instantiate the spec's signature fault injector (or ``None``).
+
+    Imported lazily: :mod:`repro.faults` imports this module (the chaos
+    harness wraps :func:`execute_spec`), so a top-level import would
+    cycle.
+    """
+    if spec.faults is None:
+        return None
+    from repro.faults.injectors import build_injector
+
+    return build_injector(spec.faults)
+
+
 def _build_monitor(spec: RunSpec, vm: bool):
-    """Instantiate the monitor (or Dom0 agent) described by the spec."""
+    """Instantiate the monitor (or Dom0 agent) described by the spec.
+
+    Non-VM monitors get the signature filter's entry count (when the spec
+    attaches signature hardware) so the saturation health check is armed;
+    with the default ``saturation_fraction`` of 1.0 this cannot trigger
+    on a healthy run — only a saturating fault reaches a full filter.
+    """
     if spec.monitor is None:
         return None
     policy = build_policy(spec.monitor.policy, spec.monitor.kwargs)
     if vm:
         from repro.virt.dom0 import Dom0AllocationAgent
 
-        cls = Dom0AllocationAgent
-    else:
-        cls = UserLevelMonitor
-    return cls(
+        return Dom0AllocationAgent(
+            policy,
+            interval_cycles=spec.monitor.interval_cycles,
+            apply=spec.monitor.apply,
+        )
+    capacity = (
+        None if spec.signature is None
+        else SignatureConfig(**spec.signature).num_entries
+    )
+    return UserLevelMonitor(
         policy,
         interval_cycles=spec.monitor.interval_cycles,
         apply=spec.monitor.apply,
+        signature_capacity=capacity,
     )
 
 
-def _execute_vm(spec, machine, signature, scheduler, mapping):
+def _execute_vm(spec, machine, signature, scheduler, mapping, injector=None):
     """Build the hypervisor stack for a 'vm' spec and run it."""
     # Imported lazily: repro.virt.dom0 imports repro.perf.experiment,
     # which imports this module — a top-level import would cycle.
@@ -623,4 +677,5 @@ def _execute_vm(spec, machine, signature, scheduler, mapping):
         seed=spec.seed,
         min_wall_cycles=spec.min_wall_cycles,
         max_wall_cycles=spec.max_wall_cycles,
+        signature_injector=injector,
     )

@@ -16,13 +16,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.alloc.monitor import UserLevelMonitor
 from repro.alloc.multithreaded import TwoPhasePolicy
 from repro.errors import ConfigurationError, SimulationError
+from repro.jobs.failures import (
+    FailureReport,
+    JobFailure,
+    MixDegradation,
+    MixFailure,
+)
 from repro.jobs.spec import (
     MonitorSpec,
     WorkloadSpec,
@@ -303,13 +309,20 @@ def run_all_mappings(
 
 @dataclass(frozen=True)
 class MixResult:
-    """Outcome of the two-phase methodology for one mix."""
+    """Outcome of the two-phase methodology for one mix.
+
+    ``degradations`` carries phase 1's structured degradation events —
+    non-empty exactly when the signature failed its health checks (or
+    phase 1 itself crashed in keep-going mode) and the mix fell back to
+    the default schedule.
+    """
 
     names: Tuple[str, ...]
     mapping_times: Dict[Mapping, Dict[str, float]]
     chosen_mapping: Mapping
     default_mapping: Mapping
     decisions: Tuple[Mapping, ...] = ()
+    degradations: Tuple[Dict[str, Any], ...] = ()
 
     def time(self, mapping: Mapping, name: str) -> float:
         """User time of *name* under a specific mapping."""
@@ -391,6 +404,7 @@ class _TwoPhasePlan:
         phase1_min_wall: float = 160_000_000.0,
         apply_during_phase1: bool = True,
         max_mappings: Optional[int] = None,
+        faults: Optional[TMapping[str, Any]] = None,
     ):
         self.names = tuple(names)
         self.machine = machine
@@ -418,6 +432,7 @@ class _TwoPhasePlan:
             seed=seed,
             batch_accesses=batch_accesses,
             min_wall_cycles=phase1_min_wall,
+            faults=faults,
         )
         self.mappings = _sample_mappings(
             balanced_mappings(list(range(len(self.names))), machine.num_cores),
@@ -433,6 +448,11 @@ class _TwoPhasePlan:
         self.chosen: Optional[Mapping] = None
         self.decisions: Tuple[Mapping, ...] = ()
         self.mapping_times: Dict[Mapping, Dict[str, float]] = {}
+        #: Phase-1 degradation events (health-check fallbacks, or a
+        #: synthesized event when phase 1 itself failed in keep-going mode).
+        self.degradation_events: Tuple[Dict[str, Any], ...] = ()
+        #: Set when the mix cannot produce a result (keep-going sweeps).
+        self.failure: Optional[MixFailure] = None
 
     def _measure_spec(self, mapping: Mapping):
         """The phase-2 measurement spec of one index-space mapping."""
@@ -450,21 +470,66 @@ class _TwoPhasePlan:
 
         Returns the extra measurement spec needed when the chosen mapping
         fell outside the reference set, else ``None``.
+
+        Keep-going sweeps hand this method :class:`JobFailure` slots. A
+        failed phase 1 degrades the mix to the default schedule (with a
+        synthesized degradation event); failed phase-2 measurements drop
+        out of the reference set; a mix whose *entire* reference set
+        failed is marked via :attr:`failure` and produces no result.
         """
         phase1 = outcomes[0]
-        self.decisions = tuple(phase1.decisions_mappings())
-        self.chosen = (phase1.majority_mapping() or self.default).canonical()
-        self.mapping_times = {
-            m: {name: out.user_time(name) for name in self.names}
-            for m, out in zip(self.mappings, outcomes[1:])
-        }
+        if isinstance(phase1, JobFailure):
+            self.decisions = ()
+            self.chosen = self.default
+            self.degradation_events = (
+                {
+                    "action": "fallback-default-mapping",
+                    "reason": f"phase-1 run failed: {phase1.error}",
+                },
+            )
+        else:
+            self.decisions = tuple(phase1.decisions_mappings())
+            self.chosen = (
+                phase1.majority_mapping() or self.default
+            ).canonical()
+            self.degradation_events = tuple(phase1.degradations)
+        self.mapping_times = {}
+        measurement_errors: List[str] = []
+        for m, out in zip(self.mappings, outcomes[1:]):
+            if isinstance(out, JobFailure):
+                measurement_errors.append(out.error)
+                continue
+            self.mapping_times[m] = {
+                name: out.user_time(name) for name in self.names
+            }
+        if not self.mapping_times:
+            self.failure = MixFailure(
+                mix=self.names,
+                error="all phase-2 measurements failed: "
+                + "; ".join(sorted(set(measurement_errors))),
+            )
+            return None
         if self.chosen not in self.mapping_times:
             return self._measure_spec(self.chosen)
         return None
 
-    def finish(self, extra=None) -> MixResult:
-        """Assemble the :class:`MixResult` (after any extra measurement)."""
+    def finish(self, extra=None) -> Optional[MixResult]:
+        """Assemble the :class:`MixResult` (after any extra measurement).
+
+        Returns ``None`` when the mix produced no usable result (the
+        cause is then recorded in :attr:`failure`).
+        """
+        if self.failure is not None:
+            return None
         if extra is not None:
+            if isinstance(extra, JobFailure):
+                self.failure = MixFailure(
+                    mix=self.names,
+                    error=f"chosen-mapping measurement failed: {extra.error}",
+                    attempts=extra.attempts,
+                    wall_time=extra.wall_time,
+                )
+                return None
             self.mapping_times[self.chosen] = {
                 name: extra.user_time(name) for name in self.names
             }
@@ -474,6 +539,7 @@ class _TwoPhasePlan:
             chosen_mapping=self.chosen,
             default_mapping=self.default,
             decisions=self.decisions,
+            degradations=self.degradation_events,
         )
 
 
@@ -492,6 +558,7 @@ def two_phase(
     apply_during_phase1: bool = True,
     max_mappings: Optional[int] = None,
     orchestrator=None,
+    faults: Optional[TMapping[str, Any]] = None,
 ) -> MixResult:
     """The full Section 4 methodology for one mix.
 
@@ -507,6 +574,12 @@ def two_phase(
     depend on phase 1's outcome), executing in parallel and hitting the
     result cache; mappings in the returned :class:`MixResult` are then in
     the spec index namespace (task index = position in *names*).
+
+    *faults* is an optional signature fault-injection plan (the dict form
+    of a :class:`~repro.faults.injectors.SignatureFaultInjector`) applied
+    to phase 1 only — phase 2 measures clean hardware. An injected fault
+    the monitor detects degrades the mix to the default schedule and the
+    events land in ``MixResult.degradations``.
     """
     if orchestrator is not None:
         plan = _TwoPhasePlan(
@@ -523,6 +596,7 @@ def two_phase(
             phase1_min_wall=phase1_min_wall,
             apply_during_phase1=apply_during_phase1,
             max_mappings=max_mappings,
+            faults=faults,
         )
         extra_spec = plan.resolve(orchestrator.run_specs(plan.specs))
         extra = (
@@ -530,12 +604,25 @@ def two_phase(
             if extra_spec is not None
             else None
         )
-        return plan.finish(extra)
+        result = plan.finish(extra)
+        if result is None:
+            raise SimulationError(
+                f"mix {'+'.join(plan.names)} failed: {plan.failure.error}"
+            )
+        return result
     tasks = build_tasks(list(names), instructions=instructions, seed=seed)
     sig = default_signature_config(machine, **(signature_overrides or {}))
     monitor = UserLevelMonitor(
-        policy, interval_cycles=monitor_interval, apply=apply_during_phase1
+        policy,
+        interval_cycles=monitor_interval,
+        apply=apply_during_phase1,
+        signature_capacity=sig.num_entries,
     )
+    injector = None
+    if faults is not None:
+        from repro.faults.injectors import build_injector
+
+        injector = build_injector(faults)
     if phase1_scheduler is None:
         phase1_scheduler = _phase1_scheduler_default(machine)
     phase1 = run_mix(
@@ -547,6 +634,7 @@ def two_phase(
         batch_accesses=batch_accesses,
         scheduler_config=phase1_scheduler,
         min_wall_cycles=phase1_min_wall,
+        signature_injector=injector,
     )
     default = default_mapping_for(tasks, machine.num_cores)
     chosen = phase1.majority_mapping or default
@@ -574,6 +662,7 @@ def two_phase(
         chosen_mapping=chosen.canonical(),
         default_mapping=default,
         decisions=tuple(phase1.decisions),
+        degradations=tuple(phase1.degradations),
     )
 
 
@@ -582,17 +671,33 @@ def two_phase(
 # ---------------------------------------------------------------------------
 @dataclass
 class SweepResult:
-    """Per-benchmark improvements across a set of mixes."""
+    """Per-benchmark improvements across a set of mixes.
+
+    ``failures`` aggregates what keep-going sweeps salvaged: failed mixes
+    (no result at all) and degraded mixes (completed on the default-
+    schedule fallback). Fail-fast sweeps leave it empty-but-for-
+    degradations, since a failure aborts the sweep instead.
+    """
 
     improvements: Dict[str, List[float]] = field(default_factory=dict)
     mix_results: List[MixResult] = field(default_factory=list)
+    failures: FailureReport = field(default_factory=FailureReport)
 
     def add(self, result: MixResult) -> None:
-        """Fold one mix's result into the per-benchmark aggregates."""
+        """Fold one mix's result into the per-benchmark aggregates.
+
+        Degraded mixes still count toward the improvements (their chosen
+        schedule is the default), and are additionally recorded in the
+        failure report so they can be named.
+        """
         self.mix_results.append(result)
         for name in result.names:
             self.improvements.setdefault(name, []).append(
                 result.improvement(name)
+            )
+        if result.degradations:
+            self.failures.add_degradation(
+                MixDegradation(mix=result.names, events=result.degradations)
             )
 
     def max_improvement(self, name: str) -> float:
@@ -654,6 +759,22 @@ def stratified_mixes(
     return mixes
 
 
+def _faults_for(
+    faults, mix: Sequence[str]
+) -> Optional[TMapping[str, Any]]:
+    """Resolve the fault plan applying to one mix.
+
+    *faults* is either ``None``, a single injector dict (``"kind"`` key
+    present — applied to every mix), or a mapping from mix tuples to
+    injector dicts (per-mix plans; absent mixes run fault-free).
+    """
+    if faults is None:
+        return None
+    if "kind" in faults:
+        return faults
+    return faults.get(tuple(mix))
+
+
 def mix_sweep(
     machine: MachineConfig,
     mixes: Sequence[Sequence[str]],
@@ -662,6 +783,8 @@ def mix_sweep(
     seed: int = 0,
     batch_accesses: int = 256,
     orchestrator=None,
+    keep_going: bool = False,
+    faults=None,
     **two_phase_kwargs,
 ) -> SweepResult:
     """Run the two-phase methodology over many mixes (Figure 10/11 data).
@@ -670,6 +793,14 @@ def mix_sweep(
     concatenated into a single batch — the whole sweep fans out at once —
     followed by at most one small batch for chosen-outside-reference
     measurements. Results are identical for any worker count.
+
+    With ``keep_going=True`` (requires an orchestrator constructed with
+    ``keep_going=True``), a failing mix does not abort the sweep: its
+    error is salvaged into ``SweepResult.failures`` and every other mix
+    still completes. *faults* injects signature faults into phase 1 —
+    either one injector dict for every mix or a ``{mix tuple: dict}``
+    mapping for per-mix plans; mixes whose signature degrades fall back
+    to the default schedule and are named in the failure report.
     """
     sweep = SweepResult()
     if orchestrator is not None:
@@ -681,6 +812,7 @@ def mix_sweep(
                 instructions=instructions,
                 seed=seed + i,
                 batch_accesses=batch_accesses,
+                faults=_faults_for(faults, tuple(mix)),
                 **two_phase_kwargs,
             )
             for i, mix in enumerate(mixes)
@@ -697,22 +829,42 @@ def mix_sweep(
         pending = [s for s in extra_specs if s is not None]
         extras = iter(orchestrator.run_specs(pending)) if pending else iter(())
         for plan, extra_spec in zip(plans, extra_specs):
-            sweep.add(
-                plan.finish(next(extras) if extra_spec is not None else None)
+            result = plan.finish(
+                next(extras) if extra_spec is not None else None
             )
+            if result is None:
+                if not keep_going:
+                    raise SimulationError(
+                        f"mix {'+'.join(plan.names)} failed: "
+                        f"{plan.failure.error}"
+                    )
+                sweep.failures.add_failure(plan.failure)
+                continue
+            sweep.add(result)
         return sweep
     for i, mix in enumerate(mixes):
-        sweep.add(
-            two_phase(
+        try:
+            result = two_phase(
                 machine,
                 list(mix),
                 policy,
                 instructions=instructions,
                 seed=seed + i,
                 batch_accesses=batch_accesses,
+                faults=_faults_for(faults, tuple(mix)),
                 **two_phase_kwargs,
             )
-        )
+        except Exception as exc:
+            if not keep_going:
+                raise
+            sweep.failures.add_failure(
+                MixFailure(
+                    mix=tuple(mix),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        sweep.add(result)
     return sweep
 
 
@@ -827,6 +979,7 @@ def parsec_two_phase(
         chosen_mapping=chosen,
         default_mapping=default,
         decisions=tuple(phase1.decisions),
+        degradations=tuple(phase1.degradations),
     )
 
 
@@ -926,4 +1079,5 @@ def _parsec_two_phase_orchestrated(
         chosen_mapping=chosen,
         default_mapping=default,
         decisions=tuple(phase1.decisions_mappings()),
+        degradations=tuple(phase1.degradations),
     )

@@ -112,6 +112,7 @@ def run_mix(
     seed: int = 0,
     max_wall_cycles: Optional[float] = None,
     min_wall_cycles: Optional[float] = None,
+    signature_injector=None,
 ) -> SimulationResult:
     """Execute a task mix to completion under the given constraints."""
     sim = MulticoreSimulator(
@@ -123,6 +124,7 @@ def run_mix(
         scheduler_config=scheduler_config,
         batch_accesses=batch_accesses,
         seed=seed,
+        signature_injector=signature_injector,
     )
     return sim.run(
         max_wall_cycles=max_wall_cycles, min_wall_cycles=min_wall_cycles

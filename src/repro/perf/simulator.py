@@ -67,6 +67,9 @@ class SimulationResult:
     decisions: List[Mapping] = field(default_factory=list)
     majority_mapping: Optional[Mapping] = None
     signature_stats: Optional[SignatureStats] = None
+    #: Structured degradation events recorded by the monitor (empty for
+    #: healthy runs and for runs without a monitor).
+    degradations: List[dict] = field(default_factory=list)
 
     def task(self, name: str) -> TaskResult:
         """Look up a task result by name (first match)."""
@@ -116,6 +119,10 @@ class MulticoreSimulator:
         Timeslice/switch-cost override.
     batch_accesses:
         References simulated per scheduling step (interleaving grain).
+    signature_injector:
+        Optional :class:`~repro.faults.injectors.SignatureFaultInjector`
+        attached to the signature unit (fault-injection runs only;
+        requires ``signature_config``).
     """
 
     def __init__(
@@ -129,6 +136,7 @@ class MulticoreSimulator:
         scheduler_config: Optional[SchedulerConfig] = None,
         batch_accesses: int = 256,
         seed: int = 0,
+        signature_injector=None,
     ):
         if not tasks:
             raise ConfigurationError("need at least one task")
@@ -168,6 +176,12 @@ class MulticoreSimulator:
                     "signature_config.num_cores must match the machine"
                 )
             self.signature_unit = SignatureUnit(signature_config)
+        if signature_injector is not None:
+            if self.signature_unit is None:
+                raise ConfigurationError(
+                    "signature_injector requires signature_config"
+                )
+            self.signature_unit.attach_injector(signature_injector)
 
         self.scheduler = OSScheduler(
             scheduler_config or SchedulerConfig(num_cores=n),
@@ -327,4 +341,5 @@ class MulticoreSimulator:
             signature_stats=(
                 self.signature_unit.stats if self.signature_unit else None
             ),
+            degradations=list(getattr(self.monitor, "degradations", ()) or ()),
         )

@@ -188,7 +188,10 @@ class OSScheduler:
         sample: Optional[SignatureSample] = None
         if self.signature_unit is not None:
             sample = self.signature_unit.on_context_switch(core)
-            self.contexts[outgoing.tid].update(sample)
+            # A fault-injected unit may drop the sample (lost sampling
+            # window); the context then simply keeps its last reading.
+            if sample is not None:
+                self.contexts[outgoing.tid].update(sample)
         outgoing.context_switches += 1
         self.total_context_switches += 1
         # Deferred migration of the task that just stopped running.

@@ -41,6 +41,9 @@ class TaskView:
     occupancy: float
     symbiosis: np.ndarray
     valid: bool
+    #: Context-switch samples folded into this context so far; lets the
+    #: monitor's health layer detect a stale (non-refreshing) signature.
+    samples_seen: int = 0
 
     def interference_with_core(self, core: int) -> float:
         """Reciprocal-symbiosis interference metric against *core*."""
@@ -74,6 +77,7 @@ class SyscallInterface:
                     occupancy=ctx.occupancy,
                     symbiosis=ctx.symbiosis.copy(),
                     valid=ctx.valid,
+                    samples_seen=ctx.samples_seen,
                 )
             )
         views.sort(key=lambda v: v.tid)

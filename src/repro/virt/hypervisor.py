@@ -116,6 +116,7 @@ class Hypervisor:
         scheduler_config: Optional[SchedulerConfig] = None,
         batch_accesses: int = 256,
         seed: int = 0,
+        signature_injector=None,
     ) -> MulticoreSimulator:
         """Build a virtualized simulation.
 
@@ -131,6 +132,7 @@ class Hypervisor:
             scheduler_config=self.scheduler_config(scheduler_config),
             batch_accesses=batch_accesses,
             seed=seed,
+            signature_injector=signature_injector,
         )
 
     def run(
@@ -143,6 +145,7 @@ class Hypervisor:
         seed: int = 0,
         min_wall_cycles: Optional[float] = None,
         max_wall_cycles: Optional[float] = None,
+        signature_injector=None,
     ) -> SimulationResult:
         """Run the VMs to completion (Dom0 restarts throughout)."""
         sim = self.simulator(
@@ -152,6 +155,7 @@ class Hypervisor:
             scheduler_config=scheduler_config,
             batch_accesses=batch_accesses,
             seed=seed,
+            signature_injector=signature_injector,
         )
         return sim.run(
             max_wall_cycles=max_wall_cycles, min_wall_cycles=min_wall_cycles

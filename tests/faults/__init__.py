@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.faults` — injectors, degradation, and chaos."""

@@ -1,0 +1,202 @@
+"""Graceful degradation: validation layer, monitor fallback, sweep reports.
+
+The acceptance pin for the robustness work: a sweep in which one mix's
+signature is saturated or corrupt must *complete*, in degraded mode —
+the affected mix falls back to the default schedule, the failure report
+and degradation events name it, and the unaffected mixes are unchanged.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.alloc import WeightedInterferenceGraphPolicy
+from repro.alloc.monitor import UserLevelMonitor, fallback_mapping
+from repro.core.signature import HealthReport, SignatureHealth, assess_signature
+from repro.jobs import Orchestrator
+from repro.perf.experiment import mix_sweep, two_phase
+from repro.perf.machine import core2duo
+from repro.sched.syscall import TaskView
+
+FAST = dict(instructions=150_000, phase1_min_wall=10_000_000.0)
+SATURATE = {"kind": "saturate", "seed": 1}
+
+
+# ---------------------------------------------------------------------------
+# assess_signature (the validation layer)
+# ---------------------------------------------------------------------------
+def test_healthy_reading_passes():
+    report = assess_signature(12.0, [0.0, 3.0], capacity=64)
+    assert report == HealthReport(SignatureHealth.OK)
+    assert report.ok
+
+
+@pytest.mark.parametrize(
+    "occupancy, symbiosis",
+    [
+        (-1.0, None),
+        (math.nan, None),
+        (math.inf, None),
+        (5.0, [-2.0, 1.0]),
+        (5.0, [math.nan, 1.0]),
+    ],
+)
+def test_impossible_readings_are_corrupt(occupancy, symbiosis):
+    assert (
+        assess_signature(occupancy, symbiosis).status == SignatureHealth.CORRUPT
+    )
+
+
+def test_beyond_capacity_is_corrupt_and_full_is_saturated():
+    assert assess_signature(65.0, capacity=64).status == SignatureHealth.CORRUPT
+    assert assess_signature(64.0, capacity=64).status == SignatureHealth.SATURATED
+    assert assess_signature(63.0, capacity=64).ok
+    # Lower thresholds catch "effectively full" filters.
+    nearly = assess_signature(58.0, capacity=64, saturation_fraction=0.9)
+    assert nearly.status == SignatureHealth.SATURATED
+
+
+def test_unrefreshed_sample_counter_is_stale():
+    stale = assess_signature(5.0, samples_seen=3, last_samples_seen=3)
+    assert stale.status == SignatureHealth.STALE
+    fresh = assess_signature(5.0, samples_seen=4, last_samples_seen=3)
+    assert fresh.ok
+
+
+# ---------------------------------------------------------------------------
+# UserLevelMonitor fallback
+# ---------------------------------------------------------------------------
+class FakeSyscall:
+    """Canned task views plus a record of applied mappings."""
+
+    def __init__(self, tasks, num_cores=2):
+        self._tasks = tasks
+        self.num_cores = num_cores
+        self.applied = []
+
+    def query_tasks(self):
+        """Return the canned views (the monitor's read path)."""
+        return list(self._tasks)
+
+    def apply_mapping(self, mapping):
+        """Record the pushed mapping (the monitor's write path)."""
+        self.applied.append(mapping)
+
+
+def view(tid, occupancy, samples_seen=1):
+    """One healthy-shaped task view with the given reading."""
+    return TaskView(
+        tid=tid, name=f"t{tid}", process_id=tid, last_core=0,
+        occupancy=occupancy, symbiosis=np.zeros(2), valid=True,
+        samples_seen=samples_seen,
+    )
+
+
+def test_monitor_degrades_to_fallback_on_saturated_reading():
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0), signature_capacity=64
+    )
+    syscall = FakeSyscall([view(0, 64.0), view(1, 10.0)])
+    assert monitor.invoke(syscall) is None
+    assert monitor.decisions == []
+    assert len(monitor.degradations) == 1
+    event = monitor.degradations[0]
+    assert event["action"] == "fallback-default-mapping"
+    assert event["tasks"]["t0"]["status"] == SignatureHealth.SATURATED
+    assert "t1" not in event["tasks"]  # only the unhealthy reading is named
+    assert syscall.applied == [fallback_mapping(syscall.query_tasks(), 2)]
+
+
+def test_monitor_detects_staleness_across_invocations():
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0), stale_after=2
+    )
+    frozen = [view(0, 5.0, samples_seen=3), view(1, 6.0, samples_seen=3)]
+    syscall = FakeSyscall(frozen)
+    monitor.invoke(syscall)  # establishes the baseline counters
+    monitor.invoke(syscall)  # 1st unrefreshed invocation
+    assert not monitor.degradations
+    monitor.invoke(syscall)  # 2nd: crosses stale_after
+    assert monitor.degradations
+    statuses = {
+        v["status"] for v in monitor.degradations[0]["tasks"].values()
+    }
+    assert statuses == {SignatureHealth.STALE}
+
+
+def test_monitor_healthy_path_still_decides():
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0), signature_capacity=64
+    )
+    syscall = FakeSyscall([view(0, 30.0), view(1, 10.0)])
+    assert monitor.invoke(syscall) is not None
+    assert len(monitor.decisions) == 1
+    assert monitor.degradations == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end degradation (serial and orchestrated sweeps)
+# ---------------------------------------------------------------------------
+def test_two_phase_with_saturated_signature_degrades_to_default():
+    """A saturated signature yields the safe default schedule, never a
+    garbage one: zero decisions, degradation events on the result."""
+    result = two_phase(
+        core2duo(), ["mcf", "povray"], WeightedInterferenceGraphPolicy(seed=3),
+        seed=3, faults=SATURATE, **FAST,
+    )
+    assert len(result.decisions) == 0
+    assert len(result.degradations) > 0
+    assert all(
+        e["action"] == "fallback-default-mapping" for e in result.degradations
+    )
+    # The chosen schedule is the round-robin default (one task per core).
+    assert sorted(len(g) for g in result.chosen_mapping.groups) == [1, 1]
+
+
+def test_degraded_sweep_completes_and_names_the_affected_mix():
+    """One faulted mix degrades; the clean mix's numbers are unchanged."""
+    mixes = [["mcf", "povray"], ["bzip2", "milc"]]
+    faults = {("mcf", "povray"): SATURATE}
+
+    def sweep(**kwargs):
+        return mix_sweep(
+            core2duo(), mixes, WeightedInterferenceGraphPolicy(seed=3),
+            seed=3, orchestrator=Orchestrator(jobs=1), **FAST, **kwargs,
+        )
+
+    faulted = sweep(keep_going=True, faults=faults)
+    clean = sweep()
+
+    assert len(faulted.mix_results) == len(mixes)  # the sweep completed
+    assert [d.mix for d in faulted.failures.degradations] == [("mcf", "povray")]
+    assert faulted.failures.failures == []  # degraded, not failed
+    assert "degraded" in faulted.failures.summary()
+
+    degraded = faulted.mix_results[0]
+    assert degraded.names == ("mcf", "povray")
+    assert degraded.decisions == () and degraded.degradations
+
+    untouched = faulted.mix_results[1]
+    pristine = clean.mix_results[1]
+    assert untouched.degradations == ()
+    assert untouched.chosen_mapping == pristine.chosen_mapping
+    assert untouched.mapping_times == pristine.mapping_times
+
+
+def test_fault_free_runs_are_byte_identical_with_faults_wired():
+    """The faults=None default must not perturb healthy results at all."""
+    kwargs = dict(seed=3, **FAST)
+    plain = two_phase(
+        core2duo(), ["mcf", "povray"],
+        WeightedInterferenceGraphPolicy(seed=3),
+        orchestrator=Orchestrator(jobs=1), **kwargs,
+    )
+    explicit = two_phase(
+        core2duo(), ["mcf", "povray"],
+        WeightedInterferenceGraphPolicy(seed=3),
+        orchestrator=Orchestrator(jobs=1), faults=None, **kwargs,
+    )
+    assert plain.degradations == () and explicit.degradations == ()
+    assert plain.mapping_times == explicit.mapping_times
+    assert plain.decisions == explicit.decisions

@@ -1,0 +1,121 @@
+"""Fault-injector unit behaviour on a live signature unit.
+
+Each injector must (a) produce the hardware failure mode it names, (b)
+be a pure function of its seed — same seed, same faults — and (c)
+round-trip through its dict form so a fault plan can travel inside a
+run spec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import (
+    SignatureConfig,
+    SignatureHealth,
+    SignatureUnit,
+    assess_signature,
+)
+from repro.errors import ConfigurationError
+from repro.faults.injectors import (
+    INJECTOR_KINDS,
+    CorruptSampleInjector,
+    DropSampleInjector,
+    SaturateCountersInjector,
+    StaleSignatureInjector,
+    ZeroWordsInjector,
+    build_injector,
+)
+
+CONFIG = SignatureConfig(num_cores=2, num_sets=16, ways=2)
+
+
+def loaded_unit(injector=None):
+    """A small unit with a few fills recorded on core 0."""
+    unit = SignatureUnit(CONFIG)
+    if injector is not None:
+        unit.attach_injector(injector)
+    blocks = np.arange(8, dtype=np.int64) * 67
+    unit.record_events(0, blocks, None, np.empty(0, dtype=np.int64), None)
+    return unit
+
+
+def test_registry_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError, match="unknown injector kind"):
+        build_injector({"kind": "meteor-strike"})
+
+
+def test_every_kind_round_trips_through_dict_form():
+    for kind in INJECTOR_KINDS:
+        injector = build_injector({"kind": kind, "seed": 9})
+        rebuilt = build_injector(injector.to_dict())
+        assert rebuilt.to_dict() == injector.to_dict()
+        assert rebuilt.kind == kind
+
+
+def test_saturate_floods_every_sample_to_full_capacity():
+    """Occupancy reads the full filter size on *every* switch, not just
+    the first — the LF snapshot must not mask the flooded CF bits."""
+    unit = loaded_unit(SaturateCountersInjector(seed=1))
+    assert np.all(unit.counters == unit.counter_max)
+    for _ in range(3):
+        for core in range(CONFIG.num_cores):
+            sample = unit.on_context_switch(core)
+            assert sample.occupancy == unit.num_entries
+            verdict = assess_signature(
+                sample.occupancy, sample.symbiosis, capacity=unit.num_entries
+            )
+            assert verdict.status == SignatureHealth.SATURATED
+
+
+def test_corrupt_sample_is_physically_impossible():
+    unit = loaded_unit(CorruptSampleInjector(seed=2))
+    sample = unit.on_context_switch(0)
+    assert sample.occupancy < 0
+    verdict = assess_signature(sample.occupancy, sample.symbiosis)
+    assert verdict.status == SignatureHealth.CORRUPT  # even with no capacity
+
+
+def test_corrupt_rate_is_seeded_and_reproducible():
+    def corruption_pattern(seed):
+        injector = CorruptSampleInjector(seed=seed, rate=0.5)
+        unit = loaded_unit(injector)
+        return [unit.on_context_switch(0).occupancy < 0 for _ in range(32)]
+
+    first, second = corruption_pattern(7), corruption_pattern(7)
+    assert first == second
+    assert any(first) and not all(first)  # the coin actually flips
+    assert corruption_pattern(8) != first
+
+
+def test_drop_loses_every_sampling_window():
+    unit = loaded_unit(DropSampleInjector(seed=3))
+    assert unit.on_context_switch(0) is None
+
+
+def test_stale_freezes_after_the_configured_switch():
+    unit = loaded_unit(StaleSignatureInjector(seed=4, after_switches=2))
+    assert unit.on_context_switch(0) is not None
+    assert unit.on_context_switch(0) is not None
+    for _ in range(3):
+        assert unit.on_context_switch(0) is None
+
+
+def test_zero_words_shrinks_the_footprint_deterministically():
+    def zeroed_counters(seed):
+        unit = loaded_unit(ZeroWordsInjector(seed=seed, fraction=0.5))
+        return unit.counters.copy()
+
+    baseline = loaded_unit().counters
+    assert np.count_nonzero(zeroed_counters(5)) < np.count_nonzero(baseline)
+    assert np.array_equal(zeroed_counters(5), zeroed_counters(5))
+
+
+def test_injector_parameters_validated():
+    with pytest.raises(ConfigurationError):
+        CorruptSampleInjector(rate=1.5)
+    with pytest.raises(ConfigurationError):
+        DropSampleInjector(rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        ZeroWordsInjector(fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        StaleSignatureInjector(after_switches=-1)

@@ -36,6 +36,24 @@ def raise_value_error(x):
     raise ValueError(f"deterministic failure for {x!r}")
 
 
+def square_or_raise(x):
+    """Square non-negative inputs; raise deterministically on negatives."""
+    if x < 0:
+        raise ValueError(f"deterministic failure for {x!r}")
+    return x * x
+
+
+def always_crash(x):
+    """Kill the worker process on every attempt (retry-budget tests)."""
+    os._exit(1)
+
+
+def sleep_for(seconds):
+    """Sleep *seconds* then return it (per-job timeout accounting tests)."""
+    time.sleep(seconds)
+    return seconds
+
+
 def sleep_forever(x):
     """Block far beyond any test timeout (for timeout handling tests)."""
     time.sleep(3600)

@@ -87,6 +87,62 @@ def test_non_directory_root_rejected_up_front(tmp_path):
         ResultCache(not_a_dir)
 
 
+def test_crash_between_write_and_replace_leaves_no_entry(tmp_path, monkeypatch):
+    """A crash after the temp write but before the rename commits nothing.
+
+    The injected ``os.replace`` failure stands in for a process death at
+    the worst moment: the staged bytes exist but were never installed.
+    The final path must not appear, the temp file must be cleaned up, and
+    the next ``get`` must be an ordinary miss — never a corrupt entry.
+    """
+    cache = ResultCache(tmp_path)
+
+    def crash(src, dst):
+        raise OSError("injected crash between write and replace")
+
+    monkeypatch.setattr("os.replace", crash)
+    with pytest.raises(OSError, match="injected crash"):
+        cache.put(KEY, SPEC, OUTCOME)
+    monkeypatch.undo()
+
+    path = cache.path_for(KEY)
+    assert not path.exists()
+    assert list(path.parent.iterdir()) == []  # staged temp file removed
+    assert cache.stats.writes == 0
+    assert cache.get(KEY) is None
+    assert cache.stats.corrupt == 0  # a non-commit is a miss, not damage
+    # The cache heals on the next successful put.
+    cache.put(KEY, SPEC, OUTCOME)
+    assert cache.get(KEY) == OUTCOME
+
+
+def test_quarantine_preserves_evidence_and_logs_once(tmp_path, caplog):
+    """Corrupt entries are renamed aside; only the first one logs loudly."""
+    import logging
+
+    cache = ResultCache(tmp_path)
+    other_key = "cd" + "1" * 62
+    for key in (KEY, other_key):
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not json at all")
+
+    with caplog.at_level(logging.DEBUG, logger="repro.jobs.cache"):
+        assert cache.get(KEY) is None
+        assert cache.get(other_key) is None
+    warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+    assert len(warnings) == 1  # one loud signal, no log spam
+    assert cache.stats.quarantined == 2
+
+    for key in (KEY, other_key):
+        path = cache.path_for(key)
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+    # A fresh put reinstalls a clean entry next to the evidence.
+    cache.put(KEY, SPEC, OUTCOME)
+    assert cache.get(KEY) == OUTCOME
+
+
 def test_distinct_keys_do_not_collide(tmp_path):
     cache = ResultCache(tmp_path)
     other_key = "cd" + "1" * 62

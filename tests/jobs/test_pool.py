@@ -7,7 +7,7 @@ children import jobs by qualified module name.
 import pytest
 
 from repro.errors import ConfigurationError, JobError
-from repro.jobs import WorkerPool
+from repro.jobs import JobFailure, WorkerPool
 from tests.jobs import _workers
 
 
@@ -65,3 +65,44 @@ def test_timeout_retries_then_gives_up():
     pool = WorkerPool(jobs=1, timeout=0.5, retries=1, backoff=0.01)
     with pytest.raises(JobError, match="timeout"):
         pool.run(_workers.sleep_forever, [0])
+
+
+def test_timeout_measured_from_job_start_not_wave_submission():
+    """Queue wait must not count against a job's wall budget.
+
+    Two 0.8 s jobs on one worker: the second waits ~0.8 s in the queue
+    before it even starts. Under wave-submission accounting its deadline
+    would expire mid-queue (0.8 + 0.8 > 1.2); with per-job-start
+    accounting each job consumes only its own 0.8 s and both complete.
+    """
+    events = []
+    pool = WorkerPool(jobs=1, timeout=1.2, retries=0, backoff=0.01)
+    results = pool.run(
+        _workers.sleep_for,
+        [0.8, 0.8],
+        on_event=lambda kind, **f: events.append(kind),
+    )
+    assert results == [0.8, 0.8]
+    assert "timeout" not in events
+
+
+def test_keep_going_returns_failure_slots():
+    """keep_going=True: a failed job yields a JobFailure, others complete."""
+    pool = WorkerPool(jobs=2, retries=0, backoff=0.01)
+    results = pool.run(_workers.square_or_raise, [3, -1, 4], keep_going=True)
+    assert results[0] == 9
+    assert results[2] == 16
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert failure.index == 1
+    assert failure.attempts == 1
+    assert "deterministic failure" in failure.error
+
+
+def test_keep_going_survives_exhausted_crash_budget():
+    """A job that crashes past its retry budget fails alone, not the batch."""
+    pool = WorkerPool(jobs=1, retries=1, backoff=0.01)
+    results = pool.run(_workers.always_crash, [0], keep_going=True)
+    assert isinstance(results[0], JobFailure)
+    assert results[0].attempts == 2  # initial attempt + one retry
+    assert "crash" in results[0].error
