@@ -8,7 +8,9 @@ with a single pedantic round (these are experiments, not microbenchmarks —
 re-running them dozens of times would be pointless).
 """
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -41,6 +43,54 @@ def orchestrator_for(jobs: int):
     from repro.jobs import Orchestrator
 
     return Orchestrator(jobs=jobs)
+
+
+@pytest.fixture(autouse=True)
+def telemetry(request):
+    """Per-bench telemetry: metrics always on, tracing when REPRO_TRACE set.
+
+    Every bench runs under an active :mod:`repro.telemetry` context so
+    the simulator/orchestrator metrics it accumulates land in a
+    machine-readable ``results/BENCH_<name>.json`` (bench name, wall
+    seconds, metrics snapshot) at teardown — the artifact CI and
+    regression tooling diff instead of scraping ``bench_output.txt``.
+
+    Setting ``REPRO_TRACE`` (any non-empty value; with ``REPRO_JOBS > 1``
+    it must be a writable path, as spawned workers append span part files
+    next to it) additionally records spans and writes a per-bench Chrome
+    trace to ``results/TRACE_<name>.json``.
+    """
+    from repro.telemetry import MetricsRegistry, TRACE_ENV_VAR, Tracer
+    from repro.telemetry import configure, deactivate
+    from repro.telemetry.exporters import merged_trace_events
+
+    trace_root = os.environ.get(TRACE_ENV_VAR) or None
+    context = configure(
+        tracer=Tracer() if trace_root else None,
+        metrics=MetricsRegistry(),
+        trace_path=trace_root,
+    )
+    name = request.node.name
+    started = time.perf_counter()
+    try:
+        yield context
+    finally:
+        wall = time.perf_counter() - started
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "name": name,
+            "wall_seconds": wall,
+            "metrics": context.metrics.snapshot(),
+        }
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        if context.tracer is not None:
+            events = merged_trace_events(context.tracer.drain(), trace_root)
+            (RESULTS_DIR / f"TRACE_{name}.json").write_text(
+                json.dumps(events, sort_keys=True) + "\n"
+            )
+        deactivate()
 
 
 @pytest.fixture()

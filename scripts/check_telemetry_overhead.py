@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI gate for the telemetry overhead contract (docs/observability.md).
+
+Two claims, both halves of "off by default, cheap when on":
+
+1. **Disabled is byte-identical.** Two runs of the same fixed-seed CLI
+   command without telemetry flags must produce identical stdout, and an
+   *enabled* run's stdout must start with that exact disabled output —
+   telemetry may only append (the trace/metrics footer), never perturb
+   the experiment's own numbers.
+2. **Enabled costs < 10%.** Best-of-N wall time with ``--trace-out`` +
+   ``--metrics-out`` must stay within ``LIMIT`` (1.10) of the best
+   disabled wall time.
+
+The emitted trace must also parse as a JSON array of Chrome trace
+events whose spans carry ``span_id``/``parent_id`` links.
+
+Run from the repo root: ``python scripts/check_telemetry_overhead.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: The fixed-seed command under test: heavy enough that per-batch costs
+#: would show, light enough for CI.
+COMMAND = [
+    sys.executable, "-m", "repro.cli", "mix", "mcf", "povray",
+    "--instructions", "400000", "--seed", "3",
+]
+
+#: Enabled wall time may be at most this multiple of disabled wall time.
+LIMIT = 1.10
+
+#: Timing samples per variant; best-of keeps CI noise out of the ratio.
+ROUNDS = 3
+
+
+def run(extra, cwd) -> tuple[str, float]:
+    """Run the CLI command with *extra* args; return (stdout, seconds)."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    env.pop("REPRO_TRACE", None)
+    started = time.perf_counter()
+    proc = subprocess.run(
+        COMMAND + extra, cwd=cwd, env=env, check=True,
+        capture_output=True, text=True,
+    )
+    return proc.stdout, time.perf_counter() - started
+
+
+def check_trace(path: Path) -> None:
+    """Assert *path* is a Chrome trace-event JSON array with linked spans."""
+    events = json.loads(path.read_text())
+    assert isinstance(events, list) and events, "trace is not a JSON array"
+    for event in events:
+        assert event["ph"] == "X" and "ts" in event and "dur" in event, event
+    linked = [e for e in events if "parent_id" in e["args"]]
+    assert linked, "no span carries a parent_id link"
+
+
+def main() -> int:
+    """Run both checks; return a process exit code."""
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline, _ = run([], tmp)
+        repeat, _ = run([], tmp)
+        if repeat != baseline:
+            print("FAIL: two disabled runs differ — disabled mode is not "
+                  "deterministic/byte-identical")
+            return 1
+
+        trace = Path(tmp) / "trace.json"
+        metrics = Path(tmp) / "metrics.prom"
+        enabled_out, _ = run(
+            ["--trace-out", str(trace), "--metrics-out", str(metrics)], tmp
+        )
+        if not enabled_out.startswith(baseline):
+            print("FAIL: enabled stdout does not start with the disabled "
+                  "output — telemetry perturbed the experiment")
+            return 1
+        check_trace(trace)
+        if not metrics.read_text().startswith("# TYPE"):
+            print("FAIL: metrics file is not Prometheus exposition text")
+            return 1
+
+        disabled_best = min(run([], tmp)[1] for _ in range(ROUNDS))
+        enabled_best = min(
+            run(["--trace-out", str(trace), "--metrics-out", str(metrics)],
+                tmp)[1]
+            for _ in range(ROUNDS)
+        )
+    ratio = enabled_best / disabled_best
+    print(f"disabled best {disabled_best:.3f}s, enabled best "
+          f"{enabled_best:.3f}s, ratio {ratio:.3f} (limit {LIMIT})")
+    if ratio > LIMIT:
+        print(f"FAIL: telemetry overhead {100 * (ratio - 1):.1f}% exceeds "
+              f"{100 * (LIMIT - 1):.0f}%")
+        return 1
+    print("OK: disabled byte-identical; enabled overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.core.signature import HealthReport, assess_signature
 from repro.errors import AllocationError
 from repro.sched.affinity import Mapping, canonical_mapping
 from repro.sched.syscall import SyscallInterface, TaskView
+from repro.telemetry.context import current as telemetry_current
 
 __all__ = ["UserLevelMonitor", "fallback_mapping"]
 
@@ -136,34 +137,55 @@ class UserLevelMonitor:
         (when ``apply`` is set) and a degradation event recorded instead.
         """
         self._invocations += 1
-        tasks = syscall.query_tasks()
-        if not tasks or any(not t.valid for t in tasks):
-            self.skipped_invocations += 1
-            return None
-        unhealthy = {}
-        for task in tasks:
-            report = self._assess(task)
-            if not report.ok:
-                unhealthy[task.name] = report
-        if unhealthy:
-            self.degradations.append(
-                {
-                    "invocation": self._invocations,
-                    "action": "fallback-default-mapping",
-                    "tasks": {
-                        name: {"status": r.status, "reason": r.reason}
-                        for name, r in sorted(unhealthy.items())
-                    },
-                }
-            )
+        tel = telemetry_current()
+        span = (
+            tel.tracer.begin("monitor.invoke", invocation=self._invocations)
+            if tel is not None and tel.tracer is not None
+            else None
+        )
+        try:
+            tasks = syscall.query_tasks()
+            if not tasks or any(not t.valid for t in tasks):
+                self.skipped_invocations += 1
+                self._count(tel, "monitor_skipped_total")
+                return None
+            unhealthy = {}
+            for task in tasks:
+                report = self._assess(task)
+                if not report.ok:
+                    unhealthy[task.name] = report
+            if unhealthy:
+                self.degradations.append(
+                    {
+                        "invocation": self._invocations,
+                        "action": "fallback-default-mapping",
+                        "tasks": {
+                            name: {"status": r.status, "reason": r.reason}
+                            for name, r in sorted(unhealthy.items())
+                        },
+                    }
+                )
+                self._count(tel, "monitor_degraded_total")
+                if self.apply:
+                    syscall.apply_mapping(
+                        fallback_mapping(tasks, syscall.num_cores)
+                    )
+                return None
+            mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
+            self.decisions.append(mapping)
+            self._count(tel, "monitor_decisions_total")
             if self.apply:
-                syscall.apply_mapping(fallback_mapping(tasks, syscall.num_cores))
-            return None
-        mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
-        self.decisions.append(mapping)
-        if self.apply:
-            syscall.apply_mapping(mapping)
-        return mapping
+                syscall.apply_mapping(mapping)
+            return mapping
+        finally:
+            if span is not None:
+                tel.tracer.end(span)
+
+    @staticmethod
+    def _count(tel, name: str) -> None:
+        """Increment a monitor counter when telemetry is active."""
+        if tel is not None and tel.metrics is not None:
+            tel.metrics.counter(name).inc()
 
     def majority_mapping(self) -> Optional[Mapping]:
         """The most frequent decision so far (the paper's chosen schedule)."""

@@ -19,6 +19,7 @@ __all__ = [
     "render_sweep",
     "render_mix_comparison",
     "render_counter_series",
+    "render_metrics",
 ]
 
 
@@ -179,3 +180,38 @@ def render_counter_series(series, max_rows: int = 20) -> str:
         float_digits=3,
     )
     return table + "\n\n" + corr + "\n\n" + fig5
+
+
+def render_metrics(
+    snapshot: Mapping, title: str = "telemetry metrics"
+) -> str:
+    """Human summary table of a telemetry metrics snapshot.
+
+    *snapshot* is :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`
+    output. Counters and gauges render their value; histograms render
+    count, sum and the busiest bucket, keeping the table scannable (the
+    full bucket detail lives in the Prometheus/JSON exports).
+    """
+
+    def describe(metric: Mapping) -> str:
+        if metric["type"] in ("counter", "gauge"):
+            value = metric["value"]
+            return f"{value:g}" if isinstance(value, float) else str(value)
+        buckets = metric["buckets"]
+        busiest, previous = "+Inf", 0
+        top = -1
+        for le, cumulative in buckets:
+            width = cumulative - previous
+            previous = cumulative
+            if width > top:
+                busiest, top = le, width
+        return (
+            f"n={metric['count']} sum={metric['sum']:.6g} "
+            f"mode<={busiest}"
+        )
+
+    rows = [
+        [name, snapshot[name]["type"], describe(snapshot[name])]
+        for name in snapshot
+    ]
+    return format_table(["metric", "type", "value"], rows, title=title)

@@ -23,14 +23,20 @@ All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``--fail-fast`` (salvage failing mixes into a failure report vs abort on
 the first error; fail-fast is the default) and ``--resume JOURNAL``
 (write-ahead journal of completed runs; re-invoking with the same
-journal re-executes only what had not finished).
+journal re-executes only what had not finished), and the observability
+flags ``--trace-out FILE`` (Chrome trace-event JSON of the run, loadable
+in Perfetto) and ``--metrics-out FILE`` (Prometheus-format metrics
+snapshot plus a printed summary table) — see :mod:`repro.telemetry` and
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from repro.alloc import (
     InterferenceGraphPolicy,
@@ -45,12 +51,22 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import (
     render_counter_series,
+    render_metrics,
     render_pairwise,
     render_sweep,
     render_table1,
 )
 from repro.errors import ConfigurationError, SimulationError
 from repro.jobs import Orchestrator
+from repro.telemetry import (
+    TRACE_ENV_VAR,
+    MetricsRegistry,
+    TelemetryContext,
+    Tracer,
+)
+from repro.telemetry import configure as telemetry_configure
+from repro.telemetry import deactivate as telemetry_deactivate
+from repro.telemetry.exporters import write_merged_chrome_trace, write_prometheus
 from repro.perf.experiment import pairwise_shared, two_phase
 from repro.perf.machine import core2duo
 from repro.utils.tables import format_percent, format_table
@@ -139,20 +155,44 @@ def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
         help="write-ahead journal file; completed runs recorded there are "
         "replayed instead of re-executed (checkpoint/resume)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON file of the run "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a Prometheus-format metrics snapshot and print the "
+        "metric summary table",
+    )
+
+
+def _wants_orchestration(args: argparse.Namespace) -> bool:
+    """True when any *orchestration* flag (not telemetry) was given."""
+    return (
+        args.jobs > 1
+        or args.cache_dir is not None
+        or args.keep_going
+        or args.resume is not None
+    )
 
 
 def _make_orchestrator(args: argparse.Namespace) -> Optional[Orchestrator]:
     """Build an orchestrator from the orchestration flags (or ``None``).
 
-    The default flag set (``--jobs 1``, no cache, fail-fast, no journal)
-    keeps the exact serial code path; any orchestration or robustness
-    flag opts the command into the :mod:`repro.jobs` subsystem.
+    The default flag set (``--jobs 1``, no cache, fail-fast, no journal,
+    no telemetry) keeps the exact serial code path; any orchestration,
+    robustness or telemetry flag opts the command into the
+    :mod:`repro.jobs` subsystem (telemetry because the orchestrator is
+    where the root ``orchestrator.run_specs`` span comes from).
     """
     if (
         args.jobs <= 1
         and args.cache_dir is None
         and not args.keep_going
         and args.resume is None
+        and args.trace_out is None
+        and args.metrics_out is None
     ):
         return None
     return Orchestrator(
@@ -161,6 +201,62 @@ def _make_orchestrator(args: argparse.Namespace) -> Optional[Orchestrator]:
         journal=args.resume,
         keep_going=args.keep_going,
     )
+
+
+@contextmanager
+def _telemetry_session(
+    args: argparse.Namespace,
+) -> Iterator[Optional[TelemetryContext]]:
+    """Activate telemetry for one command when its flags ask for it.
+
+    Without ``--trace-out`` / ``--metrics-out`` this yields ``None`` and
+    touches nothing — the command runs the exact disabled fast path.
+    With either flag it installs a process-wide context, exports the
+    requested files after a successful command, and always deactivates.
+    ``--trace-out`` with ``--jobs > 1`` additionally publishes the trace
+    path through :data:`~repro.telemetry.TRACE_ENV_VAR` so spawned
+    workers trace themselves into part files the final write merges.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        yield None
+        return
+    context = telemetry_configure(
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+        trace_path=trace_out,
+        metrics_path=metrics_out,
+    )
+    propagate = trace_out is not None and getattr(args, "jobs", 1) > 1
+    saved_env = os.environ.get(TRACE_ENV_VAR)
+    if propagate:
+        os.environ[TRACE_ENV_VAR] = trace_out
+    try:
+        yield context
+        _export_telemetry(context)
+    finally:
+        if propagate:
+            if saved_env is None:
+                os.environ.pop(TRACE_ENV_VAR, None)
+            else:
+                os.environ[TRACE_ENV_VAR] = saved_env
+        telemetry_deactivate()
+
+
+def _export_telemetry(context: TelemetryContext) -> None:
+    """Write the trace / metrics files a finished command asked for."""
+    if context.trace_path is not None:
+        count = write_merged_chrome_trace(
+            context.trace_path, context.tracer.drain()
+        )
+        print(f"\ntrace: {count} span(s) -> {context.trace_path}")
+    if context.metrics_path is not None:
+        snapshot = context.metrics.snapshot()
+        write_prometheus(context.metrics_path, snapshot)
+        print(f"\nmetrics: {len(snapshot)} series -> {context.metrics_path}")
+        print()
+        print(render_metrics(snapshot))
 
 
 def _print_failures(sweep) -> None:
@@ -233,7 +329,9 @@ def _cmd_mix(args: argparse.Namespace) -> int:
         print(f"mix failed: {exc}")
         return 1
     print(f"mix: {', '.join(args.names)}   policy: {args.policy}")
-    if orchestrator is not None:
+    if orchestrator is not None and _wants_orchestration(args):
+        # A telemetry-only orchestrator must not perturb the command's
+        # own output (the overhead gate diffs it against a plain run).
         print(orchestrator.counters.summary())
     if result.degradations:
         print(
@@ -337,16 +435,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "profiles":
-        return _cmd_profiles()
-    if args.command == "mix":
-        return _cmd_mix(args)
-    if args.command == "pairwise":
-        return _cmd_pairwise(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
+    with _telemetry_session(args):
+        if args.command == "profiles":
+            return _cmd_profiles()
+        if args.command == "mix":
+            return _cmd_mix(args)
+        if args.command == "pairwise":
+            return _cmd_pairwise(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
     raise AssertionError("unreachable")
 
 

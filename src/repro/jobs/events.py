@@ -4,19 +4,29 @@ The orchestrator and the worker pool narrate a batch's life cycle as
 :class:`JobEvent` records — submitted, deduplicated, cache hit, started,
 completed, retried, timed out, failed — collected by an :class:`EventLog`
 that keeps rolling counters (:class:`EventCounters`) plus a bounded tail
-of recent events. Callers (the CLI, benches, tests) can attach a ``sink``
-callable to observe events as they happen; the counters are what the
+of recent events. Callers (the CLI, benches, tests) can attach ``sink``
+callables to observe events as they happen; the counters are what the
 acceptance criteria assert against (e.g. "a warm-cache re-run performs
 zero new simulations" is ``counters.executed == 0``).
+
+Sinks are **isolated**: a raising sink cannot abort an orchestration
+batch. The first exception from each sink is logged (with traceback);
+later exceptions from the same sink are swallowed silently, and the sink
+keeps receiving events in case it recovers. The telemetry exporters
+(:class:`~repro.telemetry.metrics.EventCounterSink`) attach through the
+same contract.
 """
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 __all__ = ["EVENT_KINDS", "JobEvent", "EventCounters", "EventLog"]
+
+logger = logging.getLogger(__name__)
 
 #: Every event kind the orchestrator/pool may emit.
 EVENT_KINDS = (
@@ -114,6 +124,32 @@ class EventLog:
         self.sink = sink
         self.counters = EventCounters()
         self.events: Deque[JobEvent] = deque(maxlen=keep)
+        self._extra_sinks: List[Callable[[JobEvent], None]] = []
+        self._sinks_warned: set = set()
+
+    def add_sink(self, sink: Callable[[JobEvent], None]) -> None:
+        """Attach an additional sink (same isolation contract as `sink`)."""
+        self._extra_sinks.append(sink)
+
+    def _dispatch(self, sink: Callable[[JobEvent], None], event: JobEvent) -> None:
+        """Deliver one event to one sink, isolating sink failures.
+
+        A sink raising must not abort the orchestration batch that
+        emitted the event: the first failure per sink is logged with its
+        traceback, subsequent ones are dropped quietly, and delivery to
+        the sink continues (it may be stateful and recover).
+        """
+        try:
+            sink(event)
+        except Exception:
+            key = id(sink)
+            if key not in self._sinks_warned:
+                self._sinks_warned.add(key)
+                logger.warning(
+                    "event sink %r raised on %r; continuing without it "
+                    "(further failures of this sink are silenced)",
+                    sink, event.kind, exc_info=True,
+                )
 
     _COUNTER_OF = {
         "submitted": "submitted",
@@ -138,5 +174,7 @@ class EventLog:
         if counter is not None:
             setattr(self.counters, counter, getattr(self.counters, counter) + 1)
         if self.sink is not None:
-            self.sink(event)
+            self._dispatch(self.sink, event)
+        for sink in self._extra_sinks:
+            self._dispatch(sink, event)
         return event

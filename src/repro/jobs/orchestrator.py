@@ -40,6 +40,8 @@ from repro.jobs.journal import RunJournal
 from repro.jobs.keys import spec_key
 from repro.jobs.pool import DEFAULT_MP_CONTEXT, WorkerPool
 from repro.jobs.spec import RunOutcome, RunSpec, execute_spec
+from repro.telemetry.context import current as telemetry_current
+from repro.telemetry.metrics import EventCounterSink
 
 __all__ = ["Orchestrator"]
 
@@ -107,6 +109,7 @@ class Orchestrator:
             self.journal = journal
         else:
             self.journal = RunJournal(journal)
+        self._metrics_sink = None
         self._pool = (
             None
             if jobs <= 1
@@ -147,10 +150,17 @@ class Orchestrator:
 
     def _execute_serial(self, misses, payloads) -> List[Any]:
         """In-process execution of the batch's misses (jobs == 1)."""
+        tel = telemetry_current()
+        tracer = tel.tracer if tel is not None else None
         raw: List[Any] = []
         for index, (key, payload) in enumerate(zip(misses, payloads)):
             self.log.emit("started", key=key, attempt=1)
             job_started = time.monotonic()
+            job_span = (
+                tracer.begin("job.execute", key=key, index=index)
+                if tracer is not None
+                else None
+            )
             try:
                 raw.append(self.executor(payload))
             except Exception as exc:
@@ -168,6 +178,9 @@ class Orchestrator:
                     )
                 )
                 continue
+            finally:
+                if job_span is not None:
+                    tracer.end(job_span)
             self.log.emit(
                 "completed", key=key, attempt=1,
                 wall_time=time.monotonic() - job_started,
@@ -184,11 +197,22 @@ class Orchestrator:
                 detail=fields.get("detail", ""),
             )
 
-        wave_started = time.monotonic()
-        raw = self._pool.run(
-            self.executor, payloads, on_event=forward,
-            keep_going=self.keep_going,
+        tel = telemetry_current()
+        tracer = tel.tracer if tel is not None else None
+        fan_span = (
+            tracer.begin("pool.fan_out", jobs=self._pool.jobs, misses=len(misses))
+            if tracer is not None
+            else None
         )
+        wave_started = time.monotonic()
+        try:
+            raw = self._pool.run(
+                self.executor, payloads, on_event=forward,
+                keep_going=self.keep_going,
+            )
+        finally:
+            if fan_span is not None:
+                tracer.end(fan_span)
         elapsed = time.monotonic() - wave_started
         completed = [
             key for key, r in zip(misses, raw)
@@ -210,6 +234,29 @@ class Orchestrator:
         :class:`~repro.jobs.spec.RunOutcome` — callers opting in must
         check each slot.
         """
+        tel = telemetry_current()
+        if (
+            tel is not None
+            and tel.metrics is not None
+            and self._metrics_sink is None
+        ):
+            # Absorb the rolling EventCounters into the metrics registry:
+            # every event also increments a jobs_events_* counter there.
+            self._metrics_sink = EventCounterSink(tel.metrics)
+            self.log.add_sink(self._metrics_sink)
+        batch_span = (
+            tel.tracer.begin("orchestrator.run_specs", specs=len(specs))
+            if tel is not None and tel.tracer is not None
+            else None
+        )
+        try:
+            return self._run_specs_inner(specs)
+        finally:
+            if batch_span is not None:
+                tel.tracer.end(batch_span)
+
+    def _run_specs_inner(self, specs: Sequence[RunSpec]) -> List[BatchResult]:
+        """The body of :meth:`run_specs` (separated for span scoping)."""
         batch_started = time.monotonic()
         self.log.emit("batch_start", detail=f"{len(specs)} specs")
 

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, JobError
 from repro.jobs.failures import JobFailure
+from repro.telemetry.context import current as telemetry_current
 
 __all__ = ["WorkerPool"]
 
@@ -178,6 +179,8 @@ class WorkerPool:
         pending = list(range(count))
         wave_number = 0
 
+        tel = telemetry_current()
+        tracer = tel.tracer if tel is not None else None
         ctx = get_context(self.mp_context)
         manager = ctx.Manager()
         start_queue = manager.Queue()
@@ -185,6 +188,18 @@ class WorkerPool:
         try:
             while pending:
                 wave_number += 1
+                if tel is not None and tel.metrics is not None:
+                    tel.metrics.counter(
+                        "pool_waves_total",
+                        help="submission waves run by the worker pool",
+                    ).inc()
+                wave_span = (
+                    tracer.begin(
+                        "pool.wave", wave=wave_number, pending=len(pending)
+                    )
+                    if tracer is not None
+                    else None
+                )
                 wave_started = time.time()
                 starts: Dict[int, float] = {}
                 futures: Dict[Any, int] = {}
@@ -260,6 +275,9 @@ class WorkerPool:
                             done[index] = True
                 except BrokenProcessPool:
                     crashed = True
+                if wave_span is not None:
+                    wave_span.attrs["crashed"] = crashed
+                    tracer.end(wave_span)
 
                 pending = [i for i in range(count) if not done[i]]
                 if not pending:

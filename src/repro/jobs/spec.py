@@ -537,7 +537,34 @@ def execute_spec(payload: TMapping[str, Any]) -> Dict[str, Any]:
     are normalised to the spec's index namespace before the run, so the
     result is bit-for-bit identical in any host process.
     """
+    from repro.telemetry.context import current as telemetry_current, init_from_env
+
+    # Worker processes re-initialise telemetry from REPRO_TRACE (spawned
+    # workers inherit the environment but not live objects); in the
+    # parent this is a no-op unless the env var is set and nothing is
+    # configured yet.
+    tel = init_from_env() or telemetry_current()
     spec = payload if isinstance(payload, RunSpec) else RunSpec.from_dict(payload)
+    tel_span = (
+        tel.tracer.begin(
+            "job.execute_spec",
+            kind=spec.workload.kind,
+            names="+".join(spec.workload.names),
+        )
+        if tel is not None and tel.tracer is not None
+        else None
+    )
+    try:
+        return _execute_spec_inner(spec)
+    finally:
+        if tel_span is not None:
+            tel.tracer.end(tel_span)
+        if tel is not None and tel.autoflush:
+            tel.flush_part()
+
+
+def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
+    """Build and run the simulation one :class:`RunSpec` describes."""
     machine = machine_from_dict(spec.machine)
     signature = (
         None if spec.signature is None else SignatureConfig(**spec.signature)

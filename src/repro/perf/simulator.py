@@ -26,6 +26,7 @@ Key mechanics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -38,7 +39,20 @@ from repro.sched.affinity import Mapping
 from repro.sched.os_model import OSScheduler, SchedulerConfig
 from repro.sched.process import SimTask
 from repro.sched.syscall import SyscallInterface
+from repro.telemetry.context import current as telemetry_current
+from repro.telemetry.metrics import DURATION_BUCKETS
+from repro.telemetry.profiler import PhaseProfile
 from repro.utils.validation import require_positive
+
+#: Bucket boundaries for the per-batch L2 miss-count histogram (a batch
+#: is at most ``batch_accesses`` references, 256 by default).
+L2_BATCH_MISS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Bucket boundaries for the CBF occupancy histogram (resident lines
+#: observed at each monitor invocation).
+CBF_OCCUPANCY_BUCKETS = (
+    0.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0
+)
 
 __all__ = ["TaskResult", "SimulationResult", "MulticoreSimulator"]
 
@@ -231,80 +245,155 @@ class MulticoreSimulator:
         interval = getattr(self.monitor, "interval_cycles", None)
         next_invocation = interval if interval else None
 
-        while True:
-            runnable = sched.runnable_cores()
-            if not runnable:
-                break
-            # wall = least-advanced runnable core; it executes next.
-            core = min(runnable, key=lambda c: self.core_time[c])
-            wall = self.core_time[core]
-            if max_wall_cycles is not None and wall >= max_wall_cycles:
-                break
-            if next_invocation is not None and wall >= next_invocation:
-                decision = self.monitor.invoke(self.syscall)
-                if decision is not None:
-                    decisions.append(decision.canonical())
-                next_invocation += interval
-                continue
-
-            task = sched.current_task(core)
-            n = min(batch, task.remaining_accesses)
-            blocks = task.generator.next_batch(n)
-            l1_hits = 0
-            if self._l1s is not None:
-                l1_result = self._l1s[core].access_batch(0, blocks)
-                l1_hits = l1_result.hits
-                blocks = l1_result.fills  # only L1 misses reach the L2
-            if len(blocks):
-                result = self.caches[core].access_batch(
-                    core if self._shared_cache is not None else 0, blocks
-                )
-                l2_hits, l2_misses = result.hits, result.misses
-            else:
-                result = None
-                l2_hits = l2_misses = 0
-            if self.signature_unit is not None and result is not None:
-                self.signature_unit.record_events(
-                    core,
-                    result.fills,
-                    result.fill_slots,
-                    result.evictions,
-                    result.evict_slots,
-                    result.evict_fill_pos,
-                )
-            other = float(
-                sum(
-                    self._intensity[c]
-                    for c in runnable
-                    if c != core
-                )
+        # Telemetry is opt-in: `tel` is None on the default path, and every
+        # instrumented point below is a single `is not None` branch — the
+        # simulated state is never touched, so results are bit-identical
+        # with telemetry on or off.
+        tel = telemetry_current()
+        tracer = tel.tracer if tel is not None else None
+        metrics = tel.metrics if tel is not None else None
+        prof = PhaseProfile() if tel is not None else None
+        miss_hist = (
+            metrics.histogram(
+                "sim_l2_batch_misses", L2_BATCH_MISS_BUCKETS,
+                help="L2 misses per simulated batch",
             )
-            cycles = timing.batch_cycles(
-                instructions=task.instructions_for(n),
-                l2_hits=l2_hits,
-                l2_misses=l2_misses,
-                mlp=task.mlp,
-                other_intensity=other,
-                l1_hits=l1_hits,
+            if metrics is not None
+            else None
+        )
+        occupancy_hist = (
+            metrics.histogram(
+                "sim_cbf_occupancy_lines", CBF_OCCUPANCY_BUCKETS,
+                help="CBF-tracked resident lines at each monitor invocation",
             )
-            if cycles <= 0:
-                raise SimulationError("non-positive batch cycle count")
-            ema = timing.intensity_ema
-            self._intensity[core] = (
-                (1 - ema) * self._intensity[core] + ema * (l2_misses / cycles)
+            if metrics is not None and self.signature_unit is not None
+            else None
+        )
+        run_span = (
+            tracer.begin(
+                "simulator.run",
+                machine=self.machine.name,
+                tasks=len(self.tasks),
+                monitored=self.monitor is not None,
             )
-            self.core_time[core] += cycles
-            completed = task.advance(n, cycles)
-            expired = sched.charge(core, cycles)
-            if expired or completed:
-                sched.context_switch(core)
-                self.core_time[core] += sched.config.context_switch_cycles
-            if all(t.completed_once for t in self.tasks):
-                if (
-                    min_wall_cycles is None
-                    or self.core_time.max() >= min_wall_cycles
-                ):
+            if tracer is not None
+            else None
+        )
+        run_started = perf_counter()
+        l2_accesses = 0
+        try:
+            while True:
+                if prof is not None:
+                    t0 = perf_counter()
+                runnable = sched.runnable_cores()
+                if not runnable:
                     break
+                # wall = least-advanced runnable core; it executes next.
+                core = min(runnable, key=lambda c: self.core_time[c])
+                wall = self.core_time[core]
+                if max_wall_cycles is not None and wall >= max_wall_cycles:
+                    break
+                if next_invocation is not None and wall >= next_invocation:
+                    if prof is not None:
+                        t1 = perf_counter()
+                        prof.add("interleave", t1 - t0, 0)
+                    decision = self.monitor.invoke(self.syscall)
+                    if decision is not None:
+                        decisions.append(decision.canonical())
+                    if prof is not None:
+                        elapsed = perf_counter() - t1
+                        prof.add("monitor", elapsed)
+                        if metrics is not None:
+                            metrics.histogram(
+                                "sim_monitor_invoke_seconds", DURATION_BUCKETS,
+                                help="wall time of one monitor invocation "
+                                "(mapping-decision latency)",
+                            ).observe(elapsed)
+                        if occupancy_hist is not None:
+                            occupancy_hist.observe(
+                                float(self.signature_unit.total_occupancy())
+                            )
+                    next_invocation += interval
+                    continue
+
+                task = sched.current_task(core)
+                n = min(batch, task.remaining_accesses)
+                blocks = task.generator.next_batch(n)
+                if prof is not None:
+                    t1 = perf_counter()
+                    prof.add("interleave", t1 - t0)
+                l1_hits = 0
+                if self._l1s is not None:
+                    l1_result = self._l1s[core].access_batch(0, blocks)
+                    l1_hits = l1_result.hits
+                    blocks = l1_result.fills  # only L1 misses reach the L2
+                if len(blocks):
+                    result = self.caches[core].access_batch(
+                        core if self._shared_cache is not None else 0, blocks
+                    )
+                    l2_hits, l2_misses = result.hits, result.misses
+                else:
+                    result = None
+                    l2_hits = l2_misses = 0
+                if prof is not None:
+                    t2 = perf_counter()
+                    prof.add("l2_access", t2 - t1, len(blocks))
+                    l2_accesses += len(blocks)
+                    if miss_hist is not None:
+                        miss_hist.observe(float(l2_misses))
+                if self.signature_unit is not None and result is not None:
+                    self.signature_unit.record_events(
+                        core,
+                        result.fills,
+                        result.fill_slots,
+                        result.evictions,
+                        result.evict_slots,
+                        result.evict_fill_pos,
+                    )
+                if prof is not None:
+                    t3 = perf_counter()
+                    if self.signature_unit is not None:
+                        prof.add("signature", t3 - t2)
+                other = float(
+                    sum(
+                        self._intensity[c]
+                        for c in runnable
+                        if c != core
+                    )
+                )
+                cycles = timing.batch_cycles(
+                    instructions=task.instructions_for(n),
+                    l2_hits=l2_hits,
+                    l2_misses=l2_misses,
+                    mlp=task.mlp,
+                    other_intensity=other,
+                    l1_hits=l1_hits,
+                )
+                if cycles <= 0:
+                    raise SimulationError("non-positive batch cycle count")
+                ema = timing.intensity_ema
+                self._intensity[core] = (
+                    (1 - ema) * self._intensity[core] + ema * (l2_misses / cycles)
+                )
+                self.core_time[core] += cycles
+                completed = task.advance(n, cycles)
+                expired = sched.charge(core, cycles)
+                if expired or completed:
+                    sched.context_switch(core)
+                    self.core_time[core] += sched.config.context_switch_cycles
+                if prof is not None:
+                    prof.add("timing", perf_counter() - t3)
+                if all(t.completed_once for t in self.tasks):
+                    if (
+                        min_wall_cycles is None
+                        or self.core_time.max() >= min_wall_cycles
+                    ):
+                        break
+        finally:
+            if tel is not None:
+                self._emit_telemetry(
+                    tel, prof, run_span, run_started, l2_accesses
+                )
 
         majority = None
         if decisions:
@@ -343,3 +432,43 @@ class MulticoreSimulator:
             ),
             degradations=list(getattr(self.monitor, "degradations", ()) or ()),
         )
+
+    def _emit_telemetry(
+        self, tel, prof, run_span, run_started: float, l2_accesses: int
+    ) -> None:
+        """Flush one run's aggregate telemetry (enabled runs only).
+
+        Emits the phase breakdown (spans + counters), the simulator-level
+        metrics — L2 accesses/sec, CBF occupancy, run/batch tallies — and
+        closes the ``simulator.run`` span. Never called on the disabled
+        path.
+        """
+        elapsed = perf_counter() - run_started
+        metrics = tel.metrics
+        if metrics is not None:
+            metrics.counter(
+                "sim_runs_total", help="simulator runs completed"
+            ).inc()
+            metrics.counter(
+                "sim_batches_total", help="scheduling batches executed"
+            ).inc(prof.ops("interleave"))
+            metrics.counter(
+                "sim_l2_accesses_total", help="references reaching the L2"
+            ).inc(l2_accesses)
+            metrics.gauge(
+                "sim_l2_accesses_per_second",
+                help="L2 references simulated per wall second (last run)",
+            ).set(l2_accesses / elapsed if elapsed > 0 else 0.0)
+            metrics.gauge(
+                "sim_wall_cycles",
+                help="virtual wall cycles of the last run",
+            ).set(float(self.core_time.max()) if len(self.core_time) else 0.0)
+            if self.signature_unit is not None:
+                metrics.gauge(
+                    "sim_cbf_occupancy_final_lines",
+                    help="CBF-tracked resident lines at run end",
+                ).set(float(self.signature_unit.total_occupancy()))
+            prof.emit_metrics(metrics)
+        if tel.tracer is not None and run_span is not None:
+            prof.emit_spans(tel.tracer, run_span.start)
+            tel.tracer.end(run_span)

@@ -1,0 +1,77 @@
+"""repro.telemetry — tracing, metrics, and profiling hooks.
+
+The measurement substrate of the reproduction: hierarchical trace spans
+(:mod:`~repro.telemetry.spans`), a deterministic-snapshot metrics
+registry (:mod:`~repro.telemetry.metrics`), exporters for Chrome
+trace-event JSON and Prometheus text (:mod:`~repro.telemetry.exporters`),
+aggregated phase profiling of the simulator hot loop
+(:mod:`~repro.telemetry.profiler`), and the propagating on/off context
+(:mod:`~repro.telemetry.context`).
+
+Everything is off by default; instrumented call sites pay one
+:func:`current` guard check when disabled, and fault-free runs stay
+byte-identical to an uninstrumented build. Enable via
+``repro-cli mix/sweep --trace-out FILE --metrics-out FILE``, the
+``REPRO_TRACE`` environment variable (honoured by the benchmarks and
+worker processes), or :func:`configure` in code. See
+``docs/observability.md`` for the span taxonomy, metric names and the
+overhead contract.
+"""
+
+from repro.telemetry.context import (
+    TRACE_ENV_VAR,
+    TelemetryContext,
+    configure,
+    current,
+    deactivate,
+    init_from_env,
+    use,
+)
+from repro.telemetry.exporters import (
+    append_trace_part,
+    chrome_trace_events,
+    merged_trace_events,
+    metrics_json,
+    prometheus_text,
+    write_chrome_trace,
+    write_merged_chrome_trace,
+    write_prometheus,
+)
+from repro.telemetry.metrics import (
+    DURATION_BUCKETS,
+    Counter,
+    EventCounterSink,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profiler import SIMULATOR_PHASES, PhaseProfile
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "TelemetryContext",
+    "configure",
+    "current",
+    "deactivate",
+    "init_from_env",
+    "use",
+    "Span",
+    "Tracer",
+    "DURATION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventCounterSink",
+    "SIMULATOR_PHASES",
+    "PhaseProfile",
+    "append_trace_part",
+    "chrome_trace_events",
+    "merged_trace_events",
+    "metrics_json",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_merged_chrome_trace",
+    "write_prometheus",
+]

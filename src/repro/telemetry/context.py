@@ -1,0 +1,173 @@
+"""The process-wide telemetry context and its propagation rules.
+
+Telemetry is **off by default**: :func:`current` returns ``None`` until
+:func:`configure` installs a :class:`TelemetryContext`, and every
+instrumented call site guards on that single variable — the disabled fast
+path is one attribute read and one ``is None`` branch, no closures, no
+allocation, so fault-free runs stay byte-identical to an uninstrumented
+build.
+
+Propagation:
+
+* **Threads** — the context is a process-wide global; the tracer inside
+  it keeps per-thread span stacks, so threads share one context and
+  produce correctly-nested per-thread sub-trees.
+* **Processes** — worker processes cannot inherit live objects, so they
+  re-initialise from the ``REPRO_TRACE`` environment variable
+  (:func:`init_from_env`, called by the worker-side spec executor).
+  Contexts built that way auto-flush their spans to
+  ``<trace_path>.part-<pid>`` files after every executed spec;
+  :func:`repro.telemetry.exporters.merged_trace_events` folds the parts
+  back into the parent's trace.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "TelemetryContext",
+    "current",
+    "configure",
+    "deactivate",
+    "use",
+    "init_from_env",
+]
+
+#: Environment variable naming the trace output file; setting it opts
+#: worker processes (and the benchmarks) into tracing + metrics.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+class TelemetryContext:
+    """One activation of the telemetry subsystem.
+
+    Parameters
+    ----------
+    tracer:
+        Span collector, or ``None`` to record metrics only.
+    metrics:
+        Metrics registry, or ``None`` to trace only.
+    trace_path:
+        Where the Chrome trace should eventually be written (the caller
+        exports; the context only remembers the destination).
+    metrics_path:
+        Where the Prometheus-style text should eventually be written.
+    autoflush:
+        True for env-initialised worker contexts: the spec executor
+        flushes finished spans to a per-pid part file after every spec.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        autoflush: bool = False,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.autoflush = autoflush
+        self.owner_pid = os.getpid()
+
+    def flush_part(self) -> Optional[str]:
+        """Append finished spans to this process's trace part file.
+
+        Returns the part-file path, or ``None`` when there is nothing to
+        flush (no tracer, no destination, or no finished spans). Used by
+        worker processes, whose spans would otherwise die with them.
+        """
+        if self.tracer is None or self.trace_path is None:
+            return None
+        spans = self.tracer.drain()
+        if not spans:
+            return None
+        from repro.telemetry.exporters import append_trace_part
+
+        path = f"{self.trace_path}.part-{os.getpid()}"
+        append_trace_part(path, spans)
+        return path
+
+
+_current: Optional[TelemetryContext] = None
+
+
+def current() -> Optional[TelemetryContext]:
+    """The active context, or ``None`` when telemetry is disabled.
+
+    This is the guard every instrumented call site checks first.
+    """
+    return _current
+
+
+def configure(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    autoflush: bool = False,
+) -> TelemetryContext:
+    """Install (and return) a new active :class:`TelemetryContext`.
+
+    Replaces any previously active context. Passing neither a tracer nor
+    a registry still activates the context (cheap counters only), but
+    callers normally provide at least one.
+    """
+    global _current
+    _current = TelemetryContext(
+        tracer=tracer,
+        metrics=metrics,
+        trace_path=trace_path,
+        metrics_path=metrics_path,
+        autoflush=autoflush,
+    )
+    return _current
+
+
+def deactivate() -> None:
+    """Return to the disabled (no-op) state."""
+    global _current
+    _current = None
+
+
+@contextmanager
+def use(context: TelemetryContext) -> Iterator[TelemetryContext]:
+    """Temporarily activate *context* (tests, scoped measurements)."""
+    global _current
+    previous = _current
+    _current = context
+    try:
+        yield context
+    finally:
+        _current = previous
+
+
+def init_from_env(environ=None) -> Optional[TelemetryContext]:
+    """Activate telemetry from :data:`TRACE_ENV_VAR` when set.
+
+    No-op (returning the existing context, possibly ``None``) when a
+    context is already active or the variable is unset. Contexts created
+    here are marked ``autoflush`` — this is the worker-process entry
+    point, where spans must be flushed to part files per spec.
+    """
+    if _current is not None:
+        return _current
+    env = os.environ if environ is None else environ
+    trace_path = env.get(TRACE_ENV_VAR)
+    if not trace_path:
+        return None
+    return configure(
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+        trace_path=trace_path,
+        autoflush=True,
+    )

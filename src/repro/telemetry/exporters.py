@@ -1,0 +1,172 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, merge helpers.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` — the Chrome trace-event *JSON array
+  format* (one complete ``"ph": "X"`` event per line), loadable in
+  Perfetto / ``chrome://tracing``. Span nesting is carried both by
+  timestamp containment (what the viewers render) and by explicit
+  ``args.span_id`` / ``args.parent_id`` (what the tests assert).
+* :func:`prometheus_text` / :func:`write_prometheus` — the Prometheus
+  exposition text format for the metrics snapshot (counters, gauges,
+  cumulative histogram buckets).
+* :func:`append_trace_part` / :func:`merged_trace_events` — JSONL part
+  files written by worker processes and the helper that folds them back
+  into one event list before the final write.
+
+The human-readable summary table lives in
+:func:`repro.analysis.report.render_metrics`, next to the other renderers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from glob import glob
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "append_trace_part",
+    "merged_trace_events",
+    "write_merged_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "metrics_json",
+]
+
+_MICROSECONDS = 1e6
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Convert spans to Chrome trace-event dicts (complete ``X`` events)."""
+    events = []
+    for span in spans:
+        duration = span.duration if span.duration is not None else 0.0
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start * _MICROSECONDS,
+                "dur": duration * _MICROSECONDS,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path, spans: Iterable[Span]) -> int:
+    """Write spans as a Chrome trace-event JSON array, one event per line.
+
+    The file is simultaneously valid JSON (an array of event objects) and
+    line-oriented, so it loads in Perfetto and greps cleanly. Returns the
+    number of events written.
+    """
+    events = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("[\n")
+        for i, event in enumerate(events):
+            comma = "," if i + 1 < len(events) else ""
+            fh.write(json.dumps(event, sort_keys=True) + comma + "\n")
+        fh.write("]\n")
+    return len(events)
+
+
+def append_trace_part(path, spans: Iterable[Span]) -> int:
+    """Append spans to a JSONL part file (one event object per line).
+
+    Worker processes call this after every executed spec — their spans
+    would die with the process otherwise. Parts are plain JSONL (no array
+    wrapper) so concurrent appends from one worker stay well-formed.
+    """
+    events = chrome_trace_events(spans)
+    with open(path, "a", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)
+
+
+def merged_trace_events(
+    main_spans: Sequence[Span], trace_path
+) -> List[Dict[str, Any]]:
+    """Main-process events plus every ``<trace_path>.part-*`` file's.
+
+    Unreadable or torn part lines are skipped (a worker killed mid-write
+    must not invalidate the whole trace); consumed part files are
+    removed. Events are ordered by (pid, ts) for stable output.
+    """
+    events = chrome_trace_events(main_spans)
+    for part in sorted(glob(f"{trace_path}.part-*")):
+        try:
+            with open(part, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except ValueError:
+                        continue  # torn tail of a killed worker
+            os.remove(part)
+        except OSError:
+            continue
+    events.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+    return events
+
+
+def write_merged_chrome_trace(path, main_spans: Sequence[Span]) -> int:
+    """Write the main spans plus any worker part files as one trace."""
+    events = merged_trace_events(main_spans, path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("[\n")
+        for i, event in enumerate(events):
+            comma = "," if i + 1 < len(events) else ""
+            fh.write(json.dumps(event, sort_keys=True) + comma + "\n")
+        fh.write("]\n")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a registry snapshot in the Prometheus exposition format."""
+    lines: List[str] = []
+    for name, metric in snapshot.items():
+        kind = metric["type"]
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name} {_format_value(metric['value'])}")
+            continue
+        for le, count in metric["buckets"]:
+            lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+        lines.append(f"{name}_sum {_format_value(metric['sum'])}")
+        lines.append(f"{name}_count {metric['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path, snapshot: Dict[str, Dict[str, Any]]) -> None:
+    """Write :func:`prometheus_text` output to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(snapshot))
+
+
+def metrics_json(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """The snapshot as pretty, key-sorted JSON (bench result files)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)

@@ -1,0 +1,194 @@
+"""Hierarchical trace spans.
+
+A :class:`Span` is one timed region of the program — an orchestration
+batch, a pooled job, a simulator run, or one of its internal phases. The
+:class:`Tracer` maintains a per-thread stack of open spans, so a span
+begun while another is open becomes its child; the finished spans carry
+stable integer ids plus parent ids, which is what lets the exporters (and
+the tests) reconstruct the orchestrator → job → simulator → phase tree.
+
+Timestamps are ``time.perf_counter`` seconds relative to the tracer's
+epoch (its construction instant). They are wall-clock measurements and
+therefore *not* deterministic — tracing is an opt-in diagnostic layer and
+is never consulted by the simulation itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region: name, attributes, and its place in the tree.
+
+    Spans are created through :meth:`Tracer.begin` /
+    :meth:`Tracer.span` / :meth:`Tracer.add_complete`; the constructor is
+    not part of the public API.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "pid", "tid",
+        "start", "duration",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        pid: int,
+        tid: int,
+        start: float,
+    ):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = pid
+        self.tid = tid
+        self.start = start
+        self.duration: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (seconds-based; exporters convert units)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration})"
+        )
+
+
+class _SpanScope:
+    """``with tracer.span(...)`` handle: begins on enter, ends on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.begin(self._name, **self._attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end(self.span)
+
+
+class Tracer:
+    """Collects hierarchical spans with a per-thread open-span stack.
+
+    Thread propagation is automatic: the tracer is shared (it lives on
+    the process-wide telemetry context) while each thread keeps its own
+    stack, so concurrent threads produce independent, correctly-nested
+    sub-trees tagged with their thread id. Process propagation is by
+    re-initialisation: worker processes build their own tracer from the
+    ``REPRO_TRACE`` environment variable (see
+    :func:`repro.telemetry.context.init_from_env`) and flush part files
+    the exporters can merge.
+    """
+
+    def __init__(self):
+        self.epoch = time.perf_counter()
+        self.finished: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the thread's current open span."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name=name,
+            attrs=attrs,
+            span_id=span_id,
+            parent_id=parent,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            start=self.now(),
+        )
+        stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close *span* (and any descendants left open) and record it."""
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
+            top.duration = self.now() - top.start
+            with self._lock:
+                self.finished.append(top)
+            if top is span:
+                break
+        return span
+
+    def span(self, name: str, **attrs: Any) -> _SpanScope:
+        """Context manager: ``with tracer.span("name", k=v) as s: ...``."""
+        return _SpanScope(self, name, attrs)
+
+    def add_complete(
+        self, name: str, start: float, duration: float, **attrs: Any
+    ) -> Span:
+        """Record an already-measured span (aggregated simulator phases).
+
+        *start* is epoch-relative seconds; the span is parented under the
+        thread's currently open span, so callers emit phase aggregates
+        *before* closing the enclosing span.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name=name,
+            attrs=attrs,
+            span_id=span_id,
+            parent_id=parent,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            start=start,
+        )
+        span.duration = duration
+        with self._lock:
+            self.finished.append(span)
+        return span
+
+    def drain(self) -> List[Span]:
+        """Return and clear the finished spans (exporter hand-off)."""
+        with self._lock:
+            spans, self.finished = self.finished, []
+        return spans

@@ -26,6 +26,7 @@ from repro.perf.runner import default_signature_config
 from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
 from repro.sched.os_model import SchedulerConfig
 from repro.sched.syscall import SyscallInterface
+from repro.telemetry.context import current as telemetry_current
 from repro.utils.rng import stable_seed
 from repro.virt.hypervisor import DOM0_NAME, Hypervisor
 from repro.virt.overhead import VirtualizationOverhead
@@ -42,15 +43,27 @@ class Dom0AllocationAgent(UserLevelMonitor):
     """The control-domain allocator: a monitor that ignores Dom0 itself."""
 
     def invoke(self, syscall: SyscallInterface) -> Optional[Mapping]:
-        tasks = [t for t in syscall.query_tasks() if t.name != DOM0_NAME]
-        if not tasks or any(not t.valid for t in tasks):
-            self.skipped_invocations += 1
-            return None
-        mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
-        self.decisions.append(mapping)
-        if self.apply:
-            syscall.apply_mapping(mapping)
-        return mapping
+        tel = telemetry_current()
+        span = (
+            tel.tracer.begin("hypervisor.remap")
+            if tel is not None and tel.tracer is not None
+            else None
+        )
+        try:
+            tasks = [t for t in syscall.query_tasks() if t.name != DOM0_NAME]
+            if not tasks or any(not t.valid for t in tasks):
+                self.skipped_invocations += 1
+                self._count(tel, "virt_remaps_skipped_total")
+                return None
+            mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
+            self.decisions.append(mapping)
+            if self.apply:
+                syscall.apply_mapping(mapping)
+                self._count(tel, "virt_remaps_applied_total")
+            return mapping
+        finally:
+            if span is not None:
+                tel.tracer.end(span)
 
 
 def _build_vms(

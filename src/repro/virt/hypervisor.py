@@ -19,6 +19,7 @@ from repro.perf.simulator import MulticoreSimulator, SimulationResult
 from repro.sched.affinity import Mapping
 from repro.sched.os_model import SchedulerConfig
 from repro.sched.process import SimTask
+from repro.telemetry.context import current as telemetry_current
 from repro.virt.overhead import VirtualizationOverhead
 from repro.virt.vm import VirtualMachine
 from repro.workloads.patterns import HotColdGenerator
@@ -157,9 +158,19 @@ class Hypervisor:
             seed=seed,
             signature_injector=signature_injector,
         )
-        return sim.run(
-            max_wall_cycles=max_wall_cycles, min_wall_cycles=min_wall_cycles
-        )
+        tel = telemetry_current()
+        if tel is None or tel.tracer is None:
+            return sim.run(
+                max_wall_cycles=max_wall_cycles, min_wall_cycles=min_wall_cycles
+            )
+        with tel.tracer.span(
+            "hypervisor.run",
+            vms=len(self.vms),
+            dom0=self.dom0_task is not None,
+        ):
+            return sim.run(
+                max_wall_cycles=max_wall_cycles, min_wall_cycles=min_wall_cycles
+            )
 
     def vm_user_time(self, result: SimulationResult, vm_name: str) -> float:
         """User time of a named VM (slowest vcpu's first completion)."""

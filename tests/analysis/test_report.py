@@ -1,0 +1,142 @@
+"""Renderer coverage for :mod:`repro.analysis.report`.
+
+The renderers are the repo's human-facing output (bench reports, the
+CLI); these tests pin their structure on hand-built results so a
+formatting regression is caught without running a sweep.
+"""
+
+import pytest
+
+from repro.analysis.report import (
+    render_counter_series,
+    render_metrics,
+    render_mix_comparison,
+    render_sweep,
+)
+from repro.perf.experiment import MixResult, SweepResult
+from repro.sched.affinity import Mapping
+
+
+def make_mix(names=("alpha", "beta"), chosen_first=True):
+    """A MixResult with known times: improvements computable by hand."""
+    together = Mapping.from_groups([[0, 1], []]).canonical()
+    apart = Mapping.from_groups([[0], [1]]).canonical()
+    times = {
+        together: {"alpha": 10.0, "beta": 24.0},
+        apart: {"alpha": 8.0, "beta": 30.0},
+    }
+    return MixResult(
+        names=tuple(names),
+        mapping_times=times,
+        chosen_mapping=apart if chosen_first else together,
+        default_mapping=together,
+    )
+
+
+class FakeSeries:
+    """Stub of the Figure 2/5 counter series protocol."""
+
+    def __init__(self, n=6):
+        self.true_footprint = [float(i) for i in range(n)]
+        self.resident_lines = [float(i) for i in range(n)]
+        self.occupancy_weight = [float(i) / 2 for i in range(n)]
+        self.l2_misses = [1.0] * n
+        self.tlb_misses = [2.0] * n
+        self.page_faults = [0.0] * n
+
+    def correlation(self, name, other="true_footprint"):
+        """Pretend correlation: pinned value keyed by series name."""
+        return {"l2_misses": 0.1, "tlb_misses": 0.2, "page_faults": 0.3}.get(
+            name, 0.99
+        )
+
+    def tracking_error(self):
+        """Pretend mean relative tracking error."""
+        return 0.05
+
+
+class TestRenderSweep:
+    def test_rows_and_oracle_column(self):
+        """Every benchmark appears with max/avg/oracle percentages."""
+        sweep = SweepResult()
+        sweep.add(make_mix())
+        sweep.add(make_mix(chosen_first=False))
+        text = render_sweep(sweep, "unit sweep")
+        assert "unit sweep" in text
+        for name in ("alpha", "beta"):
+            assert name in text
+        # alpha's oracle: worst 10 → best 8 = 20%; chosen-best mix hits it.
+        assert "20.0%" in text
+        assert "max improvement (%)" in text  # the bar chart rides along
+
+    def test_mix_count_column(self):
+        """The mixes column counts how often each benchmark appeared."""
+        sweep = SweepResult()
+        sweep.add(make_mix())
+        line = next(
+            l for l in render_sweep(sweep, "t").splitlines()
+            if l.startswith("alpha")
+        )
+        assert line.rstrip().endswith("1")
+
+
+class TestRenderMixComparison:
+    def test_variants_become_columns(self):
+        """One row per mix, one column per variant, mean improvements."""
+        results = {
+            "weighted": [make_mix()],
+            "greedy": [make_mix(chosen_first=False)],
+        }
+        text = render_mix_comparison(results, "algorithm comparison")
+        assert "algorithm comparison" in text
+        assert "weighted" in text and "greedy" in text
+        assert "alpha+beta" in text
+        # The chosen-worst variant's mean improvement is exactly 0%.
+        assert "0.0%" in text
+
+
+class TestRenderCounterSeries:
+    def test_sections_and_pinned_correlations(self):
+        """Time series, Figure 2 and Figure 5 blocks all render."""
+        text = render_counter_series(FakeSeries())
+        assert "counters vs footprint over time" in text
+        assert "Figure 2: counters vs true working set" in text
+        assert "Figure 5: CBF occupancy vs true cache footprint" in text
+        assert "0.100" in text and "0.300" in text  # stub correlations
+        assert "0.050" in text  # stub tracking error
+
+    def test_row_downsampling(self):
+        """max_rows caps the number of table rows."""
+        text = render_counter_series(FakeSeries(n=100), max_rows=5)
+        rows = [
+            l for l in text.splitlines()
+            if l and l[0].isdigit()
+        ]
+        assert len(rows) <= 6
+
+
+class TestRenderMetrics:
+    def test_counter_gauge_histogram_rows(self):
+        """Each instrument type renders a scannable one-line summary."""
+        snapshot = {
+            "runs_total": {"type": "counter", "value": 3},
+            "depth": {"type": "gauge", "value": 1.5},
+            "lat": {
+                "type": "histogram",
+                "count": 4,
+                "sum": 10.0,
+                "buckets": [["1", 1], ["2", 3], ["+Inf", 4]],
+            },
+        }
+        text = render_metrics(snapshot, title="unit metrics")
+        assert "unit metrics" in text
+        lines = {l.split()[0]: l for l in text.splitlines() if l and " " in l}
+        assert "counter" in lines["runs_total"] and "3" in lines["runs_total"]
+        assert "gauge" in lines["depth"] and "1.5" in lines["depth"]
+        # Busiest bucket: le=2 holds 2 of the 4 observations.
+        assert "n=4" in lines["lat"] and "mode<=2" in lines["lat"]
+
+    def test_empty_snapshot_renders(self):
+        """An empty registry still produces a (header-only) table."""
+        text = render_metrics({})
+        assert "metric" in text

@@ -1,0 +1,72 @@
+"""EventLog sink isolation: observers must never abort a batch."""
+
+import logging
+
+import pytest
+
+from repro.jobs.events import EVENT_KINDS, EventLog
+
+
+class TestSinkIsolation:
+    def test_raising_sink_does_not_abort_emission(self):
+        """emit() succeeds and counters update even when the sink raises."""
+        def bad_sink(event):
+            raise RuntimeError("observer exploded")
+
+        log = EventLog(sink=bad_sink)
+        log.emit("submitted", key="k")
+        log.emit("completed", key="k", wall_time=0.1)
+        assert log.counters.submitted == 1
+        assert log.counters.executed == 1
+        assert len(log.events) == 2
+
+    def test_first_failure_logged_then_silenced(self, caplog):
+        """One warning (with traceback) per sink, not one per event."""
+        def bad_sink(event):
+            raise ValueError("boom")
+
+        log = EventLog(sink=bad_sink)
+        with caplog.at_level(logging.WARNING, logger="repro.jobs.events"):
+            for _ in range(5):
+                log.emit("submitted", key="k")
+        warnings = [
+            r for r in caplog.records if "event sink" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert warnings[0].exc_info is not None
+
+    def test_raising_sink_keeps_receiving_events(self):
+        """A stateful sink that recovers sees the events after its failure."""
+        seen = []
+
+        def flaky_sink(event):
+            if len(seen) == 0:
+                seen.append("failed")
+                raise RuntimeError("transient")
+            seen.append(event.kind)
+
+        log = EventLog(sink=flaky_sink)
+        log.emit("submitted", key="a")
+        log.emit("deduped", key="a")
+        assert seen == ["failed", "deduped"]
+
+    def test_one_bad_extra_sink_does_not_starve_others(self):
+        """Extra sinks are isolated from each other too."""
+        good = []
+
+        def bad(event):
+            raise RuntimeError("no")
+
+        log = EventLog()
+        log.add_sink(bad)
+        log.add_sink(lambda e: good.append(e.kind))
+        log.emit("batch_start")
+        log.emit("batch_end", wall_time=0.2)
+        assert good == ["batch_start", "batch_end"]
+
+    def test_unknown_kind_still_rejected(self):
+        """Isolation applies to sinks, not to invalid emissions."""
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("not-a-kind")
+        assert "submitted" in EVENT_KINDS

@@ -1,0 +1,81 @@
+"""Context activation, scoping, and worker-process propagation."""
+
+import os
+
+import pytest
+
+from repro.telemetry import context as ctx
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_context():
+    """Every test starts and ends in the disabled state."""
+    ctx.deactivate()
+    yield
+    ctx.deactivate()
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        """current() is None until somebody configures telemetry."""
+        assert ctx.current() is None
+
+    def test_configure_then_deactivate(self):
+        """configure installs the context; deactivate removes it."""
+        installed = ctx.configure(tracer=Tracer(), metrics=MetricsRegistry())
+        assert ctx.current() is installed
+        ctx.deactivate()
+        assert ctx.current() is None
+
+    def test_use_restores_previous_state(self):
+        """use() scopes a context and restores what was active before."""
+        outer = ctx.configure(metrics=MetricsRegistry())
+        scoped = ctx.TelemetryContext(metrics=MetricsRegistry())
+        with ctx.use(scoped):
+            assert ctx.current() is scoped
+        assert ctx.current() is outer
+
+
+class TestEnvPropagation:
+    def test_init_from_env_unset_is_noop(self):
+        """Without REPRO_TRACE the worker stays untraced."""
+        assert ctx.init_from_env(environ={}) is None
+        assert ctx.current() is None
+
+    def test_init_from_env_activates_autoflush_context(self, tmp_path):
+        """REPRO_TRACE=path builds a tracing context flushed to parts."""
+        trace = str(tmp_path / "trace.json")
+        installed = ctx.init_from_env(environ={ctx.TRACE_ENV_VAR: trace})
+        assert ctx.current() is installed
+        assert installed.autoflush
+        assert installed.trace_path == trace
+        assert installed.tracer is not None and installed.metrics is not None
+
+    def test_init_from_env_respects_existing_context(self):
+        """An already-active context wins over the environment."""
+        installed = ctx.configure(metrics=MetricsRegistry())
+        again = ctx.init_from_env(environ={ctx.TRACE_ENV_VAR: "elsewhere"})
+        assert again is installed
+
+
+class TestFlushPart:
+    def test_flush_writes_a_pid_part_file(self, tmp_path):
+        """flush_part appends drained spans to <trace>.part-<pid>."""
+        trace = tmp_path / "trace.json"
+        context = ctx.TelemetryContext(tracer=Tracer(), trace_path=str(trace))
+        with context.tracer.span("work"):
+            pass
+        part = context.flush_part()
+        assert part == f"{trace}.part-{os.getpid()}"
+        assert os.path.exists(part)
+        # Nothing left to flush: the second call is a no-op.
+        assert context.flush_part() is None
+
+    def test_flush_without_destination_is_noop(self):
+        """No trace path means nothing to write."""
+        context = ctx.TelemetryContext(tracer=Tracer())
+        with context.tracer.span("work"):
+            pass
+        assert context.flush_part() is None

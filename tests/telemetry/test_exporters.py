@@ -1,0 +1,104 @@
+"""Exporter formats: Chrome trace JSON, part merging, Prometheus text."""
+
+import json
+
+from repro.telemetry.exporters import (
+    append_trace_part,
+    chrome_trace_events,
+    merged_trace_events,
+    metrics_json,
+    prometheus_text,
+    write_chrome_trace,
+    write_merged_chrome_trace,
+    write_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+def make_spans():
+    """A two-level finished span tree."""
+    tracer = Tracer()
+    with tracer.span("outer", mixes=3):
+        with tracer.span("inner"):
+            pass
+    return tracer.drain()
+
+
+class TestChromeTrace:
+    def test_events_carry_ids_and_microseconds(self):
+        """Events are complete-phase with explicit span/parent links."""
+        spans = make_spans()
+        events = {e["name"]: e for e in chrome_trace_events(spans)}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["ph"] == "X" and inner["ph"] == "X"
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert "parent_id" not in outer["args"]
+        assert outer["args"]["mixes"] == 3
+        assert outer["dur"] >= inner["dur"] >= 0.0
+
+    def test_written_file_is_a_valid_json_array(self, tmp_path):
+        """The file loads as one JSON array (what Perfetto ingests)."""
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, make_spans())
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and len(events) == count == 2
+
+
+class TestPartMerging:
+    def test_parts_fold_in_and_are_consumed(self, tmp_path):
+        """Worker part files merge into the trace and are removed."""
+        trace = tmp_path / "trace.json"
+        append_trace_part(f"{trace}.part-111", make_spans())
+        events = merged_trace_events(make_spans(), trace)
+        assert len(events) == 4
+        assert not list(tmp_path.glob("trace.json.part-*"))
+
+    def test_torn_part_lines_are_skipped(self, tmp_path):
+        """A worker killed mid-write must not invalidate the trace."""
+        trace = tmp_path / "trace.json"
+        part = tmp_path / "trace.json.part-222"
+        append_trace_part(part, make_spans())
+        with open(part, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "torn')
+        events = merged_trace_events([], trace)
+        # Merge orders by (pid, ts): outer starts first. The torn line
+        # is dropped, the two intact events survive.
+        assert [e["name"] for e in events] == ["outer", "inner"]
+
+    def test_write_merged_produces_valid_json(self, tmp_path):
+        """The merged write is itself a valid Chrome trace array."""
+        trace = tmp_path / "trace.json"
+        append_trace_part(f"{trace}.part-9", make_spans())
+        count = write_merged_chrome_trace(trace, make_spans())
+        assert len(json.loads(trace.read_text())) == count == 4
+
+
+class TestMetricsFormats:
+    def make_snapshot(self):
+        """A snapshot with one of each instrument type."""
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        return registry.snapshot()
+
+    def test_prometheus_text_format(self, tmp_path):
+        """TYPE lines, cumulative buckets, _sum and _count series."""
+        text = prometheus_text(self.make_snapshot())
+        lines = text.splitlines()
+        assert "# TYPE runs_total counter" in lines
+        assert "runs_total 3" in lines
+        assert "depth 1.5" in lines
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="+Inf"} 1' in lines
+        assert "lat_sum 0.5" in lines
+        assert "lat_count 1" in lines
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, self.make_snapshot())
+        assert path.read_text() == text
+
+    def test_metrics_json_roundtrips(self):
+        """The JSON export parses back to the snapshot."""
+        snap = self.make_snapshot()
+        assert json.loads(metrics_json(snap)) == snap

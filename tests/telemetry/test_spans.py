@@ -1,0 +1,100 @@
+"""Span/Tracer semantics: nesting, threads, leak handling, aggregates."""
+
+import threading
+
+from repro.telemetry.spans import Tracer
+
+
+def by_name(spans):
+    """Index a span list by name (names unique in these tests)."""
+    return {s.name: s for s in spans}
+
+
+class TestNesting:
+    def test_children_link_to_enclosing_span(self):
+        """begin() under an open span records that span as the parent."""
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = by_name(tracer.drain())
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+
+    def test_siblings_share_a_parent(self):
+        """Two sequential children of one span get the same parent id."""
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        spans = by_name(tracer.drain())
+        assert spans["first"].parent_id == spans["parent"].span_id
+        assert spans["second"].parent_id == spans["parent"].span_id
+
+    def test_ending_a_span_closes_leaked_descendants(self):
+        """end(outer) pops and records descendants left open (fail paths)."""
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("leaked")
+        tracer.end(outer)
+        spans = by_name(tracer.drain())
+        assert set(spans) == {"outer", "leaked"}
+        assert spans["leaked"].duration is not None
+
+    def test_durations_and_order(self):
+        """Finished spans carry non-negative durations, inner first."""
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = tracer.drain()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert all(s.duration >= 0.0 for s in spans)
+
+
+class TestThreads:
+    def test_thread_stacks_are_independent(self):
+        """A thread's spans root at None, not under another thread's open span."""
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("threaded") as s:
+                seen["parent"] = s.parent_id
+                seen["tid"] = s.tid
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["parent"] is None
+        assert seen["tid"] != threading.get_ident()
+
+
+class TestAggregates:
+    def test_add_complete_parents_under_open_span(self):
+        """Synthetic spans adopt the currently open span as parent."""
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            s = tracer.add_complete("phase.x", start=0.25, duration=0.5, ops=7)
+        assert s.parent_id == run.span_id
+        assert (s.start, s.duration, s.attrs["ops"]) == (0.25, 0.5, 7)
+
+    def test_drain_clears(self):
+        """drain() hands off and empties the finished list."""
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+
+    def test_span_ids_are_unique(self):
+        """Every span gets a distinct id."""
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.drain()]
+        assert len(set(ids)) == len(ids)
