@@ -9,7 +9,6 @@ from conftest import run_once
 
 from repro.analysis.figures import figure3a_private_pairs
 from repro.analysis.report import render_pairwise
-from repro.sched.os_model import SchedulerConfig
 from repro.workloads.spec import spec_profile_names
 
 

@@ -21,7 +21,6 @@ and keeps its signal — locating the paper's presence failure in the
 missing clearing path, not the 1:1 mapping itself.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.figures import figure14_hash_comparison

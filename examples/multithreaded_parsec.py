@@ -12,7 +12,6 @@ Run:  python examples/multithreaded_parsec.py  [--fast]
 
 import sys
 
-from repro.alloc import TwoPhasePolicy
 from repro.perf import core2duo
 from repro.perf.experiment import parsec_two_phase
 from repro.utils.tables import format_percent, format_table

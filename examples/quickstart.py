@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.cache import SetAssociativeCache, tiny_cache
 from repro.core import SignatureConfig, SignatureUnit
-from repro.perf import MulticoreSimulator, build_tasks, core2duo, run_mix
+from repro.perf import build_tasks, core2duo, run_mix
 from repro.alloc import UserLevelMonitor, WeightedInterferenceGraphPolicy
 from repro.perf.runner import default_signature_config
 from repro.sched.os_model import SchedulerConfig

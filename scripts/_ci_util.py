@@ -1,0 +1,68 @@
+"""Shared helpers for the CI gate scripts.
+
+Every gate under ``scripts/`` (``check_telemetry_overhead.py``,
+``run_lint.py``) follows the same protocol: print human-readable
+progress, end with one unambiguous ``OK:``/``FAIL:`` verdict line, and
+exit ``0``/``1`` so CI can gate on it (``2`` for usage errors). This
+module is that protocol in one place — the scripts share it instead of
+each growing its own slightly different copy.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["EXIT_OK", "EXIT_FAIL", "EXIT_USAGE", "repo_root",
+           "ensure_repo_on_path", "ok", "fail", "gate_main"]
+
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+#: Repository root (the parent of ``scripts/``).
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def repo_root() -> Path:
+    """The repository root directory."""
+    return REPO_ROOT
+
+
+def ensure_repo_on_path() -> None:
+    """Make ``src/`` importable when the script runs outside CI's env."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def ok(message: str) -> int:
+    """Print the passing verdict line; returns :data:`EXIT_OK`."""
+    print(f"OK: {message}")
+    return EXIT_OK
+
+
+def fail(message: str) -> int:
+    """Print the failing verdict line; returns :data:`EXIT_FAIL`."""
+    print(f"FAIL: {message}")
+    return EXIT_FAIL
+
+
+def gate_main(main: Callable[[], int]) -> None:
+    """Run a gate's ``main`` and exit with its code.
+
+    A stray exception becomes a ``FAIL`` verdict plus exit 1 rather
+    than an unexplained traceback-only failure — CI logs always end
+    with the verdict line the humans grep for.
+    """
+    try:
+        code = main()
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 — the gate must verdict
+        import traceback
+
+        traceback.print_exc()
+        sys.exit(fail(f"gate crashed: {type(exc).__name__}: {exc}"))
+    sys.exit(code)

@@ -29,7 +29,9 @@ import tempfile
 import time
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[1]
+from _ci_util import fail, gate_main, ok, repo_root
+
+REPO = repo_root()
 
 #: The fixed-seed command under test: heavy enough that per-batch costs
 #: would show, light enough for CI.
@@ -73,9 +75,8 @@ def main() -> int:
         baseline, _ = run([], tmp)
         repeat, _ = run([], tmp)
         if repeat != baseline:
-            print("FAIL: two disabled runs differ — disabled mode is not "
-                  "deterministic/byte-identical")
-            return 1
+            return fail("two disabled runs differ — disabled mode is not "
+                        "deterministic/byte-identical")
 
         trace = Path(tmp) / "trace.json"
         metrics = Path(tmp) / "metrics.prom"
@@ -83,13 +84,11 @@ def main() -> int:
             ["--trace-out", str(trace), "--metrics-out", str(metrics)], tmp
         )
         if not enabled_out.startswith(baseline):
-            print("FAIL: enabled stdout does not start with the disabled "
-                  "output — telemetry perturbed the experiment")
-            return 1
+            return fail("enabled stdout does not start with the disabled "
+                        "output — telemetry perturbed the experiment")
         check_trace(trace)
         if not metrics.read_text().startswith("# TYPE"):
-            print("FAIL: metrics file is not Prometheus exposition text")
-            return 1
+            return fail("metrics file is not Prometheus exposition text")
 
         disabled_best = min(run([], tmp)[1] for _ in range(ROUNDS))
         enabled_best = min(
@@ -101,12 +100,10 @@ def main() -> int:
     print(f"disabled best {disabled_best:.3f}s, enabled best "
           f"{enabled_best:.3f}s, ratio {ratio:.3f} (limit {LIMIT})")
     if ratio > LIMIT:
-        print(f"FAIL: telemetry overhead {100 * (ratio - 1):.1f}% exceeds "
-              f"{100 * (LIMIT - 1):.0f}%")
-        return 1
-    print("OK: disabled byte-identical; enabled overhead within budget")
-    return 0
+        return fail(f"telemetry overhead {100 * (ratio - 1):.1f}% exceeds "
+                    f"{100 * (LIMIT - 1):.0f}%")
+    return ok("disabled byte-identical; enabled overhead within budget")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    gate_main(main)

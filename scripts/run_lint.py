@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI gate for the invariant linter (docs/static-analysis.md).
+
+Runs ``repro.lint`` over the whole tree — ``src``, ``tests``,
+``scripts``, ``benchmarks``, ``examples`` — with the committed baseline
+applied, and verdicts via the shared :mod:`_ci_util` protocol. Also the
+pre-commit entry: when file arguments are passed (pre-commit passes the
+changed files), only those are linted, so hooks stay fast.
+
+Run from the repo root: ``python scripts/run_lint.py [files...]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from _ci_util import (
+    EXIT_USAGE,
+    ensure_repo_on_path,
+    fail,
+    gate_main,
+    ok,
+    repo_root,
+)
+
+ensure_repo_on_path()
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.lint import Baseline, lint_paths  # noqa: E402
+from repro.lint.baseline import DEFAULT_BASELINE_NAME  # noqa: E402
+
+#: Directories linted when no explicit files are passed.
+DEFAULT_TREES = ("src", "tests", "scripts", "benchmarks", "examples")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Lint the tree (or the given files); verdict per _ci_util."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = repo_root()
+    if args:
+        paths: List[str] = args
+    else:
+        paths = [str(root / tree) for tree in DEFAULT_TREES
+                 if (root / tree).exists()]
+    try:
+        result = lint_paths(paths, root=root)
+        baseline = Baseline.load(root / DEFAULT_BASELINE_NAME)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return EXIT_USAGE
+    fresh, baselined = baseline.split(result.violations)
+    for violation in fresh:
+        print(violation.format())
+    if fresh:
+        tally: dict = {}
+        for violation in fresh:
+            tally[violation.code] = tally.get(violation.code, 0) + 1
+        summary = ", ".join(f"{c}={n}" for c, n in sorted(tally.items()))
+        return fail(
+            f"{len(fresh)} lint violation(s) in {result.files_scanned} "
+            f"file(s) [{summary}]; fix them, add a justified "
+            "'# repro: noqa[CODE]', or (non-RPR1xx only) re-baseline with "
+            "'repro-cli lint --update-baseline'"
+        )
+    return ok(
+        f"lint clean over {result.files_scanned} file(s)"
+        + (f", {len(baselined)} baselined violation(s)" if baselined else "")
+    )
+
+
+if __name__ == "__main__":
+    gate_main(main)

@@ -9,7 +9,7 @@ whichever one it was configured with.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Protocol, Sequence
 
 from repro.errors import AllocationError
 from repro.sched.affinity import Mapping

@@ -35,7 +35,7 @@ not an implementation artifact.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np

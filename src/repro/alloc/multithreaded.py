@@ -17,7 +17,7 @@ metric is really sharing and must not push them apart. The paper's fix:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.alloc.base import group_sizes, require_valid_views
 from repro.alloc.graph import interference_matrix

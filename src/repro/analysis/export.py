@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Mapping, Sequence, Union
+from typing import Sequence, Union
 
 from repro.errors import ConfigurationError
 

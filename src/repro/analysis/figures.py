@@ -20,7 +20,7 @@ from repro.alloc import (
     WeightSortPolicy,
 )
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.config import CacheConfig, CacheGeometry, core2duo_l2, tiny_cache
+from repro.cache.config import CacheConfig, CacheGeometry, tiny_cache
 from repro.cache.tlb import TLB, PageFaultTracker
 from repro.core.signature import SignatureConfig, SignatureUnit
 from repro.jobs.spec import WorkloadSpec

@@ -8,7 +8,7 @@ paper's evaluation section.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.perf.experiment import MixResult, PairwiseResult, SweepResult
 from repro.utils.tables import format_bar_chart, format_percent, format_table

@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 
 from repro.alloc import WeightedInterferenceGraphPolicy
 from repro.perf.experiment import MixResult, two_phase
-from repro.perf.machine import MachineConfig, core2duo
+from repro.perf.machine import core2duo
 from repro.perf.timing import TimingModel
 from repro.sched.os_model import SchedulerConfig
 

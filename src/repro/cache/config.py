@@ -11,7 +11,7 @@ The paper's two evaluation platforms:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import GeometryError
 from repro.utils.validation import require_power_of_two, require_positive

@@ -16,7 +16,6 @@ observe a prefetching cache unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ cache. Per-set policy state is indexed by physical way.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

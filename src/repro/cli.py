@@ -14,6 +14,11 @@ Subcommands
     (parallel workers and an on-disk result cache).
 ``figure``
     Regenerate a quick paper figure (1, 2/5, or table1) at reduced scale.
+``lint``
+    Run the AST-based invariant linter (:mod:`repro.lint`) over the
+    tree: determinism, durability, worker-safety and telemetry-hygiene
+    rules, with ``# repro: noqa[CODE]`` suppressions and a committed
+    baseline — see ``docs/static-analysis.md``.
 
 All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``pairwise`` accept ``--instructions`` to trade fidelity for speed.
@@ -58,6 +63,7 @@ from repro.analysis.report import (
 )
 from repro.errors import ConfigurationError, SimulationError
 from repro.jobs import Orchestrator
+from repro.lint import cli as lint_cli
 from repro.telemetry import (
     TRACE_ENV_VAR,
     MetricsRegistry,
@@ -126,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate a quick paper figure")
     fig.add_argument("which", choices=["1", "2", "5", "table1"])
     fig.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter (determinism, durability, "
+        "worker-safety, telemetry hygiene)",
+    )
+    lint_cli.add_arguments(lint)
 
     return parser
 
@@ -435,6 +448,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # Pure static analysis: no simulation, no telemetry session.
+        return lint_cli.run(args)
     with _telemetry_session(args):
         if args.command == "profiles":
             return _cmd_profiles()

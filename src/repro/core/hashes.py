@@ -26,7 +26,7 @@ the address with an odd multiplier per hash index; the paper uses ``k = 1``
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 import numpy as np
 

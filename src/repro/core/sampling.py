@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.validation import require_power_of_two, require_positive
+from repro.utils.validation import require_power_of_two
 
 __all__ = ["SetSampler"]
 

@@ -128,7 +128,13 @@ class ResultCache:
         self.stats.corrupt += 1
         level = logging.WARNING if self.stats.quarantined == 0 else logging.DEBUG
         try:
-            os.replace(path, path.with_name(path.name + ".corrupt"))
+            # Quarantine is best-effort evidence preservation: the entry is
+            # already corrupt, so losing the rename in a crash costs nothing
+            # — the durable fsync-then-replace protocol (RPR201) is only
+            # required on the publish path in put().
+            os.replace(  # repro: noqa[RPR201]
+                path, path.with_name(path.name + ".corrupt")
+            )
         except OSError:
             return
         self.stats.quarantined += 1

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import logging
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 __all__ = ["EVENT_KINDS", "JobEvent", "EventCounters", "EventLog"]

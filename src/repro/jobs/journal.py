@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.errors import ConfigurationError
 from repro.jobs.keys import canonical_json

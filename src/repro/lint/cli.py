@@ -1,0 +1,152 @@
+"""Command-line front end: ``repro-cli lint`` and ``scripts/run_lint.py``.
+
+Both entries share :func:`add_arguments` / :func:`run` so the flag
+surface cannot drift. Exit codes follow the repo convention: ``0``
+clean, ``1`` violations found, ``2`` configuration/usage error.
+
+Baseline semantics:
+
+* ``--baseline`` filters known violations through the committed
+  baseline file (``lint-baseline.json`` by default) — CI mode.
+* ``--update-baseline`` rewrites that file to grandfather everything
+  currently found. Determinism (RPR1xx) violations refuse to baseline:
+  the simulation core must be fixed or ``noqa``-ed with justification,
+  never grandfathered.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.registry import Rule, all_rules
+from repro.lint.report import render_json, render_text
+from repro.lint.violation import Violation
+
+__all__ = ["add_arguments", "run", "main"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flag surface to *parser* (shared by entries)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src tests scripts)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="filter known violations through the committed baseline file",
+    )
+    parser.add_argument(
+        "--baseline-file", metavar="FILE", default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file path (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file to grandfather current violations "
+        "(refuses RPR1xx: determinism must be fixed, not grandfathered)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _default_paths() -> List[str]:
+    return [p for p in ("src", "tests", "scripts") if Path(p).exists()]
+
+
+def _selected_rules(select: Optional[str]) -> List["Rule"]:
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {code.strip() for code in select.split(",") if code.strip()}
+    known = {rule.code for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule code(s) in --select: {sorted(unknown)}"
+        )
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name} [{rule.scope}]")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one lint invocation from parsed *args*."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    paths: Sequence[str] = args.paths or _default_paths()
+    if not paths:
+        print("error: no paths given and no src/tests/scripts directory here")
+        return 2
+    try:
+        rules = _selected_rules(args.select)
+        result = lint_paths(paths, rules=rules)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.update_baseline:
+        try:
+            baseline = Baseline.from_violations(result.violations)
+        except ConfigurationError as exc:
+            print(f"error: {exc}")
+            return 2
+        baseline.dump(args.baseline_file)
+        print(
+            f"baseline: {len(baseline)} violation(s) grandfathered -> "
+            f"{args.baseline_file}"
+        )
+        return 0
+
+    baselined: List[Violation] = []
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline_file)
+        except ConfigurationError as exc:
+            print(f"error: {exc}")
+            return 2
+        fresh, baselined = baseline.split(result.violations)
+        result = LintResult(fresh, result.files_scanned)
+
+    if args.format == "json":
+        print(render_json(result, baselined))
+    else:
+        print(render_text(result, baselined))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter: determinism, durability, "
+        "worker-safety, telemetry hygiene (docs/static-analysis.md)",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""The lint engine: file discovery, rule dispatch, suppression filtering.
+
+One :func:`lint_paths` call is one lint run: discover ``.py`` files,
+parse each once into a :class:`~repro.lint.context.ModuleContext`, run
+every registered rule whose scope covers the module, drop violations
+waived by ``# repro: noqa[...]`` comments, and return the sorted
+remainder in a :class:`LintResult`. Baseline filtering is deliberately
+*not* done here — the CLI layer owns the baseline so programmatic users
+(tests, the self-check) always see the full picture.
+
+Unparseable files are reported as ``RPR001`` violations rather than
+crashing the run: a syntax error in one file must not hide violations
+in the other two hundred.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.context import ModuleContext
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import SuppressionIndex
+from repro.lint.violation import Violation
+
+__all__ = ["PARSE_ERROR_CODE", "DEFAULT_EXCLUDED_PARTS", "LintResult",
+           "iter_source_files", "lint_source", "lint_paths"]
+
+#: Reported when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "RPR001"
+
+#: Path fragments skipped during directory discovery. Fixture snippets
+#: contain violations *on purpose* (they are the rule tests' inputs) and
+#: must not fail a whole-tree run; explicitly named files still lint.
+DEFAULT_EXCLUDED_PARTS: Tuple[str, ...] = (
+    "tests/lint/fixtures",
+    "__pycache__",
+    ".git",
+)
+
+
+class LintResult:
+    """Outcome of one lint run."""
+
+    def __init__(
+        self, violations: List[Violation], files_scanned: int
+    ) -> None:
+        self.violations = violations
+        self.files_scanned = files_scanned
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations survived suppression filtering."""
+        return not self.violations
+
+    def by_code(self) -> List[Tuple[str, int]]:
+        """``(code, count)`` pairs, sorted by code — summary fodder."""
+        tally: dict = {}
+        for violation in self.violations:
+            tally[violation.code] = tally.get(violation.code, 0) + 1
+        return sorted(tally.items())
+
+
+def iter_source_files(
+    paths: Sequence[Union[str, Path]],
+    excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS,
+) -> Iterator[Path]:
+    """Yield the ``.py`` files under *paths*, deterministically sorted.
+
+    Directories are walked recursively; files whose path contains an
+    excluded fragment are skipped during the walk but never when named
+    explicitly (so fixture tests can lint fixture files directly).
+    """
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            for candidate in candidates:
+                posix = candidate.as_posix()
+                if any(part in posix for part in excluded_parts):
+                    continue
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield candidate
+        elif path.suffix == ".py":
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def lint_source(
+    path: Union[str, Path],
+    source: str,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one in-memory module; the unit every test builds on.
+
+    *module* overrides the package classification (fixtures pretend to
+    live in ``repro.perf`` etc.); *rules* restricts the rule set.
+    """
+    display = Path(path).as_posix()
+    try:
+        context = ModuleContext(display, source, module=module)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                source="",
+            )
+        ]
+    active = all_rules() if rules is None else list(rules)
+    found: List[Violation] = []
+    for rule in active:
+        if rule.applies_to(context):
+            found.extend(rule.check(context))
+    suppressions = SuppressionIndex(display, context.lines, source=source)
+    kept = [v for v in found if not suppressions.is_suppressed(v)]
+    kept.extend(suppressions.malformed)
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS,
+    root: Optional[Union[str, Path]] = None,
+) -> LintResult:
+    """Lint every source file under *paths*.
+
+    Violation paths are reported relative to *root* (default: the
+    current directory) when possible, keeping reports and baselines
+    machine-independent.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    violations: List[Violation] = []
+    files = 0
+    for file_path in iter_source_files(paths, excluded_parts):
+        files += 1
+        try:
+            display: Union[str, Path] = file_path.resolve().relative_to(
+                base.resolve()
+            )
+        except ValueError:
+            display = file_path
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation(
+                    path=Path(display).as_posix(),
+                    line=1,
+                    col=1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file is unreadable: {exc}",
+                    source="",
+                )
+            )
+            continue
+        violations.extend(lint_source(display, source, rules=rules))
+    return LintResult(sorted(violations), files)

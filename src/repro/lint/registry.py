@@ -1,0 +1,130 @@
+"""Rule registry: codes, metadata, scopes, and the registration decorator.
+
+Every rule is a function ``check(module) -> Iterable[Violation]``
+registered under a stable ``RPRxxx`` code. The code's hundreds digit is
+the invariant family (the catalogue in ``docs/static-analysis.md``):
+
+* ``RPR1xx`` — determinism (simulation core only)
+* ``RPR2xx`` — durability / robustness
+* ``RPR3xx`` — worker-safety (spawn-pool picklability)
+* ``RPR4xx`` — telemetry hygiene
+
+Scopes keep package-level policy out of the rules themselves: a rule
+declares *where it applies* (``sim-core``, ``non-telemetry``, ``all``)
+and the engine consults :class:`~repro.lint.context.ModuleContext` for
+the module's package. This is how wall-clock stays legal in
+``repro.jobs`` and ``repro.telemetry`` — by package scope, not by
+``noqa`` comments sprinkled over the allowlisted files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.context import ModuleContext
+from repro.lint.violation import Violation
+
+__all__ = [
+    "SCOPE_ALL",
+    "SCOPE_SIM_CORE",
+    "SCOPE_NON_TELEMETRY",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "rule_codes",
+]
+
+CheckFn = Callable[[ModuleContext], Iterable[Violation]]
+
+#: Rule applies to every linted file.
+SCOPE_ALL = "all"
+#: Rule applies only inside the deterministic simulation core packages.
+SCOPE_SIM_CORE = "sim-core"
+#: Rule applies everywhere except inside ``repro.telemetry`` itself.
+SCOPE_NON_TELEMETRY = "non-telemetry"
+
+_VALID_SCOPES = (SCOPE_ALL, SCOPE_SIM_CORE, SCOPE_NON_TELEMETRY)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    scope: str
+    check: CheckFn
+    #: Short rationale paragraph surfaced by ``--list-rules`` and docs.
+    rationale: str = field(default="", compare=False)
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule's scope covers *module*'s package."""
+        if self.scope == SCOPE_SIM_CORE:
+            return module.is_sim_core
+        if self.scope == SCOPE_NON_TELEMETRY:
+            return not module.in_package("repro.telemetry")
+        return True
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(
+    code: str,
+    name: str,
+    summary: str,
+    scope: str = SCOPE_ALL,
+    rationale: str = "",
+) -> Callable[[CheckFn], CheckFn]:
+    """Register the decorated check function as rule *code*.
+
+    Codes are unique; double registration is a programming error and
+    fails loudly at import time rather than shadowing silently.
+    """
+    if scope not in _VALID_SCOPES:
+        raise ConfigurationError(f"unknown rule scope {scope!r} for {code}")
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        if code in _REGISTRY:
+            raise ConfigurationError(f"lint rule {code} registered twice")
+        _REGISTRY[code] = Rule(
+            code=code,
+            name=name,
+            summary=summary,
+            scope=scope,
+            check=fn,
+            rationale=rationale,
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules (registration happens on import)."""
+    from repro.lint import rules  # noqa: F401  (import for side effect)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> Tuple[str, ...]:
+    """The sorted tuple of registered codes."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule; unknown codes raise ``ConfigurationError``."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ConfigurationError(f"unknown lint rule code {code!r}") from None

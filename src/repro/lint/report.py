@@ -1,0 +1,58 @@
+"""Text and JSON reporters for lint results.
+
+The text reporter is for humans and CI logs: one ``path:line:col: CODE
+message`` line per violation, a per-code tally, and the baseline
+accounting (how many known violations were skipped). The JSON reporter
+is for tooling: a versioned document with the same information in
+machine shape, written to stdout so it can be piped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.engine import LintResult
+from repro.lint.violation import Violation
+
+__all__ = ["REPORT_VERSION", "render_text", "render_json"]
+
+REPORT_VERSION = 1
+
+
+def _summary(
+    result: LintResult, baselined: Sequence[Violation]
+) -> Dict[str, Any]:
+    return {
+        "files_scanned": result.files_scanned,
+        "violations": len(result.violations),
+        "baselined": len(baselined),
+        "by_code": {code: count for code, count in result.by_code()},
+    }
+
+
+def render_text(result: LintResult, baselined: Sequence[Violation]) -> str:
+    """Human/CI report: violation lines, tally, baseline accounting."""
+    lines: List[str] = [v.format() for v in result.violations]
+    if lines:
+        lines.append("")
+    tally = ", ".join(f"{code}={count}" for code, count in result.by_code())
+    status = "FAIL" if result.violations else "OK"
+    lines.append(
+        f"{status}: {len(result.violations)} violation(s) in "
+        f"{result.files_scanned} file(s)"
+        + (f" [{tally}]" if tally else "")
+        + (f"; {len(baselined)} baselined" if baselined else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, baselined: Sequence[Violation]) -> str:
+    """Machine report: versioned JSON document (stable key order)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "summary": _summary(result, baselined),
+        "violations": [v.to_dict() for v in result.violations],
+        "baselined": [v.to_dict() for v in baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,51 @@
+"""The one value every layer of the linter exchanges: a violation.
+
+A violation is a *located claim*: rule ``code`` says the construct at
+``path:line:col`` breaks an invariant, with a human ``message`` and the
+stripped ``source`` line it anchors to. The ``source`` text doubles as
+the baseline fingerprint (see :mod:`repro.lint.baseline`): baselines are
+keyed on *what the code says*, not on line numbers, so unrelated edits
+above a grandfathered violation do not churn the baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) — the natural report order —
+    because dataclass ordering uses field declaration order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    source: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        return f"{self.path}::{self.code}::{self.source}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-reporter form of this violation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "source": self.source,
+        }
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -46,7 +46,7 @@ from repro.perf.runner import (
 )
 from repro.sched.affinity import Mapping, balanced_mappings, canonical_mapping
 from repro.sched.os_model import SchedulerConfig
-from repro.sched.process import SimProcess, SimTask
+from repro.sched.process import SimTask
 from repro.utils.rng import make_rng
 from repro.workloads.parsec import parsec_profile
 

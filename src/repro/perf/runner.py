@@ -7,7 +7,7 @@ run shapes (solo, mix-under-mapping, phase-1 with monitor).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.signature import SignatureConfig
 from repro.errors import ConfigurationError

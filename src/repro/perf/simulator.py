@@ -26,6 +26,14 @@ Key mechanics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+# Wall-clock is banned in the simulation core (lint rule RPR101): results
+# must be a pure function of the seed. The perf_counter reads below are the
+# one sanctioned exception — every call site is behind the telemetry guard
+# (``tel``/``prof`` is None on the disabled fast path) and feeds only the
+# PhaseProfile/metrics side channel, never simulated time or results; each
+# site is waived individually with ``# repro: noqa[RPR101]`` so any *new*
+# clock read still fails the linter.
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
@@ -279,12 +287,12 @@ class MulticoreSimulator:
             if tracer is not None
             else None
         )
-        run_started = perf_counter()
+        run_started = perf_counter()  # repro: noqa[RPR101]
         l2_accesses = 0
         try:
             while True:
                 if prof is not None:
-                    t0 = perf_counter()
+                    t0 = perf_counter()  # repro: noqa[RPR101]
                 runnable = sched.runnable_cores()
                 if not runnable:
                     break
@@ -295,13 +303,13 @@ class MulticoreSimulator:
                     break
                 if next_invocation is not None and wall >= next_invocation:
                     if prof is not None:
-                        t1 = perf_counter()
+                        t1 = perf_counter()  # repro: noqa[RPR101]
                         prof.add("interleave", t1 - t0, 0)
                     decision = self.monitor.invoke(self.syscall)
                     if decision is not None:
                         decisions.append(decision.canonical())
                     if prof is not None:
-                        elapsed = perf_counter() - t1
+                        elapsed = perf_counter() - t1  # repro: noqa[RPR101]
                         prof.add("monitor", elapsed)
                         if metrics is not None:
                             metrics.histogram(
@@ -320,7 +328,7 @@ class MulticoreSimulator:
                 n = min(batch, task.remaining_accesses)
                 blocks = task.generator.next_batch(n)
                 if prof is not None:
-                    t1 = perf_counter()
+                    t1 = perf_counter()  # repro: noqa[RPR101]
                     prof.add("interleave", t1 - t0)
                 l1_hits = 0
                 if self._l1s is not None:
@@ -336,7 +344,7 @@ class MulticoreSimulator:
                     result = None
                     l2_hits = l2_misses = 0
                 if prof is not None:
-                    t2 = perf_counter()
+                    t2 = perf_counter()  # repro: noqa[RPR101]
                     prof.add("l2_access", t2 - t1, len(blocks))
                     l2_accesses += len(blocks)
                     if miss_hist is not None:
@@ -351,7 +359,7 @@ class MulticoreSimulator:
                         result.evict_fill_pos,
                     )
                 if prof is not None:
-                    t3 = perf_counter()
+                    t3 = perf_counter()  # repro: noqa[RPR101]
                     if self.signature_unit is not None:
                         prof.add("signature", t3 - t2)
                 other = float(
@@ -382,7 +390,7 @@ class MulticoreSimulator:
                     sched.context_switch(core)
                     self.core_time[core] += sched.config.context_switch_cycles
                 if prof is not None:
-                    prof.add("timing", perf_counter() - t3)
+                    prof.add("timing", perf_counter() - t3)  # repro: noqa[RPR101]
                 if all(t.completed_once for t in self.tasks):
                     if (
                         min_wall_cycles is None
@@ -443,7 +451,7 @@ class MulticoreSimulator:
         closes the ``simulator.run`` span. Never called on the disabled
         path.
         """
-        elapsed = perf_counter() - run_started
+        elapsed = perf_counter() - run_started  # repro: noqa[RPR101]
         metrics = tel.metrics
         if metrics is not None:
             metrics.counter(

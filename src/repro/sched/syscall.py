@@ -14,11 +14,10 @@ hypervisor through hypercalls (:mod:`repro.virt.dom0`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.context import SignatureContext
 from repro.sched.affinity import Mapping
 from repro.sched.os_model import OSScheduler
 

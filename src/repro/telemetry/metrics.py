@@ -19,7 +19,7 @@ remain for backwards compatibility) into first-class metrics.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -17,7 +17,7 @@ phase in the metrics registry.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import Tracer

@@ -8,7 +8,7 @@ harnesses and in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator
 
 import numpy as np
 

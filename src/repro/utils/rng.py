@@ -9,7 +9,7 @@ the same root never share a stream and experiments replay bit-for-bit.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence, Union
+from typing import List, Union
 
 import numpy as np
 

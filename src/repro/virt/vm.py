@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.errors import ConfigurationError
-from repro.sched.process import SimProcess, SimTask, task_from_profile
+from repro.sched.process import SimTask, task_from_profile
 from repro.utils.validation import require_positive
 from repro.workloads.base import WorkloadProfile
 

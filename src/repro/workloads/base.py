@@ -16,8 +16,7 @@ a benchmark's footprint and locality class exercises the same code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

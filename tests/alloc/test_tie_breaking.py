@@ -7,9 +7,7 @@ enumeration-order artifact — otherwise the phase-1 majority vote is biased.
 """
 
 import numpy as np
-import pytest
 
-from repro.alloc.graph import interference_matrix
 from repro.alloc.mincut import exhaustive_bisection
 from repro.alloc.weighted import WeightedInterferenceGraphPolicy
 from repro.sched.syscall import TaskView

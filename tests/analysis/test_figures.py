@@ -1,6 +1,5 @@
 """Tests for figure series builders and report rendering (small scales)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (
@@ -8,7 +7,6 @@ from repro.analysis.figures import (
     CounterSeries,
     figure1_concept,
     figure2_counters_vs_footprint,
-    figure13_algorithm_comparison,
     table1_mapping_runtimes,
 )
 from repro.analysis.report import (
@@ -24,7 +22,6 @@ from repro.perf.experiment import (
     PairwiseResult,
     SweepResult,
 )
-from repro.perf.machine import core2duo
 from repro.sched.affinity import canonical_mapping
 
 

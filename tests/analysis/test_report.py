@@ -5,7 +5,6 @@ CLI); these tests pin their structure on hand-built results so a
 formatting regression is caught without running a sweep.
 """
 
-import pytest
 
 from repro.analysis.report import (
     render_counter_series,

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.config import CacheConfig, CacheGeometry, tiny_cache
+from repro.cache.config import tiny_cache
 from repro.errors import ConfigurationError
 
 

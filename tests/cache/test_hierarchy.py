@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.config import CacheConfig, CacheGeometry, tiny_cache
+from repro.cache.config import tiny_cache
 from repro.cache.hierarchy import CacheHierarchy
 from repro.errors import ConfigurationError
 

@@ -1,7 +1,6 @@
 """Differential tests between replacement policies at the cache level."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

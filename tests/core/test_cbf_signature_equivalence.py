@@ -6,7 +6,6 @@ a strong cross-validation of both implementations.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ that order precisely, and batched mode must remain statistically faithful.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,8 +5,6 @@ policy -> timing) on a shrunken machine so they stay fast while covering
 the same code paths as the paper-scale benchmarks.
 """
 
-import numpy as np
-import pytest
 
 from repro.alloc import (
     UserLevelMonitor,
@@ -18,7 +16,7 @@ from repro.core.signature import SignatureConfig
 from repro.perf.machine import MachineConfig
 from repro.perf.simulator import MulticoreSimulator
 from repro.perf.timing import TimingModel
-from repro.sched.affinity import balanced_mappings, canonical_mapping
+from repro.sched.affinity import canonical_mapping
 from repro.sched.os_model import SchedulerConfig
 from repro.sched.process import SimTask
 from repro.workloads.base import WorkloadProfile

@@ -1,0 +1,22 @@
+"""Fixture: every style of wall-clock read RPR101 must catch.
+
+Linted *as if* it lived in the simulation core (the test passes
+``module='repro.perf._fixture'``); each marked line is one expected
+violation.
+"""
+
+import time as clock
+from datetime import date, datetime
+from time import perf_counter
+
+
+def sample_times():
+    """Read clocks in all the shapes the rule must resolve."""
+    values = [
+        clock.time(),           # RPR101: aliased module attribute
+        clock.monotonic(),      # RPR101
+        perf_counter(),         # RPR101: from-import
+        datetime.now(),         # RPR101: from-import of the class
+        date.today(),           # RPR101
+    ]
+    return values

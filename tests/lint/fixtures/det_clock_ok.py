@@ -1,0 +1,16 @@
+"""Fixture: clock-adjacent code RPR101 must *not* flag.
+
+Simulated time derived from cycle counters, a local function that
+happens to be called ``time``, and a shadowed import are all legal.
+"""
+
+
+def time():
+    """A local function named time is not the stdlib clock."""
+    return 0.0
+
+
+def simulated_seconds(cycles, clock_hz):
+    """Simulated time is a pure function of counters."""
+    local = time()
+    return local + cycles / clock_hz

@@ -1,0 +1,12 @@
+"""Fixture: entropy sources (RPR103) and builtin hash (RPR104)."""
+
+import os
+import uuid
+
+
+def unique_token(name):
+    """Three violations: urandom, uuid4, and randomised hash()."""
+    salt = os.urandom(8)        # RPR103
+    ident = uuid.uuid4()        # RPR103
+    bucket = hash(name) % 64    # RPR104
+    return salt, ident, bucket

@@ -1,0 +1,15 @@
+"""Fixture: unseeded / global-state RNG uses RPR102 must catch."""
+
+import random
+
+import numpy as np
+
+
+def draw_everything():
+    """Each line is one expected RPR102 violation."""
+    a = random.random()              # RPR102: global RNG
+    b = random.Random()              # RPR102: unseeded instance
+    c = np.random.rand(4)            # RPR102: legacy global API
+    d = np.random.default_rng()      # RPR102: unseeded generator
+    e = np.random.default_rng(None)  # RPR102: explicit None seed
+    return a, b, c, d, e

@@ -1,0 +1,12 @@
+"""Fixture: properly seeded RNG construction RPR102 must accept."""
+
+import numpy as np
+
+
+def draw_seeded(seed):
+    """Seeded construction in every accepted shape."""
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(1234)
+    c = np.random.Generator(np.random.PCG64(seed))
+    d = np.random.SeedSequence(seed).spawn(2)
+    return a, b, c, d

@@ -1,0 +1,25 @@
+"""Fixture: exception handling RPR202/RPR203 must flag."""
+
+
+def swallow_everything(work):
+    """Bare except: catches KeyboardInterrupt too."""
+    try:
+        return work()
+    except:  # RPR202
+        return None
+
+
+def swallow_broad(work):
+    """Broad except that neither raises, logs, nor reads the fault."""
+    try:
+        return work()
+    except Exception:  # RPR203
+        return None
+
+
+def swallow_bound_but_unread(work):
+    """Binding the exception without reading it is still swallowing."""
+    try:
+        return work()
+    except BaseException as exc:  # RPR203 (exc never read)
+        return None

@@ -1,0 +1,39 @@
+"""Fixture: exception handling RPR202/RPR203 must accept."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def narrow(work):
+    """Narrow exception types are always fine."""
+    try:
+        return work()
+    except (ValueError, OSError):
+        return None
+
+
+def broad_but_logged(work):
+    """A broad handler that reports the fault is fine."""
+    try:
+        return work()
+    except Exception:
+        logger.warning("work failed; degrading")
+        return None
+
+
+def broad_but_reraised(work):
+    """Cleanup-and-reraise is the sanctioned broad pattern."""
+    try:
+        return work()
+    except BaseException:
+        raise
+
+
+def broad_but_read(work, failures):
+    """Recording the exception counts as handling it."""
+    try:
+        return work()
+    except Exception as exc:
+        failures.append(str(exc))
+        return None

@@ -1,0 +1,26 @@
+"""Fixture: os.replace publishes RPR201 must flag."""
+
+import os
+
+
+def publish_unfsynced(tmp, final):
+    """Replace with no fsync at all."""
+    with open(tmp, "w") as handle:
+        handle.write("data")
+    os.replace(tmp, final)  # RPR201
+
+
+def publish_fsync_after(tmp, final, log_fd):
+    """The fsync happens too late — after the publish."""
+    os.replace(tmp, final)  # RPR201
+    os.fsync(log_fd)
+
+
+def outer_fsync_inner_replace(tmp, final, fd):
+    """An enclosing fsync must not excuse a nested function's replace."""
+    os.fsync(fd)
+
+    def publish():
+        os.replace(tmp, final)  # RPR201
+
+    return publish

@@ -1,0 +1,12 @@
+"""Fixture: the correct write-tmp / flush / fsync / replace protocol."""
+
+import os
+
+
+def publish_durably(tmp, final):
+    """fsync before replace — the contract RPR201 enforces."""
+    with open(tmp, "w") as handle:
+        handle.write("data")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)

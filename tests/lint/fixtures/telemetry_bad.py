@@ -1,0 +1,20 @@
+"""Fixture: telemetry guard bypass (RPR401) and core installs (RPR402).
+
+Linted as a sim-core module for RPR402 and as any non-telemetry module
+for RPR401.
+"""
+
+from repro.telemetry import configure, current
+from repro.telemetry import current as telemetry_current
+
+
+def bypass_guard(name):
+    """Two RPR401 violations: chained access off current()."""
+    span = current().tracer.begin(name)           # RPR401
+    telemetry_current().metrics.counter(name)     # RPR401
+    return span
+
+
+def install_from_core():
+    """RPR402: a core component must not install process state."""
+    return configure()  # RPR402

@@ -1,0 +1,13 @@
+"""Fixture: the sanctioned single-guard telemetry fast path."""
+
+from repro.telemetry import current as telemetry_current
+
+
+def guarded(name):
+    """Bind once, branch on None — the disabled path touches nothing."""
+    tel = telemetry_current()
+    if tel is None:
+        return None
+    if tel.tracer is not None:
+        return tel.tracer.begin(name)
+    return None

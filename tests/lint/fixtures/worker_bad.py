@@ -1,0 +1,18 @@
+"""Fixture: unpicklable callables crossing the spawn-pool boundary."""
+
+
+def run_batch(pool, orchestrator, payloads, make_spec):
+    """Four violations: lambdas and local callables handed to workers."""
+
+    def local_job(payload):
+        return payload * 2
+
+    class LocalSpec:
+        pass
+
+    results = pool.map(lambda p: p + 1, payloads)       # RPR301
+    results += pool.map(local_job, payloads)            # RPR302
+    outcomes = orchestrator.run_specs(
+        [lambda: None] + [LocalSpec]                    # RPR301 + RPR302
+    )
+    return results, outcomes, make_spec

@@ -1,0 +1,22 @@
+"""Fixture: worker-API call shapes RPR301/RPR302 must accept."""
+
+
+def module_level_job(payload):
+    """Picklable: defined at module scope."""
+    return payload * 2
+
+
+def run_batch(pool, orchestrator, specs, payloads):
+    """Module-level functions, parent-side callbacks, sort keys."""
+
+    def observe(kind, **fields):
+        return None
+
+    def measure(mapping):
+        # Called here, in the parent; only its *result* crosses.
+        return specs[0]
+
+    results = pool.map(module_level_job, payloads, on_event=observe)
+    outcomes = orchestrator.run_specs([measure(m) for m in payloads])
+    ordered = sorted(payloads, key=lambda p: str(p))
+    return results, outcomes, ordered

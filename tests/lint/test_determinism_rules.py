@@ -1,0 +1,54 @@
+"""RPR1xx determinism rules: positive and negative fixtures, scoping."""
+
+from tests.lint.conftest import codes_of
+
+from repro.lint import lint_source
+
+
+def test_clock_fixture_flags_every_read(lint_fixture):
+    violations = lint_fixture("det_clock_bad.py")
+    assert codes_of(violations) == ["RPR101"] * 5
+    # Each flagged line resolves a different import/alias shape.
+    flagged = {v.source.split("(")[0].split("=")[-1].strip()
+               for v in violations}
+    assert flagged == {
+        "clock.time", "clock.monotonic", "perf_counter",
+        "datetime.now", "date.today",
+    }
+
+
+def test_clock_negative_fixture_is_clean(lint_fixture):
+    assert lint_fixture("det_clock_ok.py") == []
+
+
+def test_clock_rule_is_package_scoped(lint_fixture):
+    """The same source is legal inside repro.jobs / repro.telemetry."""
+    for pkg in ("repro.jobs._fixture", "repro.telemetry._fixture", None):
+        assert lint_fixture("det_clock_bad.py", module=pkg) == []
+
+
+def test_rng_fixture_flags_unseeded_and_global(lint_fixture):
+    violations = lint_fixture("det_rng_bad.py")
+    assert codes_of(violations) == ["RPR102"] * 5
+
+
+def test_rng_negative_fixture_is_clean(lint_fixture):
+    assert lint_fixture("det_rng_ok.py") == []
+
+
+def test_entropy_and_hash_fixture(lint_fixture):
+    violations = lint_fixture("det_entropy_hash_bad.py")
+    assert codes_of(violations) == ["RPR103", "RPR103", "RPR104"]
+
+
+def test_shadowed_hash_is_not_flagged():
+    source = (
+        '"""Doc."""\n'
+        "def hash(x):\n"
+        '    """Local hash."""\n'
+        "    return 0\n"
+        "def use(x):\n"
+        '    """Use it."""\n'
+        "    return hash(x)\n"
+    )
+    assert lint_source("mod.py", source, module="repro.core._fx") == []

@@ -1,0 +1,26 @@
+"""Self-check: the shipped source tree satisfies its own linter."""
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+
+def test_src_repro_is_clean_against_committed_baseline(repo_root):
+    baseline = Baseline.load(repo_root / DEFAULT_BASELINE_NAME)
+    result = lint_paths([repo_root / "src" / "repro"], root=repo_root)
+    fresh, _ = baseline.split(result.violations)
+    assert fresh == [], "\n".join(v.format() for v in fresh)
+    assert result.files_scanned > 30
+
+
+def test_committed_baseline_contains_no_determinism_entries(repo_root):
+    baseline = Baseline.load(repo_root / DEFAULT_BASELINE_NAME)
+    assert not any(code.startswith("RPR1") for code in baseline.codes())
+
+
+def test_scripts_and_tests_are_clean(repo_root):
+    baseline = Baseline.load(repo_root / DEFAULT_BASELINE_NAME)
+    result = lint_paths(
+        [repo_root / "scripts", repo_root / "tests"], root=repo_root
+    )
+    fresh, _ = baseline.split(result.violations)
+    assert fresh == [], "\n".join(v.format() for v in fresh)

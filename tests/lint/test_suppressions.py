@@ -1,0 +1,42 @@
+"""Suppression machinery: line noqa, file waivers, malformed comments."""
+
+from tests.lint.conftest import codes_of
+
+from repro.lint import lint_source
+
+
+def test_suppressed_fixture_mixes_waived_and_live(lint_fixture):
+    violations = lint_fixture("suppressed.py")
+    # The file-level RPR202 waiver and the line-level RPR101 noqa hold;
+    # the un-annotated datetime.now() stays live and the blanket noqa is
+    # itself reported as malformed.
+    assert codes_of(violations) == ["RPR002", "RPR101"]
+
+
+def test_line_noqa_only_covers_its_own_code():
+    source = (
+        '"""Doc."""\n'
+        "import time\n"
+        "def stamp():\n"
+        '    """Clock read with the wrong waiver code."""\n'
+        "    return time.time()  # repro: noqa[RPR999]\n"
+    )
+    flagged = lint_source("m.py", source, module="repro.core._fx")
+    assert codes_of(flagged) == ["RPR101"]
+
+
+def test_noqa_in_docstring_is_not_a_suppression():
+    source = (
+        '"""Mentions # repro: noqa[RPR101] in prose only."""\n'
+        "import time\n"
+        "def stamp():\n"
+        '    """Read the clock."""\n'
+        "    return time.time()\n"
+    )
+    flagged = lint_source("m.py", source, module="repro.core._fx")
+    assert codes_of(flagged) == ["RPR101"]
+
+
+def test_parse_error_reports_rpr001():
+    flagged = lint_source("broken.py", "def f(:\n", module=None)
+    assert codes_of(flagged) == ["RPR001"]

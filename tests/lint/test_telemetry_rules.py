@@ -1,0 +1,36 @@
+"""RPR4xx telemetry-hygiene rules: guard bypass and core installs."""
+
+from tests.lint.conftest import codes_of
+
+from repro.lint import lint_source
+
+
+def test_telemetry_fixture_flags_bypass_and_install(lint_fixture):
+    violations = lint_fixture("telemetry_bad.py")
+    assert codes_of(violations) == ["RPR401", "RPR401", "RPR402"]
+
+
+def test_bypass_rule_applies_outside_sim_core_too(lint_fixture):
+    violations = lint_fixture("telemetry_bad.py", module="repro.jobs._fx")
+    assert codes_of(violations) == ["RPR401", "RPR401"]
+
+
+def test_telemetry_package_itself_is_exempt(lint_fixture):
+    assert lint_fixture(
+        "telemetry_bad.py", module="repro.telemetry._fx"
+    ) == []
+
+
+def test_guarded_fast_path_is_clean(lint_fixture):
+    assert lint_fixture("telemetry_ok.py") == []
+
+
+def test_installers_allowed_outside_core():
+    source = (
+        '"""Doc."""\n'
+        "from repro.telemetry import configure\n"
+        "def enable():\n"
+        '    """CLI-side install is the sanctioned place."""\n'
+        "    return configure()\n"
+    )
+    assert lint_source("cli.py", source, module="repro.cli") == []

@@ -1,0 +1,19 @@
+"""RPR3xx worker-safety rules: pickled values vs parent-side calls."""
+
+from tests.lint.conftest import codes_of
+
+
+def test_worker_fixture_flags_lambdas_and_locals(lint_fixture):
+    violations = lint_fixture("worker_bad.py", module=None)
+    assert codes_of(violations) == [
+        "RPR301", "RPR301", "RPR302", "RPR302",
+    ]
+    by_code = {v.code: set() for v in violations}
+    for violation in violations:
+        by_code[violation.code].add(violation.source)
+    assert any("LocalSpec" in s for s in by_code["RPR302"])
+
+
+def test_worker_negative_fixture_is_clean(lint_fixture):
+    """Observer callbacks, parent-side calls, and sort keys are legal."""
+    assert lint_fixture("worker_ok.py", module=None) == []

@@ -1,6 +1,5 @@
 """Conservation/invariant properties of the closed-loop simulator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the closed-loop multicore simulator."""
 
-import numpy as np
 import pytest
 
 from repro.cache.config import tiny_cache

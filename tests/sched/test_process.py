@@ -1,6 +1,5 @@
 """Tests for SimTask / SimProcess."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SchedulingError, WorkloadError

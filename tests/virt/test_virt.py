@@ -1,6 +1,5 @@
 """Tests for the virtualization layer (VMs, hypervisor, Dom0 agent)."""
 
-import numpy as np
 import pytest
 
 from repro.alloc.weight_sort import WeightSortPolicy
@@ -17,7 +16,6 @@ from repro.virt.overhead import VirtualizationOverhead
 from repro.virt.vm import VirtualMachine
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.patterns import RandomRegionGenerator
-from repro.workloads.spec import spec_profile
 
 
 def tiny_machine():
@@ -183,7 +181,6 @@ class TestDom0Agent:
         machine = tiny_machine()
         vms = [make_vm(f"vm{i}", base=4000 * i, seed=i) for i in range(4)]
         hv = Hypervisor(machine, vms)
-        from repro.perf.runner import default_signature_config
         from repro.core.signature import SignatureConfig
 
         sig = SignatureConfig(num_cores=2, num_sets=64, ways=4)
