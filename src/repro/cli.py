@@ -28,10 +28,15 @@ All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``--fail-fast`` (salvage failing mixes into a failure report vs abort on
 the first error; fail-fast is the default) and ``--resume JOURNAL``
 (write-ahead journal of completed runs; re-invoking with the same
-journal re-executes only what had not finished), and the observability
-flags ``--trace-out FILE`` (Chrome trace-event JSON of the run, loadable
-in Perfetto) and ``--metrics-out FILE`` (Prometheus-format metrics
-snapshot plus a printed summary table) — see :mod:`repro.telemetry` and
+journal re-executes only what had not finished), the supervision flags
+``--max-retries N`` (retry budget per job), ``--hang-timeout SECONDS``
+(heartbeat watchdog: kill workers that stop proving liveness) and
+``--quarantine FILE`` (persisted poison-spec denylist fed by the circuit
+breaker; consulted again on resume) — see :mod:`repro.supervise` and
+``docs/robustness.md`` — and the observability flags ``--trace-out
+FILE`` (Chrome trace-event JSON of the run, loadable in Perfetto) and
+``--metrics-out FILE`` (Prometheus-format metrics snapshot plus a
+printed summary table) — see :mod:`repro.telemetry` and
 ``docs/observability.md``.
 """
 
@@ -64,6 +69,7 @@ from repro.analysis.report import (
 from repro.errors import ConfigurationError, SimulationError
 from repro.jobs import Orchestrator
 from repro.lint import cli as lint_cli
+from repro.supervise import SupervisionConfig
 from repro.telemetry import (
     TRACE_ENV_VAR,
     MetricsRegistry,
@@ -143,10 +149,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: a strictly positive integer.
+
+    Rejects ``0`` and negatives at parse time with an actionable message
+    (``--jobs 0`` used to surface much later as an opaque
+    ``ConfigurationError`` from the pool constructor).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value}); use '--jobs 1' for in-process "
+            "execution"
+        )
+    return value
+
+
 def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the orchestration flags shared by ``mix`` and ``sweep``."""
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_positive_int, default=1,
         help="parallel simulation workers (default: 1, in-process)",
     )
     parser.add_argument(
@@ -169,6 +196,21 @@ def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
         "replayed instead of re-executed (checkpoint/resume)",
     )
     parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="extra attempts a job gets after a worker crash, hang or "
+        "timeout (default: 2)",
+    )
+    parser.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="arm the heartbeat watchdog: kill a worker after this many "
+        "seconds of heartbeat silence (hung, as opposed to merely slow)",
+    )
+    parser.add_argument(
+        "--quarantine", metavar="FILE", default=None,
+        help="persisted poison-spec denylist: specs that trip the circuit "
+        "breaker are recorded here and skipped by later (resumed) runs",
+    )
+    parser.add_argument(
         "--trace-out", metavar="FILE", default=None,
         help="write a Chrome trace-event JSON file of the run "
         "(load in Perfetto / chrome://tracing)",
@@ -187,6 +229,9 @@ def _wants_orchestration(args: argparse.Namespace) -> bool:
         or args.cache_dir is not None
         or args.keep_going
         or args.resume is not None
+        or args.max_retries != 2
+        or args.hang_timeout is not None
+        or args.quarantine is not None
     )
 
 
@@ -200,19 +245,24 @@ def _make_orchestrator(args: argparse.Namespace) -> Optional[Orchestrator]:
     where the root ``orchestrator.run_specs`` span comes from).
     """
     if (
-        args.jobs <= 1
-        and args.cache_dir is None
-        and not args.keep_going
-        and args.resume is None
+        not _wants_orchestration(args)
         and args.trace_out is None
         and args.metrics_out is None
     ):
         return None
+    supervision = None
+    if args.hang_timeout is not None or args.quarantine is not None:
+        supervision = SupervisionConfig(
+            hang_timeout=args.hang_timeout,
+            quarantine=args.quarantine,
+        )
     return Orchestrator(
         jobs=max(1, args.jobs),
         cache_dir=args.cache_dir,
+        retries=args.max_retries,
         journal=args.resume,
         keep_going=args.keep_going,
+        supervision=supervision,
     )
 
 

@@ -29,6 +29,8 @@ from repro.faults.injectors import (
     INJECTOR_KINDS,
     CorruptSampleInjector,
     DropSampleInjector,
+    HangInjector,
+    MemoryHogInjector,
     SaturateCountersInjector,
     SignatureFaultInjector,
     StaleSignatureInjector,
@@ -43,6 +45,8 @@ __all__ = [
     "INJECTOR_KINDS",
     "CorruptSampleInjector",
     "DropSampleInjector",
+    "HangInjector",
+    "MemoryHogInjector",
     "SaturateCountersInjector",
     "SignatureFaultInjector",
     "StaleSignatureInjector",

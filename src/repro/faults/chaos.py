@@ -42,12 +42,18 @@ from typing import Any, Dict, List, Mapping
 from repro.errors import ConfigurationError
 from repro.jobs.keys import spec_key
 from repro.jobs.spec import execute_spec
+from repro.supervise.heartbeat import clear_hang, simulate_hang, tick
 from repro.utils.rng import stable_seed
 
 __all__ = ["ChaosConfig", "chaos_execute_spec", "corrupt_cache_entries"]
 
 #: Resolution of the seeded fraction draws.
 _DRAW_SPAN = 1 << 32
+
+#: How long a memory hog holds its ballast (seconds) — long enough for
+#: the worker's heartbeat to report the ballooned RSS and for the
+#: supervising parent (polling every ~50 ms) to react.
+_MEMHOG_HOLD_SECONDS = 1.0
 
 
 def _draw(seed: int, key: str, fault: str) -> float:
@@ -74,6 +80,22 @@ class ChaosConfig:
         timeout/retry path).
     delay_seconds:
         Sleep injected into delayed jobs.
+    hang_fraction:
+        Fraction of jobs whose first execution *hangs*: heartbeats are
+        suspended (:func:`repro.supervise.heartbeat.simulate_hang`) and
+        the job sleeps *hang_seconds* — a slow job keeps ticking, a hung
+        one goes silent, which is exactly the distinction the watchdog
+        must make.
+    hang_seconds:
+        How long a hung job stays wedged (drive it past the watchdog's
+        ``hang_timeout`` but *below* the per-job timeout to prove the
+        hang was caught by heartbeat silence, not by the deadline).
+    memhog_fraction:
+        Fraction of jobs whose first execution allocates and touches
+        *memhog_mb* of memory before running — exercises the RSS-budget
+        watchdog.
+    memhog_mb:
+        Megabytes the memory hog balloons by.
     """
 
     seed: int
@@ -81,14 +103,20 @@ class ChaosConfig:
     kill_fraction: float = 0.0
     delay_fraction: float = 0.0
     delay_seconds: float = 0.0
+    hang_fraction: float = 0.0
+    hang_seconds: float = 0.0
+    memhog_fraction: float = 0.0
+    memhog_mb: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("kill_fraction", "delay_fraction"):
+        for name in ("kill_fraction", "delay_fraction", "hang_fraction",
+                     "memhog_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1]")
-        if self.delay_seconds < 0:
-            raise ConfigurationError("delay_seconds must be >= 0")
+        for name in ("delay_seconds", "hang_seconds", "memhog_mb"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native form (what travels to worker processes)."""
@@ -98,6 +126,10 @@ class ChaosConfig:
             "kill_fraction": self.kill_fraction,
             "delay_fraction": self.delay_fraction,
             "delay_seconds": self.delay_seconds,
+            "hang_fraction": self.hang_fraction,
+            "hang_seconds": self.hang_seconds,
+            "memhog_fraction": self.memhog_fraction,
+            "memhog_mb": self.memhog_mb,
         }
 
     def executor(self):
@@ -140,6 +172,32 @@ def chaos_execute_spec(
         and _strike_once(marker_dir, key, "delay")
     ):
         time.sleep(float(chaos.get("delay_seconds", 0.0)))
+    if (
+        chaos.get("hang_fraction", 0.0) > 0.0
+        and _draw(seed, key, "hang") < chaos["hang_fraction"]
+        and _strike_once(marker_dir, key, "hang")
+    ):
+        # A wedged runtime: heartbeats go silent while the job body
+        # blocks. Under an armed watchdog the worker is killed mid-sleep
+        # (clear_hang never runs — the process dies); without one the
+        # job wakes up, resumes ticking, and completes as merely slow.
+        simulate_hang()
+        time.sleep(float(chaos.get("hang_seconds", 0.0)))
+        clear_hang()
+    if (
+        chaos.get("memhog_fraction", 0.0) > 0.0
+        and _draw(seed, key, "memhog") < chaos["memhog_fraction"]
+        and _strike_once(marker_dir, key, "memhog")
+    ):
+        # bytearray() zero-fills, so every page is touched and the RSS
+        # high-water mark really balloons. The immediate tick reports
+        # the new high-water; the hold gives the parent time to react.
+        ballast = bytearray(
+            int(float(chaos.get("memhog_mb", 0.0)) * 1024 * 1024)
+        )
+        tick("memhog")
+        time.sleep(_MEMHOG_HOLD_SECONDS)
+        del ballast
     return execute_spec(payload)
 
 

@@ -35,16 +35,34 @@ Injector kinds
 ``stale``
     Drops every sample after a fixed number of context switches: the
     signature freezes in time (detected as *stale*).
+``hang``
+    Wedges the whole worker after a fixed number of event batches:
+    heartbeats go silent while the job body blocks — the supervision
+    watchdog's poison-spec scenario (see :mod:`repro.supervise`).
+``memhog``
+    Balloons the worker's RSS past any reasonable budget after a fixed
+    number of event batches — the resource watchdog's poison-spec
+    scenario.
+
+The ``hang`` and ``memhog`` kinds poison the *worker process* rather
+than the signature reading. Because a fault plan travels inside the
+:class:`~repro.jobs.spec.RunSpec` (changing its content-addressed key),
+a spec carrying one of them fails **deterministically on every
+attempt** — exactly the repeat offender the circuit breaker and the
+persisted poison quarantine exist to stop. Their hooks fire from
+``after_events``, so they require the spec to attach signature hardware.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.core.context import SignatureSample
 from repro.errors import ConfigurationError
+from repro.supervise.heartbeat import clear_hang, simulate_hang, tick
 from repro.utils.rng import derive_rng
 
 __all__ = [
@@ -55,6 +73,8 @@ __all__ = [
     "DropSampleInjector",
     "ZeroWordsInjector",
     "StaleSignatureInjector",
+    "HangInjector",
+    "MemoryHogInjector",
     "build_injector",
 ]
 
@@ -234,6 +254,107 @@ class StaleSignatureInjector(SignatureFaultInjector):
         }
 
 
+class HangInjector(SignatureFaultInjector):
+    """Wedge the worker after *after_batches* event batches.
+
+    Suspends every heartbeat (:func:`repro.supervise.heartbeat.\
+simulate_hang`) and blocks for *hang_seconds* — the watchdog sees pure
+    silence and kills the worker. A spec carrying this plan is
+    deterministic poison: every retry hangs again, so after the breaker
+    threshold it must be short-circuited and quarantined. Without an
+    armed watchdog the job eventually wakes, resumes ticking, and
+    completes as merely slow (``clear_hang``), so the injector never
+    changes *results* — only timing.
+    """
+
+    kind = "hang"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        after_batches: int = 0,
+        hang_seconds: float = 60.0,
+    ):
+        super().__init__(seed)
+        if after_batches < 0:
+            raise ConfigurationError("after_batches must be >= 0")
+        if hang_seconds < 0:
+            raise ConfigurationError("hang_seconds must be >= 0")
+        self.after_batches = int(after_batches)
+        self.hang_seconds = float(hang_seconds)
+        self._batches = 0
+
+    def after_events(self, unit) -> None:
+        """Go silent exactly once, at the configured batch boundary."""
+        self._batches += 1
+        if self._batches == self.after_batches + 1:
+            simulate_hang()
+            time.sleep(self.hang_seconds)
+            clear_hang()
+
+    def to_dict(self):
+        """JSON-native form including the wedge point and duration."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "after_batches": self.after_batches,
+            "hang_seconds": self.hang_seconds,
+        }
+
+
+class MemoryHogInjector(SignatureFaultInjector):
+    """Balloon the worker's RSS after *after_batches* event batches.
+
+    Allocates (and, because ``bytearray`` zero-fills, actually touches)
+    *ballast_mb* of memory, posts an immediate heartbeat so the parent
+    sees the new RSS high-water mark, holds the ballast for
+    *hold_seconds*, then releases it. Under an armed RSS budget the
+    watchdog kills the worker during the hold; without one the run
+    completes normally — ``ru_maxrss`` never shrinks, but results are
+    unaffected.
+    """
+
+    kind = "memhog"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        after_batches: int = 0,
+        ballast_mb: float = 256.0,
+        hold_seconds: float = 1.0,
+    ):
+        super().__init__(seed)
+        if after_batches < 0:
+            raise ConfigurationError("after_batches must be >= 0")
+        if ballast_mb < 0:
+            raise ConfigurationError("ballast_mb must be >= 0")
+        if hold_seconds < 0:
+            raise ConfigurationError("hold_seconds must be >= 0")
+        self.after_batches = int(after_batches)
+        self.ballast_mb = float(ballast_mb)
+        self.hold_seconds = float(hold_seconds)
+        self._batches = 0
+
+    def after_events(self, unit) -> None:
+        """Balloon exactly once, at the configured batch boundary."""
+        self._batches += 1
+        if self._batches == self.after_batches + 1:
+            ballast = bytearray(int(self.ballast_mb * 1024 * 1024))
+            tick("memhog")
+            time.sleep(self.hold_seconds)
+            del ballast
+
+    def to_dict(self):
+        """JSON-native form including the ballast size and hold."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "after_batches": self.after_batches,
+            "ballast_mb": self.ballast_mb,
+            "hold_seconds": self.hold_seconds,
+        }
+
+
 #: Registry of constructible injector kinds.
 _REGISTRY = {
     cls.kind: cls
@@ -243,6 +364,8 @@ _REGISTRY = {
         DropSampleInjector,
         ZeroWordsInjector,
         StaleSignatureInjector,
+        HangInjector,
+        MemoryHogInjector,
     )
 }
 

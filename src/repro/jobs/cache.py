@@ -120,6 +120,11 @@ class ResultCache:
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt entry aside (``.corrupt`` suffix) and count it.
 
+        The destination name is collision-proof: a key corrupted twice
+        (recomputed after the first quarantine, then corrupted again)
+        lands in ``<name>.corrupt.1``, ``.corrupt.2``, … instead of
+        ``os.replace`` silently overwriting the earlier evidence.
+
         The first quarantine per cache instance logs at warning level so
         the operator sees one loud signal; subsequent ones log at debug.
         Rename failures (e.g. the file vanished under us) are swallowed —
@@ -127,14 +132,17 @@ class ResultCache:
         """
         self.stats.corrupt += 1
         level = logging.WARNING if self.stats.quarantined == 0 else logging.DEBUG
+        target = path.with_name(path.name + ".corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_name(f"{path.name}.corrupt.{counter}")
         try:
             # Quarantine is best-effort evidence preservation: the entry is
             # already corrupt, so losing the rename in a crash costs nothing
             # — the durable fsync-then-replace protocol (RPR201) is only
             # required on the publish path in put().
-            os.replace(  # repro: noqa[RPR201]
-                path, path.with_name(path.name + ".corrupt")
-            )
+            os.replace(path, target)  # repro: noqa[RPR201]
         except OSError:
             return
         self.stats.quarantined += 1

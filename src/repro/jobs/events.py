@@ -40,6 +40,10 @@ EVENT_KINDS = (
     "completed",     # simulation finished; wall_time carries the duration
     "retried",       # job resubmitted after a worker crash / timeout
     "timeout",       # job exceeded its per-job wall-clock budget
+    "hung",          # heartbeat silence: worker killed by the watchdog
+    "over_budget",   # worker RSS budget exceeded: killed by the watchdog
+    "short_circuited",  # submission refused by an open circuit breaker
+    "poisoned",      # spec found on the persisted poison quarantine
     "failed",        # job gave up (deterministic error or retries spent)
     "batch_end",     # the batch resolved; wall_time carries batch duration
 )
@@ -87,6 +91,10 @@ class EventCounters:
     executed: int = 0
     retried: int = 0
     timeouts: int = 0
+    hung: int = 0
+    over_budget: int = 0
+    short_circuited: int = 0
+    poisoned: int = 0
     failed: int = 0
     completed: int = 0
     batches: int = 0
@@ -160,6 +168,10 @@ class EventLog:
         "completed": "executed",
         "retried": "retried",
         "timeout": "timeouts",
+        "hung": "hung",
+        "over_budget": "over_budget",
+        "short_circuited": "short_circuited",
+        "poisoned": "poisoned",
         "failed": "failed",
         "batch_start": "batches",
     }

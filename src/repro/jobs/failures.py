@@ -43,6 +43,11 @@ class JobFailure:
     key:
         Content-addressed spec key ('' at pool level, filled by the
         orchestrator).
+    kind:
+        Failure classification: ``'error'`` (deterministic exception),
+        ``'crash'``, ``'timeout'``, ``'hung'``, ``'over_budget'``,
+        ``'short_circuited'`` (open circuit breaker) or
+        ``'quarantined'`` (persisted poison denylist).
     """
 
     error: str
@@ -50,6 +55,7 @@ class JobFailure:
     wall_time: float = 0.0
     index: int = -1
     key: str = ""
+    kind: str = "error"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native form (for reports and logs)."""
@@ -59,6 +65,7 @@ class JobFailure:
             "wall_time": self.wall_time,
             "index": self.index,
             "key": self.key,
+            "kind": self.kind,
         }
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.errors import JobError
 from repro.jobs.cache import ResultCache
 from repro.jobs.events import EventLog, JobEvent
 from repro.jobs.failures import JobFailure
@@ -40,6 +41,7 @@ from repro.jobs.journal import RunJournal
 from repro.jobs.keys import spec_key
 from repro.jobs.pool import DEFAULT_MP_CONTEXT, WorkerPool
 from repro.jobs.spec import RunOutcome, RunSpec, execute_spec
+from repro.supervise.config import SupervisionConfig
 from repro.telemetry.context import current as telemetry_current
 from repro.telemetry.metrics import EventCounterSink
 
@@ -85,6 +87,15 @@ class Orchestrator:
         :func:`~repro.jobs.spec.execute_spec`. Must be a picklable
         callable taking the spec's dict payload (the chaos harness passes
         :meth:`~repro.faults.chaos.ChaosConfig.executor` here).
+    supervision:
+        Optional :class:`~repro.supervise.config.SupervisionConfig`
+        arming the supervision subsystem: heartbeat/hang/RSS watchdog
+        knobs flow into the worker pool, the retry policy replaces the
+        plain ``backoff`` base, and the per-spec-key circuit breaker plus
+        the persisted poison quarantine gate submissions *before* they
+        reach a worker. ``None`` (default) runs the exact unsupervised
+        code paths. The watchdog needs workers, so it applies in pooled
+        mode only; breaker and quarantine also gate serial execution.
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class Orchestrator:
         journal=None,
         keep_going: bool = False,
         executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        supervision: Optional[SupervisionConfig] = None,
     ):
         self.jobs = jobs
         self.cache = None if cache_dir is None else ResultCache(cache_dir)
@@ -110,6 +122,25 @@ class Orchestrator:
         else:
             self.journal = RunJournal(journal)
         self._metrics_sink = None
+        self.supervision = supervision
+        self.breaker = (
+            None
+            if supervision is None
+            else supervision.make_breaker(
+                on_transition=self._on_breaker_transition
+            )
+        )
+        self.quarantine = (
+            None if supervision is None else supervision.make_quarantine()
+        )
+        pool_kwargs: Dict[str, Any] = {}
+        if supervision is not None:
+            pool_kwargs = dict(
+                retry_policy=supervision.retry,
+                hang_timeout=supervision.hang_timeout,
+                heartbeat_interval=supervision.heartbeat_interval,
+                max_rss_mb=supervision.max_rss_mb,
+            )
         self._pool = (
             None
             if jobs <= 1
@@ -119,8 +150,18 @@ class Orchestrator:
                 timeout=timeout,
                 retries=retries,
                 backoff=backoff,
+                **pool_kwargs,
             )
         )
+
+    def _on_breaker_transition(self, key: str, old: str, new: str) -> None:
+        """Mirror circuit state changes into the metrics registry."""
+        tel = telemetry_current()
+        if tel is not None and tel.metrics is not None:
+            tel.metrics.counter(
+                f"breaker_to_{new}_total",
+                help=f"circuit-breaker transitions into state {new!r}",
+            ).inc()
 
     @property
     def counters(self):
@@ -147,6 +188,70 @@ class Orchestrator:
             return None
         self.log.emit("cache_hit", key=key)
         return RunOutcome.from_dict(cached, cached=True)
+
+    def _gate_misses(
+        self, misses: List[str], outcomes: Dict[str, "BatchResult"]
+    ) -> List[str]:
+        """Apply the quarantine and circuit breaker to the batch's misses.
+
+        Keys on the persisted poison quarantine, and keys whose circuit
+        is open, never reach a worker: their result slot is filled with a
+        structured :class:`JobFailure` (``kind='quarantined'`` /
+        ``'short_circuited'``) carrying zero attempts — in keep-going
+        mode these flow into ``SweepResult.failures`` as named exclusions
+        rather than silently rerun poison. In fail-fast mode a blocked
+        key aborts the batch with :class:`~repro.errors.JobError`.
+
+        One breaker *wave* elapses per gated batch — the cool-down an
+        open circuit waits out is counted here, not on the wall clock.
+        """
+        if self.quarantine is None and self.breaker is None:
+            return misses
+        if self.breaker is not None:
+            self.breaker.advance_wave()
+        allowed: List[str] = []
+        for key in misses:
+            if self.quarantine is not None and key in self.quarantine:
+                reason = self.quarantine.reason(key) or "poison spec"
+                self.log.emit("poisoned", key=key, detail=reason)
+                blocked = JobFailure(
+                    error=f"quarantined poison spec: {reason}",
+                    attempts=0, key=key, kind="quarantined",
+                )
+            elif self.breaker is not None and not self.breaker.allow(key):
+                last = self.breaker.last_error(key) or "repeated failures"
+                self.log.emit("short_circuited", key=key, detail=last)
+                blocked = JobFailure(
+                    error=(
+                        f"circuit open after "
+                        f"{self.breaker.failures(key)} failure(s): {last}"
+                    ),
+                    attempts=0, key=key, kind="short_circuited",
+                )
+            else:
+                allowed.append(key)
+                continue
+            if not self.keep_going:
+                raise JobError(f"spec {key[:12]}…: {blocked.error}")
+            outcomes[key] = blocked
+        return allowed
+
+    def _record_terminal_failure(self, key: str, failure: JobFailure) -> None:
+        """Feed one terminal failure to the breaker (and the quarantine).
+
+        When this failure trips the key's circuit and a quarantine file
+        is configured, the key is durably denylisted — a resumed
+        campaign consults the file before submitting anything.
+        """
+        if self.breaker is None:
+            return
+        tripped = self.breaker.record_failure(key, error=failure.error)
+        if tripped and self.quarantine is not None:
+            self.quarantine.add(
+                key,
+                reason=f"{failure.kind}: {failure.error}",
+                failures=self.breaker.failures(key),
+            )
 
     def _execute_serial(self, misses, payloads) -> List[Any]:
         """In-process execution of the batch's misses (jobs == 1)."""
@@ -281,6 +386,8 @@ class Orchestrator:
             else:
                 misses.append(key)
 
+        misses = self._gate_misses(misses, outcomes)
+
         if misses:
             payloads = [unique[key].to_dict() for key in misses]
             if self._pool is None:
@@ -292,9 +399,13 @@ class Orchestrator:
                     outcomes[key] = JobFailure(
                         error=result.error, attempts=result.attempts,
                         wall_time=result.wall_time, index=index, key=key,
+                        kind=result.kind,
                     )
+                    self._record_terminal_failure(key, result)
                     continue
                 outcomes[key] = RunOutcome.from_dict(result)
+                if self.breaker is not None:
+                    self.breaker.record_success(key)
                 if self.cache is not None:
                     self.cache.put(key, unique[key].to_dict(), result)
                 if self.journal is not None:

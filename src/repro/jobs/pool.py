@@ -1,4 +1,4 @@
-"""Process-pool execution of run specs with crash recovery.
+"""Process-pool execution of run specs with crash recovery and supervision.
 
 :class:`WorkerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
 with the semantics the orchestrator needs:
@@ -11,14 +11,24 @@ with the semantics the orchestrator needs:
 BrokenProcessPool` for *every* in-flight future without identifying the
   culprit. The pool rebuilds the executor, charges one attempt to every
   unfinished job that had actually *started* (innocent queued jobs are
-  refunded), sleeps an exponential backoff, and resubmits — so a single
-  crashing job fails alone after its retry budget while innocent
+  refunded), sleeps a capped, jittered backoff drawn from its
+  :class:`~repro.supervise.retry.RetryPolicy`, and resubmits — so a
+  single crashing job fails alone after its retry budget while innocent
   bystanders complete on a later wave.
 * **Timeouts measured from the job's own start** — every job records a
   worker-side start timestamp the moment a worker picks it up, and its
   wall-clock budget runs from *that* instant. Queue wait does **not**
   count against the budget: with more jobs than workers, a job that sat
   queued behind a slow wave is not charged for time it never ran.
+* **Heartbeat supervision** (optional) — with ``hang_timeout`` and/or
+  ``max_rss_mb`` set, workers tick a shared heartbeat board
+  (:mod:`repro.supervise.heartbeat`) and a parent-side
+  :class:`~repro.supervise.watchdog.Watchdog` kills jobs that stop
+  proving liveness (*hung*, distinct from *slow* — a slow job keeps
+  ticking) or blow their RSS budget, well before the per-job timeout.
+  Condemned jobs are charged an attempt and retried on a fresh executor;
+  the verdict kind (``'hung'`` / ``'over_budget'``) flows into events
+  and :class:`~repro.jobs.failures.JobFailure.kind`.
 * **Deterministic failures fail fast** — a job that raises an ordinary
   exception inside the worker is not retried; the traceback is wrapped in
   :class:`~repro.errors.JobError` and raised immediately, because re-running
@@ -27,6 +37,11 @@ BrokenProcessPool` for *every* in-flight future without identifying the
   terminally (deterministic error or exhausted retry/timeout budget)
   returns a :class:`~repro.jobs.failures.JobFailure` **in its result
   slot** instead of aborting the batch; every other job still completes.
+
+With supervision disabled (the default) the pool never creates a
+heartbeat board and workers run the exact pre-supervision code path —
+the no-fault baseline test pins that arming supervision over a healthy
+batch changes nothing about its results either.
 """
 
 from __future__ import annotations
@@ -40,7 +55,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, JobError
 from repro.jobs.failures import JobFailure
+from repro.supervise.config import DEFAULT_HEARTBEAT_INTERVAL
+from repro.supervise.heartbeat import (
+    HeartbeatTicker,
+    bind,
+    read_beats,
+    tick,
+    unbind,
+)
+from repro.supervise.retry import RetryPolicy
+from repro.supervise.watchdog import Watchdog, WatchdogVerdict
 from repro.telemetry.context import current as telemetry_current
+from repro.telemetry.metrics import BACKOFF_BUCKETS
 
 __all__ = ["WorkerPool"]
 
@@ -50,7 +76,7 @@ __all__ = ["WorkerPool"]
 DEFAULT_MP_CONTEXT = "spawn"
 
 #: How often the parent wakes to collect worker-side start timestamps
-#: while jobs are running under a timeout (seconds).
+#: (and heartbeat board snapshots) while jobs are running (seconds).
 _POLL_INTERVAL = 0.05
 
 
@@ -69,6 +95,31 @@ def _traced_call(start_queue, wave: int, index: int, fn, payload):
     return fn(payload)
 
 
+def _supervised_call(
+    start_queue, board, interval: float, wave: int, index: int, fn, payload
+):
+    """Worker-side wrapper with heartbeats: bind, tick, run, unbind.
+
+    Same start-record contract as :func:`_traced_call`, plus the
+    heartbeat protocol: the worker binds its process-global heartbeat
+    slot to ``(wave, index)`` on *board*, posts an immediate ``start``
+    beat, and runs a background :class:`HeartbeatTicker` for the
+    duration of the job so even a job body that never crosses an
+    instrumented phase boundary keeps proving liveness. The ticker is
+    stopped and the slot unbound before the result travels back.
+    """
+    start_queue.put((wave, index, time.time()))
+    bind(board, (wave, index))
+    tick("start")
+    ticker = HeartbeatTicker(interval)
+    ticker.start()
+    try:
+        return fn(payload)
+    finally:
+        ticker.stop()
+        unbind()
+
+
 class WorkerPool:
     """Bounded pool of worker processes executing picklable jobs.
 
@@ -83,11 +134,23 @@ class WorkerPool:
         Optional per-job wall-clock budget in seconds, measured from the
         moment a worker actually starts the job (queue wait is free).
     retries:
-        How many *additional* attempts a job gets after a worker crash or
-        timeout (deterministic exceptions are never retried).
+        How many *additional* attempts a job gets after a worker crash,
+        watchdog kill or timeout (deterministic exceptions are never
+        retried).
     backoff:
-        Base of the exponential crash-recovery sleep:
-        ``backoff * 2**(attempt-1)`` seconds after the attempt-th crash.
+        Base of the crash-recovery backoff in seconds. Used to build the
+        default :class:`~repro.supervise.retry.RetryPolicy` when none is
+        given explicitly.
+    retry_policy:
+        The full backoff policy (capped, seeded jitter). Overrides
+        ``backoff`` when provided.
+    hang_timeout:
+        Kill a started job after this many seconds of heartbeat silence
+        (``None`` disables hang detection).
+    heartbeat_interval:
+        Worker-side ticker period (only used when supervision is armed).
+    max_rss_mb:
+        Per-worker RSS high-water budget in MB (``None`` disables).
     """
 
     def __init__(
@@ -97,16 +160,30 @@ class WorkerPool:
         timeout: Optional[float] = None,
         retries: int = 2,
         backoff: float = 0.5,
+        retry_policy: Optional[RetryPolicy] = None,
+        hang_timeout: Optional[float] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        max_rss_mb: Optional[float] = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         if retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
         self.jobs = jobs
         self.mp_context = mp_context
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(base=backoff)
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.watchdog = Watchdog(
+            hang_timeout=hang_timeout, max_rss_mb=max_rss_mb
+        )
 
     def _make_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -119,9 +196,9 @@ class WorkerPool:
 
         ``shutdown(wait=False)`` alone leaves in-flight jobs running in
         the old workers, and the interpreter joins every worker at exit —
-        a single runaway (timed-out) job would then hang the process
-        forever. The worker table is a private attribute, hence the
-        defensive ``getattr``.
+        a single runaway (timed-out or hung) job would then hang the
+        process forever. The worker table is a private attribute, hence
+        the defensive ``getattr``.
         """
         workers = list((getattr(executor, "_processes", None) or {}).values())
         executor.shutdown(wait=False, cancel_futures=True)
@@ -158,7 +235,8 @@ class WorkerPool:
         *fn* must be a module-level (picklable) callable. *on_event*, if
         given, is called as ``on_event(kind, index=..., attempt=...,
         detail=...)`` for the lifecycle points the pool can observe:
-        ``'retried'``, ``'timeout'`` and ``'failed'``.
+        ``'retried'``, ``'timeout'``, ``'hung'``, ``'over_budget'`` and
+        ``'failed'``.
 
         With ``keep_going=False`` (default) any terminal job failure
         raises :class:`~repro.errors.JobError` and abandons the rest of
@@ -178,18 +256,22 @@ class WorkerPool:
         wall = [0.0] * count
         pending = list(range(count))
         wave_number = 0
+        session = self.retry_policy.session()
+        supervised = self.watchdog.enabled
 
         tel = telemetry_current()
         tracer = tel.tracer if tel is not None else None
+        metrics = tel.metrics if tel is not None else None
         ctx = get_context(self.mp_context)
         manager = ctx.Manager()
         start_queue = manager.Queue()
+        board = manager.dict() if supervised else None
         executor = self._make_executor()
         try:
             while pending:
                 wave_number += 1
-                if tel is not None and tel.metrics is not None:
-                    tel.metrics.counter(
+                if metrics is not None:
+                    metrics.counter(
                         "pool_waves_total",
                         help="submission waves run by the worker pool",
                     ).inc()
@@ -204,22 +286,50 @@ class WorkerPool:
                 starts: Dict[int, float] = {}
                 futures: Dict[Any, int] = {}
                 expired: List[int] = []
+                killed: List[WatchdogVerdict] = []
                 crashed = False
                 try:
                     for index in pending:
                         attempts[index] += 1
-                        futures[
-                            executor.submit(
+                        if supervised:
+                            future = executor.submit(
+                                _supervised_call, start_queue, board,
+                                self.heartbeat_interval, wave_number,
+                                index, fn, payloads[index],
+                            )
+                        else:
+                            future = executor.submit(
                                 _traced_call, start_queue, wave_number,
                                 index, fn, payloads[index],
                             )
-                        ] = index
+                        futures[future] = index
                     not_done = set(futures)
                     while not_done:
                         self._drain_starts(start_queue, wave_number, starts)
+                        now = time.time()
+                        if supervised:
+                            beats = read_beats(board)
+                            running = [futures[f] for f in not_done]
+                            killed = self.watchdog.inspect(
+                                wave_number, running, starts, beats, now
+                            )
+                            if killed:
+                                break  # watchdog condemned someone
+                            if metrics is not None:
+                                metrics.gauge(
+                                    "pool_heartbeat_age_seconds",
+                                    help=(
+                                        "oldest heartbeat age among "
+                                        "running jobs"
+                                    ),
+                                ).set(
+                                    self.watchdog.max_heartbeat_age(
+                                        wave_number, running, starts,
+                                        beats, now,
+                                    )
+                                )
                         budget = None
                         if self.timeout is not None:
-                            now = time.time()
                             expired = [
                                 futures[f] for f in not_done
                                 if futures[f] in starts
@@ -234,6 +344,10 @@ class WorkerPool:
                             # Wake at the earliest deadline, but at least
                             # every poll interval to pick up new starts.
                             budget = min(remaining + [_POLL_INTERVAL])
+                        elif supervised:
+                            # No wall-clock timeout, but the watchdog
+                            # still needs regular board snapshots.
+                            budget = _POLL_INTERVAL
                         finished, not_done = wait(
                             not_done, timeout=budget,
                             return_when=FIRST_COMPLETED,
@@ -286,15 +400,39 @@ class WorkerPool:
                 # Charge attempts only to the plausible culprits: on a
                 # crash, jobs that had actually started (the culprit is
                 # among them — a queued job cannot kill a worker); on a
-                # timeout, exactly the jobs past their own deadline.
+                # watchdog kill or timeout, exactly the condemned jobs.
                 # Everyone else gets this wave's attempt refunded.
                 self._drain_starts(start_queue, wave_number, starts)
+                retry_kind: Dict[int, str] = {}
+                fail_kind: Dict[int, str] = {}
+                detail_of: Dict[int, str] = {}
                 if crashed:
-                    kind, detail = "retried", "worker crashed"
-                    charged = [i for i in pending if i in starts] or list(pending)
+                    charged = (
+                        [i for i in pending if i in starts] or list(pending)
+                    )
+                    for i in charged:
+                        retry_kind[i] = "retried"
+                        fail_kind[i] = "crash"
+                        detail_of[i] = "worker crashed"
+                elif killed:
+                    charged = [v.index for v in killed]
+                    if metrics is not None:
+                        metrics.counter(
+                            "pool_watchdog_kills_total",
+                            help="jobs condemned by the watchdog",
+                        ).inc(len(killed))
+                    for verdict in killed:
+                        retry_kind[verdict.index] = verdict.kind
+                        fail_kind[verdict.index] = verdict.kind
+                        detail_of[verdict.index] = verdict.detail
                 else:
-                    kind, detail = "timeout", "timed out"
-                    charged = [i for i in pending if i in expired] or list(pending)
+                    charged = (
+                        [i for i in pending if i in expired] or list(pending)
+                    )
+                    for i in charged:
+                        retry_kind[i] = "timeout"
+                        fail_kind[i] = "timeout"
+                        detail_of[i] = "timed out"
                 charged_set = set(charged)
                 for i in pending:
                     if i not in charged_set:
@@ -308,38 +446,49 @@ class WorkerPool:
                         for i in charged:
                             notify(
                                 "failed", index=i, attempt=attempts[i],
-                                detail=detail,
+                                detail=detail_of[i],
                             )
                         raise JobError(
                             f"jobs {exhausted} gave up after "
                             f"{attempts[exhausted[0]]} attempts "
-                            f"({'worker crash' if crashed else 'timeout'})"
+                            f"({fail_kind[exhausted[0]]}: "
+                            f"{detail_of[exhausted[0]]})"
                         )
                     for i in exhausted:
                         notify(
                             "failed", index=i, attempt=attempts[i],
-                            detail=detail,
+                            detail=detail_of[i],
                         )
                         results[i] = JobFailure(
-                            error=detail, attempts=attempts[i],
-                            wall_time=wall[i], index=i,
+                            error=detail_of[i], attempts=attempts[i],
+                            wall_time=wall[i], index=i, kind=fail_kind[i],
                         )
                         done[i] = True
                 for i in charged:
                     if not done[i]:
-                        notify(kind, index=i, attempt=attempts[i])
+                        notify(
+                            retry_kind[i], index=i, attempt=attempts[i],
+                            detail=detail_of[i],
+                        )
 
                 pending = [i for i in range(count) if not done[i]]
                 if not pending:
                     break
-                # Crashed executors are unusable; timed-out jobs are
-                # still running in the old workers — either way, start
-                # the next wave on a fresh executor.
+                # Crashed executors are unusable; timed-out, hung or
+                # over-budget jobs are still running in the old workers —
+                # either way, start the next wave on a fresh executor.
                 self._stop_executor(executor)
                 executor = self._make_executor()
                 if crashed:
-                    wave = max(attempts[i] for i in pending)
-                    time.sleep(self.backoff * (2 ** max(0, wave - 1)))
+                    # Capped, jittered, deterministic (seeded) backoff —
+                    # see repro.supervise.retry for why raw exponential
+                    # sleeps are banned here (lint rule RPR303).
+                    delay = session.sleep()
+                    if metrics is not None:
+                        metrics.histogram(
+                            "pool_backoff_seconds", BACKOFF_BUCKETS,
+                            help="crash-recovery backoff sleeps",
+                        ).observe(delay)
         finally:
             self._stop_executor(executor)
             manager.shutdown()

@@ -42,6 +42,7 @@ from repro.core.signature import SignatureConfig
 from repro.errors import ConfigurationError, JobError, SimulationError
 from repro.jobs.keys import SPEC_SCHEMA_VERSION
 from repro.perf.machine import MachineConfig
+from repro.supervise.heartbeat import tick as heartbeat_tick
 from repro.perf.timing import TimingModel
 from repro.sched.affinity import Mapping
 from repro.sched.os_model import SchedulerConfig
@@ -564,7 +565,14 @@ def execute_spec(payload: TMapping[str, Any]) -> Dict[str, Any]:
 
 
 def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
-    """Build and run the simulation one :class:`RunSpec` describes."""
+    """Build and run the simulation one :class:`RunSpec` describes.
+
+    The heartbeat ticks at the phase boundaries (build / run / finish)
+    are no-ops outside a supervised worker; under supervision they let
+    the watchdog tell a *hung* worker from one that is merely between
+    ticker beats during a long build.
+    """
+    heartbeat_tick("build")
     machine = machine_from_dict(spec.machine)
     signature = (
         None if spec.signature is None else SignatureConfig(**spec.signature)
@@ -577,6 +585,7 @@ def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
     )
     injector = _build_injector(spec)
 
+    heartbeat_tick("run")
     if spec.workload.kind == "vm":
         result = _execute_vm(
             spec, machine, signature, scheduler, mapping, injector
@@ -600,6 +609,7 @@ def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
             signature_injector=injector,
         )
 
+    heartbeat_tick("finish")
     outcome = RunOutcome(
         wall_cycles=result.wall_cycles,
         l2_miss_rate=result.l2_miss_rate,

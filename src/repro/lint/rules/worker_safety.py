@@ -14,6 +14,14 @@ API (``Orchestrator.run_spec``/``run_specs``, ``WorkerPool.map``,
 is a ``lambda`` (RPR301) or a name bound to a function/class defined
 inside the enclosing function (RPR302). Parent-side observer callbacks
 (``on_event=``) never cross the boundary and are exempt.
+
+RPR303 guards the *retry* side of worker safety: a computed
+``time.sleep`` inside a loop is hand-rolled backoff — unbounded,
+unjittered, and invisible to the backoff metrics — and must go through
+:class:`repro.supervise.retry.RetryPolicy` instead. Fixed-interval
+polling (``time.sleep(0.05)`` with a literal argument) stays legal, and
+the rule is silent inside ``repro.supervise`` itself, where the policy's
+own sleep lives.
 """
 
 from __future__ import annotations
@@ -216,3 +224,51 @@ def check_local_callable_into_worker(
                             "unpickled in a spawned worker; define it at "
                             "module level",
                         )
+
+
+@register(
+    "RPR303",
+    "bare-sleep-retry-loop",
+    "computed time.sleep backoff inside a retry loop",
+    scope=SCOPE_ALL,
+    rationale=(
+        "A computed time.sleep inside a loop is hand-rolled retry "
+        "backoff: unbounded, unjittered, and invisible to the "
+        "pool_backoff_seconds metrics. Route the delay through "
+        "repro.supervise.retry.RetryPolicy (RetrySession.sleep), which "
+        "caps it and draws deterministic jitter from the seeded RNG."
+    ),
+)
+def check_bare_sleep_retry_loop(module: ModuleContext) -> Iterator[Violation]:
+    """Flag computed ``time.sleep`` calls inside ``while``/``for`` loops.
+
+    A *literal* sleep in a loop is fixed-interval polling and stays
+    legal; a computed one is almost always a grown-by-hand backoff
+    schedule. ``repro.supervise`` is exempt — ``RetrySession.sleep`` is
+    where the one sanctioned computed sleep lives.
+    """
+    if module.in_package("repro.supervise"):
+        return
+    reported: Set[Tuple[int, int]] = set()
+    for loop in ast.walk(module.tree):
+        if not isinstance(loop, (ast.While, ast.For, ast.AsyncFor)):
+            continue
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) != "time.sleep":
+                continue
+            if not node.args or isinstance(node.args[0], ast.Constant):
+                continue
+            # Nested loops are walked by their enclosing loop too;
+            # dedupe so one call yields one violation.
+            spot = (node.lineno, node.col_offset)
+            if spot in reported:
+                continue
+            reported.add(spot)
+            yield _violation(
+                module, node, "RPR303",
+                "computed time.sleep inside a loop is hand-rolled retry "
+                "backoff; use repro.supervise.retry.RetryPolicy "
+                "(RetrySession.sleep) for capped, seeded delays",
+            )

@@ -1,0 +1,80 @@
+"""Worker supervision for the orchestration stack (`repro.supervise`).
+
+`repro.jobs` made the sweep campaign parallel and crash-tolerant;
+`repro.faults` made its failure handling testable. This subpackage
+closes the remaining gap — the *slow-death* failure modes that dominate
+long campaigns at scale:
+
+* :mod:`repro.supervise.heartbeat` — the worker heartbeat protocol:
+  workers tick a shared board around each job phase (and from a
+  background ticker thread), so the supervisor can tell *hung* from
+  merely *slow* and kill wedged workers proactively instead of burning
+  the full per-job timeout;
+* :mod:`repro.supervise.watchdog` — parent-side judgement over the
+  heartbeat evidence: hang detection plus per-worker RSS budgets
+  (runaway memory is caught before the OS OOM killer anonymises it);
+* :mod:`repro.supervise.retry` — :class:`RetryPolicy`, the single home
+  of retry/backoff behaviour: capped exponential with seeded,
+  deterministic decorrelated jitter (lint rule RPR303 keeps ad-hoc
+  ``time.sleep`` retry loops from creeping back in);
+* :mod:`repro.supervise.breaker` — a per-spec-key circuit breaker:
+  after K terminal failures of one content-addressed key, submissions
+  short-circuit to a :class:`~repro.jobs.failures.JobFailure` without
+  occupying a worker; half-open probes are granted after a cool-down
+  measured in orchestration waves (not wall-clock);
+* :mod:`repro.supervise.quarantine` — the breaker's durable memory: a
+  fsynced denylist file of poison specs, consulted on resume, surfacing
+  excluded runs as structured failures in ``SweepResult.failures``;
+* :mod:`repro.supervise.config` — :class:`SupervisionConfig`, the one
+  object callers hand to :class:`~repro.jobs.orchestrator.Orchestrator`
+  (CLI: ``--hang-timeout``, ``--quarantine``, ``--max-retries``).
+
+Design rule, inherited from `docs/robustness.md` and pinned by the
+no-fault baseline test: supervision may change *when workers are
+killed* and *what gets excluded*, but with no faults present the
+results of a supervised sweep are byte-identical to an unsupervised
+one.
+"""
+
+from __future__ import annotations
+
+from repro.supervise.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.supervise.config import SupervisionConfig
+from repro.supervise.heartbeat import (
+    HeartbeatTicker,
+    current_rss_kb,
+    read_beats,
+    simulate_hang,
+    tick,
+)
+from repro.supervise.quarantine import (
+    QUARANTINE_SCHEMA_VERSION,
+    PoisonQuarantine,
+)
+from repro.supervise.retry import JITTER_MODES, RetryPolicy, RetrySession
+from repro.supervise.watchdog import Watchdog, WatchdogVerdict
+
+__all__ = [
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "JITTER_MODES",
+    "QUARANTINE_SCHEMA_VERSION",
+    "CircuitBreaker",
+    "SupervisionConfig",
+    "HeartbeatTicker",
+    "PoisonQuarantine",
+    "RetryPolicy",
+    "RetrySession",
+    "Watchdog",
+    "WatchdogVerdict",
+    "current_rss_kb",
+    "read_beats",
+    "simulate_hang",
+    "tick",
+]

@@ -1,0 +1,164 @@
+"""Per-spec-key circuit breakers for repeated terminal failures.
+
+A sweep that keeps resubmitting the same crashing spec pays for it
+twice: the spec burns a worker (plus its whole retry budget) every
+wave, and every crash of a shared worker pool charges innocent
+bystanders a retry. The breaker stops the bleeding: after ``threshold``
+*terminal* failures of one content-addressed key, further submissions
+of that key **short-circuit** — the orchestrator answers with a
+:class:`~repro.jobs.failures.JobFailure` immediately, without the spec
+ever occupying a worker.
+
+State machine (classic three-state breaker, per key)::
+
+    closed ──(threshold terminal failures)──► open
+    open ──(cooldown waves elapsed)──► half_open   [one probe allowed]
+    half_open ──probe succeeds──► closed (counters reset)
+    half_open ──probe fails──► open (cooldown restarts)
+
+Cool-down is measured in **waves** — orchestration batches, advanced by
+:meth:`CircuitBreaker.advance_wave` — not wall-clock seconds. Campaign
+time is dominated by simulation, not by the clock on the wall: "retry
+the key two batches from now" behaves identically on a laptop and on a
+loaded CI box, and replays deterministically (the breaker makes no
+random and no clock calls at all).
+
+The breaker reports state transitions through an optional observer
+callback (``on_transition(key, old, new)``) — the orchestrator wires it
+to telemetry counters and to the poison-spec quarantine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN", "CircuitBreaker"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Tracks terminal failures per spec key and gates resubmission.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive terminal failures of one key that trip its circuit.
+    cooldown_waves:
+        Orchestration batches an open circuit stays closed to traffic
+        before granting a half-open probe.
+    on_transition:
+        Optional observer ``(key, old_state, new_state)`` called on
+        every state change (after the breaker's own bookkeeping).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_waves: int = 2,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if cooldown_waves < 1:
+            raise ConfigurationError("breaker cooldown_waves must be >= 1")
+        self.threshold = threshold
+        self.cooldown_waves = cooldown_waves
+        self.on_transition = on_transition
+        self.wave = 0
+        self._failures: Dict[str, int] = {}
+        self._state: Dict[str, str] = {}
+        self._opened_wave: Dict[str, int] = {}
+        self._probe_wave: Dict[str, int] = {}
+        self._last_error: Dict[str, str] = {}
+        #: Every transition as ``(wave, key, old, new)`` — test evidence.
+        self.transitions: List[Tuple[int, str, str, str]] = []
+
+    # -- state access --------------------------------------------------
+    def state(self, key: str) -> str:
+        """The key's current circuit state."""
+        return self._state.get(key, STATE_CLOSED)
+
+    def failures(self, key: str) -> int:
+        """Consecutive terminal failures recorded for the key."""
+        return self._failures.get(key, 0)
+
+    def last_error(self, key: str) -> str:
+        """The most recent terminal error recorded for the key."""
+        return self._last_error.get(key, "")
+
+    def open_keys(self) -> List[str]:
+        """Keys whose circuit is currently open (sorted)."""
+        return sorted(
+            k for k, s in self._state.items() if s == STATE_OPEN
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def advance_wave(self) -> int:
+        """Start a new orchestration wave (cool-downs age by one)."""
+        self.wave += 1
+        return self.wave
+
+    def _transition(self, key: str, new: str) -> None:
+        old = self.state(key)
+        if old == new:
+            return
+        self._state[key] = new
+        self.transitions.append((self.wave, key, old, new))
+        if self.on_transition is not None:
+            self.on_transition(key, old, new)
+
+    def allow(self, key: str) -> bool:
+        """Whether a submission of *key* may reach a worker this wave.
+
+        An open circuit whose cool-down has elapsed grants exactly one
+        half-open probe per wave; everything else short-circuits until
+        the probe's outcome is recorded.
+        """
+        state = self.state(key)
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_OPEN:
+            if self.wave - self._opened_wave[key] >= self.cooldown_waves:
+                self._transition(key, STATE_HALF_OPEN)
+                self._probe_wave[key] = self.wave
+                return True
+            return False
+        # half-open: one probe per wave — a second submission in the
+        # same batch (or while the probe is unresolved) short-circuits.
+        if self._probe_wave.get(key) == self.wave:
+            return False
+        self._probe_wave[key] = self.wave
+        return True
+
+    def record_success(self, key: str) -> None:
+        """A submission of *key* completed: close and reset its circuit."""
+        self._failures.pop(key, None)
+        self._last_error.pop(key, None)
+        self._opened_wave.pop(key, None)
+        self._probe_wave.pop(key, None)
+        self._transition(key, STATE_CLOSED)
+        self._state.pop(key, None)
+
+    def record_failure(self, key: str, error: str = "") -> bool:
+        """Record one *terminal* failure; True when this trips the circuit.
+
+        A failed half-open probe re-opens immediately (no need to climb
+        back to the threshold — the circuit already proved unhealthy).
+        """
+        self._failures[key] = self._failures.get(key, 0) + 1
+        if error:
+            self._last_error[key] = error
+        state = self.state(key)
+        if state == STATE_HALF_OPEN or (
+            state == STATE_CLOSED and self._failures[key] >= self.threshold
+        ):
+            self._opened_wave[key] = self.wave
+            self._probe_wave.pop(key, None)
+            self._transition(key, STATE_OPEN)
+            return True
+        return False

@@ -1,0 +1,100 @@
+"""One bundle of supervision policy for the orchestration stack.
+
+:class:`SupervisionConfig` is how callers (the CLI, experiment drivers,
+tests) switch the supervision subsystem on: it carries the heartbeat /
+watchdog knobs consumed by :class:`~repro.jobs.pool.WorkerPool`, the
+retry policy, and the breaker / quarantine knobs consumed by
+:class:`~repro.jobs.orchestrator.Orchestrator`. Everything defaults to
+*off* — an orchestrator built without a config (or with the default
+one) runs the exact pre-supervision code paths, and the no-fault
+baseline test pins that supervision **enabled** still produces
+byte-identical outcomes (supervision may only change *when workers are
+killed*, never *what results are*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.supervise.breaker import CircuitBreaker
+from repro.supervise.quarantine import PoisonQuarantine
+from repro.supervise.retry import RetryPolicy
+from repro.supervise.watchdog import Watchdog
+
+__all__ = ["SupervisionConfig"]
+
+#: Default worker heartbeat period (seconds) when supervision is armed.
+DEFAULT_HEARTBEAT_INTERVAL = 0.2
+
+
+@dataclass
+class SupervisionConfig:
+    """Everything the supervision subsystem needs, in one object.
+
+    Parameters
+    ----------
+    hang_timeout:
+        Kill a started job after this many seconds of heartbeat silence
+        (``None`` disables hang detection).
+    heartbeat_interval:
+        Worker ticker period; must be comfortably under ``hang_timeout``
+        (a ticker that beats slower than the grace period would declare
+        every healthy job hung).
+    max_rss_mb:
+        Per-worker RSS high-water budget (``None`` disables).
+    retry:
+        The :class:`~repro.supervise.retry.RetryPolicy` for
+        crash-recovery backoff; defaults to the policy's own defaults
+        (capped, decorrelated jitter, seed 0).
+    breaker_threshold / breaker_cooldown_waves:
+        Circuit-breaker trip count and half-open cool-down (in
+        orchestration waves). ``breaker_threshold=None`` disables the
+        breaker entirely.
+    quarantine:
+        Optional path of the persisted poison-spec denylist (consulted
+        before submission, appended when a circuit trips).
+    """
+
+    hang_timeout: Optional[float] = None
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    max_rss_mb: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: Optional[int] = 3
+    breaker_cooldown_waves: int = 2
+    quarantine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
+        if (
+            self.hang_timeout is not None
+            and self.hang_timeout <= self.heartbeat_interval
+        ):
+            raise ConfigurationError(
+                "hang_timeout must exceed heartbeat_interval "
+                f"({self.hang_timeout} <= {self.heartbeat_interval})"
+            )
+
+    def watchdog(self) -> Watchdog:
+        """The parent-side watchdog this config describes."""
+        return Watchdog(
+            hang_timeout=self.hang_timeout, max_rss_mb=self.max_rss_mb
+        )
+
+    def make_breaker(self, on_transition=None) -> Optional[CircuitBreaker]:
+        """A fresh circuit breaker (``None`` when disabled)."""
+        if self.breaker_threshold is None:
+            return None
+        return CircuitBreaker(
+            threshold=self.breaker_threshold,
+            cooldown_waves=self.breaker_cooldown_waves,
+            on_transition=on_transition,
+        )
+
+    def make_quarantine(self) -> Optional[PoisonQuarantine]:
+        """The persisted quarantine (``None`` when no path configured)."""
+        if self.quarantine is None:
+            return None
+        return PoisonQuarantine(self.quarantine)

@@ -1,0 +1,167 @@
+"""The worker heartbeat protocol: liveness ticks on a shared board.
+
+A per-job wall-clock timeout answers "did this job finish in time?" —
+but only after burning the *entire* budget. Heartbeats answer the
+cheaper question "is this job still making progress?" early: workers
+tick a shared timestamp when a job starts, around each execution phase
+(:func:`repro.jobs.spec.execute_spec` ticks its build/run/finish
+boundaries), and from a background ticker thread while the job body
+computes. The supervising parent reads the board and distinguishes
+
+* **slow** — ticks keep arriving; leave the job alone (only its own
+  wall-clock budget can end it), from
+* **hung** — no tick within the hang grace period; the worker is wedged
+  (deadlocked, stopped, stuck in a non-yielding syscall) and is killed
+  proactively instead of waiting out the full per-job timeout.
+
+The board is a ``multiprocessing.Manager().dict()`` proxy shared by the
+pool and its spawn-started workers; each running job owns one slot keyed
+``(wave, index)`` holding a plain ``(phase, rss_kb, timestamp)`` tuple
+(wall timestamps — monotonic clocks are not comparable across
+processes). Ticks also report the worker's resident-set high-water mark
+so the parent-side resource watchdog rides the same channel.
+
+Everything here is worker-process-global state guarded by a lock;
+:func:`bind`/:func:`unbind` scope one job's slot, and :func:`tick` is a
+cheap no-op when no board is bound — parents that run without
+supervision never touch any of it.
+
+``simulate_hang()`` exists for the chaos harness: it suspends all
+future ticks from this process (including the ticker thread), emulating
+a worker whose runtime itself is wedged — which is exactly the signal
+the supervisor must catch.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "Beat",
+    "bind",
+    "unbind",
+    "tick",
+    "current_rss_kb",
+    "simulate_hang",
+    "clear_hang",
+    "HeartbeatTicker",
+    "read_beats",
+]
+
+#: One board entry: (phase label, worker RSS high-water in KB, wall time).
+Beat = Tuple[str, int, float]
+
+_lock = threading.Lock()
+_board: Optional[Any] = None  # Manager dict proxy (or any MutableMapping)
+_slot: Optional[Tuple[int, int]] = None
+_suspended = threading.Event()
+
+
+def current_rss_kb() -> int:
+    """This process's resident-set high-water mark, in KB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalised to KB. It is a *high-water* mark — it never decreases —
+    which is the conservative reading a memory watchdog wants: a worker
+    that ballooned once is killed and replaced by a fresh process rather
+    than trusted to have shrunk.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def bind(board: Any, slot: Tuple[int, int]) -> None:
+    """Attach this worker process to *slot* on *board* (one job's scope)."""
+    global _board, _slot
+    with _lock:
+        _board = board
+        _slot = slot
+
+
+def unbind() -> None:
+    """Detach from the board (ticks become no-ops again)."""
+    global _board, _slot
+    with _lock:
+        _board = None
+        _slot = None
+
+
+def tick(phase: str = "run") -> bool:
+    """Post one heartbeat for the bound slot; True if a beat was sent.
+
+    No-op (False) when unbound, when the process is simulating a hang,
+    or when the board proxy is unreachable (the parent killed the
+    manager mid-job — the worker is about to die anyway and must not
+    crash with a confusing proxy traceback first).
+    """
+    with _lock:
+        board, slot = _board, _slot
+    if board is None or slot is None or _suspended.is_set():
+        return False
+    try:
+        board[slot] = (phase, current_rss_kb(), time.time())
+    except Exception:  # repro: noqa[RPR203] — dead proxy == beat not sent
+        return False
+    return True
+
+
+def simulate_hang() -> None:
+    """Suspend all future ticks from this process (chaos harness hook).
+
+    Emulates a wedged worker runtime: the job body may still be
+    sleeping, but no heartbeat — not even the ticker thread's — reaches
+    the board, so the supervisor must declare the worker hung.
+    """
+    _suspended.set()
+
+
+def clear_hang() -> None:
+    """Re-enable ticks (test teardown in in-process scenarios)."""
+    _suspended.clear()
+
+
+class HeartbeatTicker:
+    """Daemon thread ticking the bound slot every *interval* seconds.
+
+    Started by the pool's worker-side wrapper for the duration of one
+    job: coarse-grained jobs that never cross an instrumented phase
+    boundary still prove liveness. ``stop()`` is idempotent and always
+    called before the job's result is returned.
+    """
+
+    def __init__(self, interval: float):
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-heartbeat", daemon=True
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            tick("run")
+
+    def start(self) -> None:
+        """Begin ticking in the background."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the ticker (does not join — the thread is a daemon)."""
+        self._stop.set()
+
+
+def read_beats(board: Any) -> Dict[Tuple[int, int], Beat]:
+    """Parent-side snapshot of the board; empty on any proxy failure.
+
+    A dead manager (mid-teardown race) must read as "no information",
+    never as an exception inside the supervision loop.
+    """
+    try:
+        return dict(board)
+    except Exception:  # repro: noqa[RPR203] — dead proxy == empty board
+        return {}

@@ -1,0 +1,146 @@
+"""Persisted poison-spec quarantine: a durable denylist of spec keys.
+
+A *poison* spec fails terminally every time it runs — a pathological
+parameter combination that crashes the simulator, hangs a worker, or
+blows the memory budget deterministically. The circuit breaker stops it
+within one process, but a resumed campaign (new process, same journal)
+would innocently resubmit it and crash the pool every wave all over
+again. The quarantine is the breaker's durable memory: when a key's
+circuit trips, the orchestrator writes it here, and every later run —
+including resume-after-crash — consults the file *before* submitting.
+
+Format mirrors :class:`~repro.jobs.journal.RunJournal` (the same
+durability rules, machine-checked by RPR2xx): one JSON line per key,
+written with a single ``write``, flushed and fsynced before the caller
+proceeds::
+
+    {"version": 1, "key": "<sha256>", "reason": "...", "failures": N}\n
+
+Loading tolerates a torn tail and garbled lines (counted in
+:attr:`PoisonQuarantine.corrupt_lines`, never raised), duplicate keys
+are benign (last record wins), and a quarantined spec surfaces as a
+structured :class:`~repro.jobs.failures.JobFailure` with
+``kind='quarantined'`` — flowing into ``SweepResult.failures`` exactly
+like PR 2's degradation events, so excluded runs are *named* in the
+final report rather than silently rerun or silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["QUARANTINE_SCHEMA_VERSION", "PoisonQuarantine"]
+
+#: Version of the quarantine line schema; bump to orphan old files.
+QUARANTINE_SCHEMA_VERSION = 1
+
+
+class PoisonQuarantine:
+    """Durable key → reason denylist backing the circuit breaker.
+
+    Parameters
+    ----------
+    path:
+        Quarantine file; created (with parents) on the first add. An
+        existing directory at this path is rejected immediately.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.exists() and self.path.is_dir():
+            raise ConfigurationError(
+                f"quarantine path {self.path} is a directory"
+            )
+        self.corrupt_lines = 0
+        self._records: Dict[str, Dict[str, Any]] = self._load()
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        records: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        try:
+            text = self.path.read_text(encoding="ascii")
+        except FileNotFoundError:
+            return records
+        except (OSError, UnicodeDecodeError):
+            self.corrupt_lines += 1
+            return records
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record["version"] != QUARANTINE_SCHEMA_VERSION:
+                    raise ValueError("quarantine schema mismatch")
+                key = record["key"]
+                if not isinstance(key, str) or not key:
+                    raise ValueError("malformed quarantine record")
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            records[key] = record
+        return records
+
+    def reload(self) -> None:
+        """Re-read the file (another process may have quarantined keys)."""
+        self._records = self._load()
+
+    def add(self, key: str, reason: str, failures: int = 0) -> None:
+        """Durably quarantine *key* (idempotent; fsynced before return)."""
+        record = {
+            "version": QUARANTINE_SCHEMA_VERSION,
+            "key": key,
+            "reason": str(reason),
+            "failures": int(failures),
+        }
+        self._records[key] = record
+        # Canonical one-line JSON (sorted keys, no whitespace) — the same
+        # shape as repro.jobs.keys.canonical_json, inlined so the
+        # supervise package never imports repro.jobs (which imports it).
+        line = (
+            json.dumps(
+                record, sort_keys=True, separators=(",", ":"),
+                allow_nan=False,
+            )
+            + "\n"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail_is_torn():
+            line = "\n" + line
+        with open(self.path, "a", encoding="ascii") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _tail_is_torn(self) -> bool:
+        """True when the file is non-empty and lacks a final newline."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False
+
+    def reason(self, key: str) -> Optional[str]:
+        """Why *key* is quarantined (``None`` if it is not)."""
+        record = self._records.get(key)
+        return None if record is None else record.get("reason", "")
+
+    def keys(self):
+        """The quarantined keys (sorted)."""
+        return sorted(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"PoisonQuarantine({str(self.path)!r}, {len(self._records)} key(s))"
+        )

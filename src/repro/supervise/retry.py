@@ -1,0 +1,140 @@
+"""Deterministic retry policies: capped backoff with seeded jitter.
+
+The worker pool's original crash-recovery sleep was
+``backoff * 2**(wave-1)`` — unbounded (a deep retry chain sleeps for
+minutes) and unjittered (every worker of a crashed wave retries at the
+same instant, re-creating the thundering herd that killed the wave).
+:class:`RetryPolicy` replaces it with the standard fix — exponential
+backoff, capped, with *decorrelated jitter* — while keeping the repo's
+determinism contract: every random draw comes from a stream derived
+from the policy's seed via :func:`repro.utils.rng.derive_rng`, so the
+exact sleep sequence of a retry chain is a pure function of
+``(seed, jitter mode)`` and pins in tests.
+
+A :class:`RetryPolicy` is immutable configuration; each retry *chain*
+(one :meth:`~repro.jobs.pool.WorkerPool.run` call, one flaky resource)
+opens its own :class:`RetrySession`, which owns the mutable state (the
+previous delay, the private RNG). Sessions with the same policy always
+produce the same delay sequence.
+
+Jitter modes
+------------
+``none``
+    Classic capped exponential: ``min(cap, base * 2**(attempt-1))``.
+``equal``
+    Half deterministic, half uniform: ``d/2 + uniform(0, d/2)`` of the
+    capped exponential ``d`` — bounded below by ``d/2``.
+``decorrelated``
+    AWS-style decorrelated jitter: ``min(cap, uniform(base, prev*3))``
+    — successive delays depend on the previous *drawn* delay, which
+    spreads a herd fastest (the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["JITTER_MODES", "RetryPolicy", "RetrySession"]
+
+#: Recognised jitter strategies.
+JITTER_MODES = ("none", "equal", "decorrelated")
+
+#: Default ceiling on any single retry sleep (seconds).
+DEFAULT_CAP = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable retry/backoff configuration (sessions do the drawing).
+
+    Parameters
+    ----------
+    base:
+        First-retry delay in seconds (must be > 0).
+    cap:
+        Hard ceiling on any single delay (must be >= base).
+    jitter:
+        One of :data:`JITTER_MODES`; default ``'decorrelated'``.
+    seed:
+        Root of the jitter stream — same seed, same delay sequence.
+    """
+
+    base: float = 0.5
+    cap: float = DEFAULT_CAP
+    jitter: str = "decorrelated"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError("retry base must be > 0")
+        if self.cap < self.base:
+            raise ConfigurationError("retry cap must be >= base")
+        if self.jitter not in JITTER_MODES:
+            raise ConfigurationError(
+                f"unknown jitter mode {self.jitter!r}; expected {JITTER_MODES}"
+            )
+
+    def session(self) -> "RetrySession":
+        """Open a fresh, deterministic retry chain."""
+        return RetrySession(self)
+
+    def preview(self, count: int) -> List[float]:
+        """The first *count* delays a fresh session would produce."""
+        session = self.session()
+        return [session.next_delay() for _ in range(count)]
+
+
+class RetrySession:
+    """One retry chain: mutable state over an immutable policy.
+
+    Every session derives a private RNG from the policy seed, so two
+    sessions of the same policy replay the identical delay sequence —
+    the regression test pins it float-for-float.
+    """
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.attempt = 0
+        self._prev = policy.base
+        self._rng = derive_rng(policy.seed, "supervise", "retry", policy.jitter)
+
+    def next_delay(self) -> float:
+        """The delay (seconds) to wait before the next retry attempt."""
+        policy = self.policy
+        self.attempt += 1
+        if policy.jitter == "none":
+            delay = policy.base * (2 ** (self.attempt - 1))
+        elif policy.jitter == "equal":
+            raw = min(policy.cap, policy.base * (2 ** (self.attempt - 1)))
+            delay = raw / 2.0 + float(self._rng.uniform(0.0, raw / 2.0))
+        else:  # decorrelated
+            delay = float(self._rng.uniform(policy.base, self._prev * 3.0))
+        delay = min(policy.cap, delay)
+        self._prev = delay
+        return delay
+
+    def sleep(self) -> float:
+        """Draw the next delay, sleep it, and return it.
+
+        This is the **only** place the supervision subsystem calls
+        ``time.sleep`` in a retry loop — lint rule RPR303 flags computed
+        backoff sleeps everywhere else so retry behaviour stays
+        centralised (and therefore capped, jittered and deterministic).
+        """
+        import time
+
+        delay = self.next_delay()
+        time.sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        """Forget the chain's progress (next delay starts over)."""
+        self.attempt = 0
+        self._prev = self.policy.base
+        self._rng = derive_rng(
+            self.policy.seed, "supervise", "retry", self.policy.jitter
+        )

@@ -1,0 +1,159 @@
+"""Parent-side watchdog: hang detection and per-worker resource budgets.
+
+The :class:`Watchdog` is pure policy — it owns no processes and no
+clocks. The worker pool feeds it what it observed (worker-side start
+stamps, the heartbeat board snapshot, "now") and gets back structured
+verdicts; the pool then does the killing. Keeping the judgement free of
+side effects makes every decision unit-testable with fabricated beats.
+
+Two independent checks per running job:
+
+* **hang** — the age of the job's most recent heartbeat (or of its
+  start, if it never ticked) exceeds ``hang_timeout``. A *slow* job
+  keeps ticking and is never flagged; only a job whose worker stopped
+  proving liveness is. This fires well before the per-job wall-clock
+  timeout, which remains the backstop for slow-but-alive jobs.
+* **over_budget** — the worker's self-reported RSS high-water mark
+  (carried on every heartbeat) exceeds ``max_rss_mb``. A runaway
+  allocation is caught while the job still ticks, long before the OS
+  OOM killer turns it into an anonymous ``BrokenProcessPool``.
+
+Verdicts carry a machine-readable ``kind`` (``'hung'`` /
+``'over_budget'``) that flows into job events, `JobFailure.kind`, the
+circuit breaker, and ultimately the quarantine's reason strings —
+graceful-degradation consumers see *why* a worker was put down, not
+just that it died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.supervise.heartbeat import Beat
+
+__all__ = ["WatchdogVerdict", "Watchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """One condemned job: which, why, and the evidence."""
+
+    index: int
+    kind: str  # 'hung' | 'over_budget'
+    detail: str
+
+
+class Watchdog:
+    """Judges running jobs from heartbeat evidence.
+
+    Parameters
+    ----------
+    hang_timeout:
+        Seconds of heartbeat silence after which a started job is
+        declared hung (``None`` disables hang detection).
+    max_rss_mb:
+        Worker RSS high-water budget in MB (``None`` disables the
+        memory check).
+    """
+
+    def __init__(
+        self,
+        hang_timeout: Optional[float] = None,
+        max_rss_mb: Optional[float] = None,
+    ):
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ConfigurationError("hang_timeout must be > 0")
+        if max_rss_mb is not None and max_rss_mb <= 0:
+            raise ConfigurationError("max_rss_mb must be > 0")
+        self.hang_timeout = hang_timeout
+        self.max_rss_mb = max_rss_mb
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any check is armed (the pool skips the board if not)."""
+        return self.hang_timeout is not None or self.max_rss_mb is not None
+
+    def last_seen(
+        self,
+        wave: int,
+        index: int,
+        starts: Mapping[int, float],
+        beats: Mapping[Tuple[int, int], Beat],
+    ) -> Optional[float]:
+        """When job *index* last proved liveness (start or latest beat)."""
+        stamp = starts.get(index)
+        beat = beats.get((wave, index))
+        if beat is not None:
+            stamp = beat[2] if stamp is None else max(stamp, beat[2])
+        return stamp
+
+    def max_heartbeat_age(
+        self,
+        wave: int,
+        running: Sequence[int],
+        starts: Mapping[int, float],
+        beats: Mapping[Tuple[int, int], Beat],
+        now: float,
+    ) -> float:
+        """Oldest heartbeat age among started *running* jobs (gauge feed)."""
+        ages = [
+            now - stamp
+            for stamp in (
+                self.last_seen(wave, i, starts, beats) for i in running
+            )
+            if stamp is not None
+        ]
+        return max(ages, default=0.0)
+
+    def inspect(
+        self,
+        wave: int,
+        running: Sequence[int],
+        starts: Mapping[int, float],
+        beats: Mapping[Tuple[int, int], Beat],
+        now: float,
+    ) -> List[WatchdogVerdict]:
+        """Condemn any started job that is hung or over its RSS budget.
+
+        Jobs without a start record are still queued — a queued job
+        cannot be hung, so it is never judged.
+        """
+        verdicts: List[WatchdogVerdict] = []
+        for index in running:
+            if index not in starts:
+                continue
+            beat = beats.get((wave, index))
+            if (
+                self.max_rss_mb is not None
+                and beat is not None
+                and beat[1] > self.max_rss_mb * 1024.0
+            ):
+                verdicts.append(
+                    WatchdogVerdict(
+                        index=index,
+                        kind="over_budget",
+                        detail=(
+                            f"worker RSS {beat[1] / 1024.0:.0f} MB exceeded "
+                            f"budget {self.max_rss_mb:g} MB"
+                        ),
+                    )
+                )
+                continue
+            if self.hang_timeout is None:
+                continue
+            stamp = self.last_seen(wave, index, starts, beats)
+            age = now - stamp if stamp is not None else 0.0
+            if age >= self.hang_timeout:
+                verdicts.append(
+                    WatchdogVerdict(
+                        index=index,
+                        kind="hung",
+                        detail=(
+                            f"no heartbeat for {age:.2f}s "
+                            f"(hang timeout {self.hang_timeout:g}s)"
+                        ),
+                    )
+                )
+        return verdicts

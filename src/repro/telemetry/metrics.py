@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "DURATION_BUCKETS",
+    "BACKOFF_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -36,6 +37,11 @@ __all__ = [
 DURATION_BUCKETS = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
 )
+
+#: Bucket boundaries (seconds) for retry/backoff sleep histograms — the
+#: interesting range runs from sub-second jitter up to the RetryPolicy
+#: cap (30 s by default), with one bucket past it for raised caps.
+BACKOFF_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
 
 
 class Counter:

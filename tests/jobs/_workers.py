@@ -8,6 +8,8 @@ importable module — not in a test function and not in ``__main__``.
 import os
 import time
 
+from repro.supervise.heartbeat import simulate_hang, tick
+
 
 def square(x):
     """Return ``x * x`` (the trivial happy-path job)."""
@@ -58,3 +60,60 @@ def sleep_forever(x):
     """Block far beyond any test timeout (for timeout handling tests)."""
     time.sleep(3600)
     return x
+
+
+def hang_forever(x):
+    """Go heartbeat-silent, then block (hung-job watchdog tests).
+
+    ``simulate_hang`` suspends every tick from this process — including
+    the pool's background ticker thread — so the supervisor observes
+    pure silence, exactly like a wedged runtime.
+    """
+    simulate_hang()
+    time.sleep(3600)
+    return x
+
+
+def hang_until_marker(payload):
+    """Hang (heartbeat-silent) once, then succeed on the retry attempt.
+
+    *payload* is ``(marker_path, value)``. Mirrors
+    :func:`crash_until_marker`: the marker is written *before* the hang,
+    so after the watchdog kills the wedged worker the fresh attempt sees
+    the marker and completes cleanly.
+    """
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="ascii") as handle:
+            handle.write("hung once\n")
+        simulate_hang()
+        time.sleep(3600)
+    return value
+
+
+def slow_but_alive(payload):
+    """Sleep past the hang grace while the ticker keeps beating.
+
+    *payload* is ``(seconds, value)``. The job is *slow* — far slower
+    than the hang timeout the tests arm — but its heartbeats never stop,
+    so the watchdog must leave it alone.
+    """
+    seconds, value = payload
+    time.sleep(seconds)
+    return value
+
+
+def balloon_rss(payload):
+    """Allocate-and-touch ballast, post a beat, hold, then return.
+
+    *payload* is ``(ballast_mb, hold_seconds, value)``. ``bytearray``
+    zero-fills, so the RSS high-water mark really balloons; the
+    immediate tick reports it and the hold gives the parent time to
+    react (RSS-budget watchdog tests).
+    """
+    ballast_mb, hold_seconds, value = payload
+    ballast = bytearray(int(ballast_mb * 1024 * 1024))
+    tick("ballast")
+    time.sleep(hold_seconds)
+    del ballast
+    return value

@@ -150,3 +150,30 @@ def test_distinct_keys_do_not_collide(tmp_path):
     cache.put(other_key, SPEC, {"wall_cycles": 456.0, "tasks": []})
     assert cache.get(KEY)["wall_cycles"] == 123.0
     assert cache.get(other_key)["wall_cycles"] == 456.0
+
+
+def test_repeated_corruption_keeps_every_piece_of_evidence(tmp_path):
+    """One key corrupted thrice: three distinct ``.corrupt`` files.
+
+    Regression: ``os.replace`` onto a fixed ``.corrupt`` name silently
+    overwrote the earlier evidence when the same entry was recomputed
+    and corrupted again. The quarantine now probes ``.corrupt``,
+    ``.corrupt.1``, ``.corrupt.2``, … so nothing is lost.
+    """
+    cache = ResultCache(tmp_path)
+    for rounds in range(3):
+        cache.put(KEY, SPEC, OUTCOME)
+        cache.path_for(KEY).write_bytes(f"garbage {rounds}".encode())
+        assert cache.get(KEY) is None
+
+    parent = cache.path_for(KEY).parent
+    evidence = sorted(p.name for p in parent.glob("*.corrupt*"))
+    assert evidence == [
+        f"{KEY}.json.corrupt",
+        f"{KEY}.json.corrupt.1",
+        f"{KEY}.json.corrupt.2",
+    ]
+    assert cache.stats.quarantined == 3
+    # Each file still holds the bytes of its own corruption round.
+    assert (parent / f"{KEY}.json.corrupt").read_bytes() == b"garbage 0"
+    assert (parent / f"{KEY}.json.corrupt.2").read_bytes() == b"garbage 2"

@@ -87,6 +87,25 @@ def test_duplicate_keys_last_record_wins(tmp_path):
     assert journal.load()["k"]["wall_cycles"] == 9.0
 
 
+def test_duplicate_key_replay_survives_a_torn_tail_between_them(tmp_path):
+    """Crash-rewrite-resume: the re-recorded outcome wins on replay.
+
+    The sequence a crashed-and-resumed sweep actually produces — record,
+    torn append, record the same key again — must replay to the *last*
+    complete record, with the torn line counted and isolated.
+    """
+    path = tmp_path / "sweep.journal"
+    journal = RunJournal(path)
+    journal.record("k", OUTCOME)
+    with open(path, "a", encoding="ascii") as handle:
+        handle.write('{"version": 1, "key": "k", "outco')  # crash mid-write
+    resumed = RunJournal(path)
+    resumed.record("k", dict(OUTCOME, wall_cycles=7.0))
+    replayed = RunJournal(path)
+    assert replayed.load()["k"]["wall_cycles"] == 7.0
+    assert replayed.corrupt_lines == 1
+
+
 def test_resume_executes_only_unfinished_specs(tmp_path):
     """The acceptance pin: a resumed batch re-runs exactly the misses."""
     journal_path = tmp_path / "sweep.journal"

@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import ConfigurationError, JobError
 from repro.jobs import JobFailure, WorkerPool
+from repro.supervise.retry import RetryPolicy
 from tests.jobs import _workers
 
 
@@ -106,3 +107,38 @@ def test_keep_going_survives_exhausted_crash_budget():
     assert isinstance(results[0], JobFailure)
     assert results[0].attempts == 2  # initial attempt + one retry
     assert "crash" in results[0].error
+    assert results[0].kind == "crash"
+
+
+def test_crash_backoff_is_capped_jittered_and_pinned(monkeypatch):
+    """Regression for the old ``backoff * 2**(wave-1)`` schedule.
+
+    The crash-recovery sleeps must be exactly what the pool's
+    ``RetryPolicy`` session draws — capped, jittered, and a pure
+    function of the seed — pinned here float-for-float against
+    ``preview``. (The parent's ``time.sleep`` is stubbed; worker
+    processes are fresh interpreters and don't see the patch.)
+    """
+    import time as time_module
+
+    slept = []
+    monkeypatch.setattr(time_module, "sleep", slept.append)
+    pool = WorkerPool(jobs=1, retries=3, backoff=0.01)
+    results = pool.run(_workers.always_crash, [0], keep_going=True)
+    assert isinstance(results[0], JobFailure)
+    assert results[0].attempts == 4
+    # One backoff sleep per crashed-and-retried wave.
+    assert slept[:3] == RetryPolicy(base=0.01).preview(3)
+    assert all(delay <= RetryPolicy(base=0.01).cap for delay in slept[:3])
+
+
+def test_explicit_retry_policy_overrides_backoff_base(monkeypatch):
+    """A caller-supplied policy (different seed) drives the sleeps."""
+    import time as time_module
+
+    slept = []
+    monkeypatch.setattr(time_module, "sleep", slept.append)
+    policy = RetryPolicy(base=0.02, seed=9)
+    pool = WorkerPool(jobs=1, retries=1, backoff=0.5, retry_policy=policy)
+    pool.run(_workers.always_crash, [0], keep_going=True)
+    assert slept[:1] == policy.preview(1)

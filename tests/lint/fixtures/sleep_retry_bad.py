@@ -1,0 +1,21 @@
+"""Fixture: hand-rolled backoff loops RPR303 must flag."""
+
+import time
+
+
+def fetch_with_doubling(fetch, attempts):
+    """Classic unbounded exponential backoff — the pattern RPR303 bans."""
+    delay = 0.1
+    for _ in range(attempts):
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(delay)
+            delay = delay * 2
+    raise OSError("gave up")
+
+
+def wait_for_marker(path, backoff=0.05):
+    """Computed sleep in a while loop is backoff too."""
+    while not path.exists():
+        time.sleep(backoff * 3)

@@ -1,0 +1,27 @@
+"""Fixture: sleep shapes RPR303 must accept."""
+
+import time
+
+from repro.supervise.retry import RetryPolicy
+
+
+def poll_until(done):
+    """Fixed-interval polling: a literal sleep in a loop is legal."""
+    while not done():
+        time.sleep(0.05)
+
+
+def settle(grace_seconds):
+    """A computed sleep *outside* any loop is not a retry schedule."""
+    time.sleep(grace_seconds)
+
+
+def fetch_with_policy(fetch, attempts):
+    """The sanctioned shape: delays come from a RetrySession."""
+    session = RetryPolicy(base=0.1).session()
+    for _ in range(attempts):
+        try:
+            return fetch()
+        except OSError:
+            session.sleep()
+    raise OSError("gave up")

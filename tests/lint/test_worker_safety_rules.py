@@ -17,3 +17,22 @@ def test_worker_fixture_flags_lambdas_and_locals(lint_fixture):
 def test_worker_negative_fixture_is_clean(lint_fixture):
     """Observer callbacks, parent-side calls, and sort keys are legal."""
     assert lint_fixture("worker_ok.py", module=None) == []
+
+
+def test_sleep_retry_fixture_flags_hand_rolled_backoff(lint_fixture):
+    violations = lint_fixture("sleep_retry_bad.py", module=None)
+    assert codes_of(violations) == ["RPR303", "RPR303"]
+    assert all("RetryPolicy" in v.message for v in violations)
+
+
+def test_sleep_retry_negative_fixture_is_clean(lint_fixture):
+    """Literal polling, one-shot sleeps, and RetrySession are legal."""
+    assert lint_fixture("sleep_retry_ok.py", module=None) == []
+
+
+def test_sleep_rule_is_silent_inside_supervise(lint_fixture):
+    """RetrySession.sleep's own home package is exempt by design."""
+    assert (
+        lint_fixture("sleep_retry_bad.py", module="repro.supervise.retry")
+        == []
+    )

@@ -1,0 +1,139 @@
+"""Circuit-breaker state machine: trip, cool down in waves, probe.
+
+Everything here is deterministic by construction — the breaker makes no
+clock and no RNG calls, so the whole state machine is driven by
+``advance_wave`` and the recorded outcomes.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.supervise.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(cooldown_waves=0)
+
+
+def test_trips_exactly_at_threshold():
+    breaker = CircuitBreaker(threshold=3)
+    assert breaker.record_failure("k", error="boom 1") is False
+    assert breaker.record_failure("k", error="boom 2") is False
+    assert breaker.state("k") == STATE_CLOSED
+    assert breaker.allow("k")
+    assert breaker.record_failure("k", error="boom 3") is True
+    assert breaker.state("k") == STATE_OPEN
+    assert not breaker.allow("k")
+    assert breaker.failures("k") == 3
+    assert breaker.last_error("k") == "boom 3"
+    assert breaker.open_keys() == ["k"]
+
+
+def test_keys_are_independent():
+    breaker = CircuitBreaker(threshold=1)
+    breaker.record_failure("bad")
+    assert not breaker.allow("bad")
+    assert breaker.allow("good")
+    assert breaker.state("good") == STATE_CLOSED
+
+
+def test_cooldown_is_measured_in_waves():
+    breaker = CircuitBreaker(threshold=1, cooldown_waves=2)
+    breaker.advance_wave()  # wave 1
+    breaker.record_failure("k")
+    breaker.advance_wave()  # wave 2: 1 wave elapsed, still cooling
+    assert not breaker.allow("k")
+    assert breaker.state("k") == STATE_OPEN
+    breaker.advance_wave()  # wave 3: cool-down elapsed
+    assert breaker.allow("k")  # the half-open probe
+    assert breaker.state("k") == STATE_HALF_OPEN
+
+
+def test_half_open_grants_one_probe_per_wave():
+    breaker = CircuitBreaker(threshold=1, cooldown_waves=1)
+    breaker.advance_wave()
+    breaker.record_failure("k")
+    breaker.advance_wave()
+    assert breaker.allow("k")       # the probe
+    assert not breaker.allow("k")   # same wave: short-circuit
+    breaker.advance_wave()
+    assert breaker.allow("k")       # probe unresolved, new wave: one more
+
+
+def test_successful_probe_closes_and_resets():
+    breaker = CircuitBreaker(threshold=2, cooldown_waves=1)
+    breaker.advance_wave()
+    breaker.record_failure("k", error="a")
+    breaker.record_failure("k", error="b")
+    breaker.advance_wave()
+    breaker.advance_wave()
+    assert breaker.allow("k")
+    breaker.record_success("k")
+    assert breaker.state("k") == STATE_CLOSED
+    assert breaker.failures("k") == 0
+    assert breaker.last_error("k") == ""
+    # The slate really is clean: tripping again needs the full threshold.
+    assert breaker.record_failure("k") is False
+
+
+def test_failed_probe_reopens_immediately():
+    breaker = CircuitBreaker(threshold=3, cooldown_waves=1)
+    breaker.advance_wave()
+    for _ in range(3):
+        breaker.record_failure("k")
+    breaker.advance_wave()
+    breaker.advance_wave()
+    assert breaker.allow("k")  # half-open probe
+    # One failure re-opens — no climbing back to the threshold.
+    assert breaker.record_failure("k") is True
+    assert breaker.state("k") == STATE_OPEN
+    assert not breaker.allow("k")
+
+
+def test_transitions_are_recorded_and_observed():
+    seen = []
+    breaker = CircuitBreaker(
+        threshold=1, cooldown_waves=1,
+        on_transition=lambda key, old, new: seen.append((key, old, new)),
+    )
+    breaker.advance_wave()
+    breaker.record_failure("k")
+    breaker.advance_wave()
+    breaker.advance_wave()
+    breaker.allow("k")
+    breaker.record_success("k")
+    assert seen == [
+        ("k", STATE_CLOSED, STATE_OPEN),
+        ("k", STATE_OPEN, STATE_HALF_OPEN),
+        ("k", STATE_HALF_OPEN, STATE_CLOSED),
+    ]
+    assert [(old, new) for _, _, old, new in breaker.transitions] == [
+        (STATE_CLOSED, STATE_OPEN),
+        (STATE_OPEN, STATE_HALF_OPEN),
+        (STATE_HALF_OPEN, STATE_CLOSED),
+    ]
+
+
+def test_no_clock_or_rng_dependence():
+    """Two identically driven breakers agree transition-for-transition."""
+
+    def drive():
+        breaker = CircuitBreaker(threshold=2, cooldown_waves=2)
+        for _ in range(3):
+            breaker.advance_wave()
+            breaker.allow("k")
+            breaker.record_failure("k", error="x")
+        breaker.advance_wave()
+        breaker.advance_wave()
+        breaker.allow("k")
+        return breaker.transitions
+
+    assert drive() == drive()

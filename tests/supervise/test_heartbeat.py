@@ -1,0 +1,96 @@
+"""Heartbeat protocol unit tests: bind/tick/read on a plain-dict board.
+
+The board abstraction is any mutable mapping, so everything here runs
+in-process with a plain ``dict`` — no manager, no subprocesses.
+"""
+
+import time
+
+from repro.supervise.heartbeat import (
+    HeartbeatTicker,
+    bind,
+    clear_hang,
+    current_rss_kb,
+    read_beats,
+    simulate_hang,
+    tick,
+    unbind,
+)
+
+
+def teardown_function(_fn):
+    """Every test leaves the process-global state clean."""
+    unbind()
+    clear_hang()
+
+
+def test_tick_is_noop_when_unbound():
+    assert tick() is False
+
+
+def test_bound_tick_posts_phase_rss_and_timestamp():
+    board = {}
+    bind(board, (1, 0))
+    before = time.time()
+    assert tick("build") is True
+    phase, rss_kb, stamp = board[(1, 0)]
+    assert phase == "build"
+    assert rss_kb > 0
+    assert before <= stamp <= time.time()
+
+
+def test_unbind_restores_noop():
+    board = {}
+    bind(board, (1, 0))
+    unbind()
+    assert tick() is False
+    assert board == {}
+
+
+def test_simulate_hang_suspends_and_clear_resumes():
+    board = {}
+    bind(board, (1, 0))
+    simulate_hang()
+    assert tick() is False
+    assert board == {}
+    clear_hang()
+    assert tick() is True
+    assert (1, 0) in board
+
+
+def test_broken_board_never_raises():
+    class Broken(dict):
+        def __setitem__(self, key, value):
+            raise BrokenPipeError("manager is gone")
+
+    bind(Broken(), (1, 0))
+    assert tick() is False
+
+
+def test_read_beats_snapshots_and_tolerates_dead_proxies():
+    board = {(1, 0): ("run", 100, 1.0)}
+    assert read_beats(board) == board
+    assert read_beats(board) is not board  # a snapshot, not the live proxy
+
+    class Dead:
+        def keys(self):
+            raise EOFError("manager is gone")
+
+    assert read_beats(Dead()) == {}
+
+
+def test_ticker_keeps_beating_until_stopped():
+    board = {}
+    bind(board, (1, 3))
+    ticker = HeartbeatTicker(0.01)
+    ticker.start()
+    deadline = time.time() + 2.0
+    while (1, 3) not in board and time.time() < deadline:
+        time.sleep(0.005)
+    ticker.stop()
+    assert (1, 3) in board
+    assert board[(1, 3)][0] == "run"
+
+
+def test_current_rss_is_positive_kb():
+    assert current_rss_kb() > 1024  # any real interpreter exceeds 1 MB

@@ -1,0 +1,81 @@
+"""Retry-policy semantics: determinism, caps, and the jitter modes.
+
+The load-bearing pin: the delay sequence of a retry chain is a pure
+function of ``(seed, jitter mode)`` — two sessions of the same policy
+replay it float-for-float, on any machine, under any
+``PYTHONHASHSEED``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.supervise.retry import JITTER_MODES, RetryPolicy
+
+
+def test_sessions_of_one_policy_replay_identically():
+    policy = RetryPolicy(base=0.1, seed=42)
+    first = policy.session()
+    second = policy.session()
+    sequence = [first.next_delay() for _ in range(6)]
+    assert [second.next_delay() for _ in range(6)] == sequence
+    assert policy.preview(6) == sequence
+
+
+def test_distinct_seeds_produce_distinct_sequences():
+    a = RetryPolicy(base=0.1, seed=0).preview(4)
+    b = RetryPolicy(base=0.1, seed=1).preview(4)
+    assert a != b
+
+
+def test_none_mode_is_exact_capped_exponential():
+    policy = RetryPolicy(base=0.5, cap=4.0, jitter="none")
+    assert policy.preview(6) == [0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+
+
+def test_equal_mode_bounds_each_delay():
+    policy = RetryPolicy(base=0.5, cap=8.0, jitter="equal", seed=3)
+    delays = policy.preview(8)
+    for attempt, delay in enumerate(delays, start=1):
+        raw = min(policy.cap, policy.base * (2 ** (attempt - 1)))
+        assert raw / 2.0 <= delay <= raw
+        assert delay <= policy.cap
+
+
+def test_decorrelated_mode_respects_base_and_cap():
+    policy = RetryPolicy(base=0.25, cap=2.0, seed=9)
+    delays = policy.preview(32)
+    assert all(policy.base <= d <= policy.cap for d in delays)
+    assert max(delays) == policy.cap  # a long chain does hit the ceiling
+
+
+def test_all_jitter_modes_are_constructible():
+    for mode in JITTER_MODES:
+        assert RetryPolicy(jitter=mode).preview(3)
+
+
+def test_validation_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base=0.0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base=1.0, cap=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter="full")
+
+
+def test_reset_restarts_the_chain():
+    session = RetryPolicy(base=0.1, seed=5).session()
+    first = [session.next_delay() for _ in range(4)]
+    session.reset()
+    assert [session.next_delay() for _ in range(4)] == first
+    assert session.attempt == 4
+
+
+def test_sleep_draws_then_sleeps_the_same_delay(monkeypatch):
+    import time as time_module
+
+    slept = []
+    monkeypatch.setattr(time_module, "sleep", slept.append)
+    policy = RetryPolicy(base=0.1, seed=7)
+    session = policy.session()
+    returned = [session.sleep() for _ in range(3)]
+    assert slept == returned == policy.preview(3)

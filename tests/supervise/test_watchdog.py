@@ -1,0 +1,85 @@
+"""Watchdog judgement on fabricated heartbeat evidence.
+
+The watchdog is pure policy — no processes, no clocks — so every
+verdict is unit-testable with hand-built boards.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.supervise.watchdog import Watchdog
+
+WAVE = 1
+
+
+def beat(phase="run", rss_kb=10_000, stamp=100.0):
+    return (phase, rss_kb, stamp)
+
+
+def test_validation_and_enabled():
+    with pytest.raises(ConfigurationError):
+        Watchdog(hang_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        Watchdog(max_rss_mb=-1.0)
+    assert not Watchdog().enabled
+    assert Watchdog(hang_timeout=1.0).enabled
+    assert Watchdog(max_rss_mb=100.0).enabled
+
+
+def test_silent_job_is_hung_but_ticking_job_is_only_slow():
+    dog = Watchdog(hang_timeout=2.0)
+    starts = {0: 100.0, 1: 100.0}
+    beats = {(WAVE, 1): beat(stamp=104.5)}  # job 1 ticked recently
+    verdicts = dog.inspect(WAVE, [0, 1], starts, beats, now=105.0)
+    assert [(v.index, v.kind) for v in verdicts] == [(0, "hung")]
+    assert "no heartbeat for" in verdicts[0].detail
+
+
+def test_start_record_counts_as_liveness():
+    """A job that started moments ago has proven liveness once already."""
+    dog = Watchdog(hang_timeout=2.0)
+    assert dog.inspect(WAVE, [0], {0: 104.0}, {}, now=105.0) == []
+
+
+def test_queued_jobs_are_never_judged():
+    dog = Watchdog(hang_timeout=0.5)
+    assert dog.inspect(WAVE, [0], {}, {}, now=1000.0) == []
+
+
+def test_stale_wave_beats_are_ignored():
+    """A beat from the previous wave must not vouch for this one."""
+    dog = Watchdog(hang_timeout=2.0)
+    beats = {(WAVE - 1, 0): beat(stamp=104.9)}
+    verdicts = dog.inspect(WAVE, [0], {0: 100.0}, beats, now=105.0)
+    assert [v.kind for v in verdicts] == ["hung"]
+
+
+def test_rss_budget_condemns_ballooned_worker():
+    dog = Watchdog(max_rss_mb=100.0)
+    beats = {(WAVE, 0): beat(rss_kb=300 * 1024, stamp=104.9)}
+    verdicts = dog.inspect(WAVE, [0], {0: 100.0}, beats, now=105.0)
+    assert [(v.index, v.kind) for v in verdicts] == [(0, "over_budget")]
+    assert "300 MB" in verdicts[0].detail and "100 MB" in verdicts[0].detail
+
+
+def test_over_budget_wins_over_hung():
+    """One verdict per job: the memory evidence outranks the silence."""
+    dog = Watchdog(hang_timeout=1.0, max_rss_mb=100.0)
+    beats = {(WAVE, 0): beat(rss_kb=300 * 1024, stamp=50.0)}
+    verdicts = dog.inspect(WAVE, [0], {0: 50.0}, beats, now=105.0)
+    assert [v.kind for v in verdicts] == ["over_budget"]
+
+
+def test_within_budget_and_ticking_is_untouched():
+    dog = Watchdog(hang_timeout=5.0, max_rss_mb=100.0)
+    beats = {(WAVE, 0): beat(rss_kb=50 * 1024, stamp=104.0)}
+    assert dog.inspect(WAVE, [0], {0: 100.0}, beats, now=105.0) == []
+
+
+def test_max_heartbeat_age_feeds_the_gauge():
+    dog = Watchdog(hang_timeout=10.0)
+    starts = {0: 100.0, 1: 103.0}
+    beats = {(WAVE, 0): beat(stamp=102.0)}
+    age = dog.max_heartbeat_age(WAVE, [0, 1], starts, beats, now=105.0)
+    assert age == pytest.approx(3.0)  # job 0: 105 - 102; job 1: 105 - 103
+    assert dog.max_heartbeat_age(WAVE, [7], {}, {}, now=105.0) == 0.0

@@ -20,6 +20,55 @@ class TestParser:
             build_parser().parse_args(["figure", "99"])
 
 
+class TestJobsValidation:
+    """``--jobs`` must reject zero/negative/non-integer counts loudly."""
+
+    def test_zero_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["mix", "mcf", "povray", "--jobs", "0"])
+        assert exc_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--jobs", "-2"]
+            )
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+        assert "--jobs 1" in err  # the error names the escape hatch
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "mcf", "povray", "--jobs", "two"])
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_positive_jobs_accepted(self):
+        args = build_parser().parse_args(
+            ["mix", "mcf", "povray", "--jobs", "3"]
+        )
+        assert args.jobs == 3
+
+
+class TestSupervisionFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.max_retries == 2
+        assert args.hang_timeout is None
+        assert args.quarantine is None
+
+    def test_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "--max-retries", "5", "--hang-timeout", "2.5",
+                "--quarantine", "poison.jsonl",
+            ]
+        )
+        assert args.max_retries == 5
+        assert args.hang_timeout == 2.5
+        assert args.quarantine == "poison.jsonl"
+
+
 class TestProfiles:
     def test_lists_pools(self, capsys):
         assert main(["profiles"]) == 0
