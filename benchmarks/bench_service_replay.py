@@ -1,0 +1,74 @@
+"""Service extension — replayed-arrival load bench for the daemon.
+
+No paper figure corresponds to this: the paper schedules a fixed
+process mix offline, while :mod:`repro.service` admits and retires
+processes online. This bench replays a seeded 5,000-event Poisson
+arrival trace (20,000 under ``REPRO_FULL=1``) through the daemon's
+admission queue and reports throughput, decision-latency percentiles,
+and the incremental/full remap split.
+
+Hard assertions (the subsystem's acceptance contract):
+
+* zero dropped events — awaited submission backpressures, never drops;
+* the settled final mapping is byte-identical to the full-remap oracle;
+* throughput meets the ``REPRO_SERVICE_MIN_EPS`` floor (default 1,000
+  events/second).
+
+Writes ``results/BENCH_service_replay.json`` with the full replay
+report.
+"""
+
+import os
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.service.daemon import ServiceConfig
+from repro.service.replay import run_replay, write_bench_json
+from repro.utils.tables import format_table
+from repro.workloads.arrivals import poisson_trace
+
+#: Throughput floor in events/second (env-overridable for slow CI hosts).
+MIN_EVENTS_PER_SECOND = float(os.environ.get("REPRO_SERVICE_MIN_EPS", "1000"))
+
+
+def bench_service_replay(benchmark, report, full_scale):
+    num_events = 20_000 if full_scale else 5_000
+    trace = poisson_trace(num_events, seed=11)
+
+    result = run_once(
+        benchmark,
+        lambda: run_replay(trace, config=ServiceConfig(num_cores=4)),
+    )
+
+    assert result.dropped == 0, "the awaited submission path never drops"
+    assert result.oracle_match, (
+        "settled mapping must equal the full-remap oracle: "
+        f"{result.final_mapping} != {result.oracle_mapping}"
+    )
+    assert result.events_per_second >= MIN_EVENTS_PER_SECOND, (
+        f"{result.events_per_second:.0f} events/s is under the "
+        f"{MIN_EVENTS_PER_SECOND:.0f}/s floor"
+    )
+
+    write_bench_json(result, RESULTS_DIR / "BENCH_service_replay.json")
+    report(
+        "service_replay",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["trace", f"{result.trace_kind} seed {result.trace_seed}"],
+                ["events replayed", result.processed],
+                ["dropped", result.dropped],
+                ["throughput (events/s)", f"{result.events_per_second:.0f}"],
+                ["p50 latency (us)",
+                 f"{result.latency_p50_seconds * 1e6:.0f}"],
+                ["p99 latency (us)",
+                 f"{result.latency_p99_seconds * 1e6:.0f}"],
+                ["full remaps", result.full_remaps],
+                ["incremental updates", result.incremental_updates],
+                ["final population", result.final_population],
+                ["oracle match", result.oracle_match],
+            ],
+            title="Service extension: 5k-event replayed-arrival load",
+        ),
+    )

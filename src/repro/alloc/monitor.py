@@ -24,8 +24,12 @@ schedule — a bad signature yields a safe mapping, never a garbage one.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import Counter
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.alloc.base import AllocationPolicy
 from repro.core.signature import HealthReport, assess_signature
@@ -74,6 +78,17 @@ class UserLevelMonitor:
         Declare a task's signature stale after this many consecutive
         invocations without a fresh sample (``None`` disables staleness
         tracking, the default).
+    memoize:
+        Skip policy recomputation when the signature set is unchanged
+        since the last healthy invocation (compared by digest over
+        every task's full context). The online service hits this
+        constantly — repeated ``status``/idle invocations between
+        scheduling events see byte-identical snapshots. The repeated
+        decision is still appended to the history, so the majority
+        vote is unaffected; tie exploration is likewise preserved
+        because the simulator's snapshots change between invocations
+        (every context switch advances ``samples_seen``, which is part
+        of the digest).
     """
 
     def __init__(
@@ -84,6 +99,7 @@ class UserLevelMonitor:
         signature_capacity: Optional[int] = None,
         saturation_fraction: float = 1.0,
         stale_after: Optional[int] = None,
+        memoize: bool = True,
     ):
         if interval_cycles <= 0:
             raise AllocationError("interval_cycles must be positive")
@@ -95,13 +111,43 @@ class UserLevelMonitor:
         self.signature_capacity = signature_capacity
         self.saturation_fraction = saturation_fraction
         self.stale_after = stale_after
+        self.memoize = memoize
         self.decisions: List[Mapping] = []
         self.skipped_invocations = 0
+        #: Invocations answered from the memo (unchanged signature set).
+        self.memo_hits = 0
         #: Structured degradation events (JSON-native dicts).
         self.degradations: List[dict] = []
         self._invocations = 0
         self._last_seen: Dict[int, int] = {}
         self._stale_count: Dict[int, int] = {}
+        self._memo_digest: Optional[bytes] = None
+        self._memo_mapping: Optional[Mapping] = None
+
+    @staticmethod
+    def _signature_digest(tasks: Sequence[TaskView], num_cores: int) -> bytes:
+        """Stable digest of the full signature set (the memo key).
+
+        Covers everything the policies may consult — identity, core,
+        occupancy, the symbiosis vector, and the sample counter — so a
+        hit can only occur when the allocation inputs are bit-identical.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(struct.pack("<q", num_cores))
+        for task in tasks:
+            hasher.update(
+                struct.pack(
+                    "<qqqd",
+                    task.tid,
+                    task.samples_seen,
+                    -1 if task.last_core is None else task.last_core,
+                    float(task.occupancy),
+                )
+            )
+            hasher.update(
+                np.ascontiguousarray(task.symbiosis, dtype=np.float64).tobytes()
+            )
+        return hasher.digest()
 
     def _assess(self, task: TaskView) -> HealthReport:
         """Health-check one task view (staleness needs invocation history)."""
@@ -171,7 +217,24 @@ class UserLevelMonitor:
                         fallback_mapping(tasks, syscall.num_cores)
                     )
                 return None
-            mapping = self.policy.allocate(tasks, syscall.num_cores).canonical()
+            mapping: Optional[Mapping] = None
+            digest: Optional[bytes] = None
+            if self.memoize:
+                digest = self._signature_digest(tasks, syscall.num_cores)
+                if (
+                    digest == self._memo_digest
+                    and self._memo_mapping is not None
+                ):
+                    mapping = self._memo_mapping
+                    self.memo_hits += 1
+                    self._count(tel, "monitor_memo_hits_total")
+            if mapping is None:
+                mapping = self.policy.allocate(
+                    tasks, syscall.num_cores
+                ).canonical()
+                if self.memoize:
+                    self._memo_digest = digest
+                    self._memo_mapping = mapping
             self.decisions.append(mapping)
             self._count(tel, "monitor_decisions_total")
             if self.apply:
@@ -195,10 +258,13 @@ class UserLevelMonitor:
         return counts.most_common(1)[0][0]
 
     def reset(self) -> None:
-        """Clear decision history, degradation events and staleness state."""
+        """Clear decision history, degradations, staleness and memo state."""
         self.decisions.clear()
         self.skipped_invocations = 0
+        self.memo_hits = 0
         self.degradations.clear()
         self._invocations = 0
         self._last_seen.clear()
         self._stale_count.clear()
+        self._memo_digest = None
+        self._memo_mapping = None

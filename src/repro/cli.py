@@ -19,6 +19,13 @@ Subcommands
     tree: determinism, durability, worker-safety and telemetry-hygiene
     rules, with ``# repro: noqa[CODE]`` suppressions and a committed
     baseline — see ``docs/static-analysis.md``.
+``serve``
+    Run the online scheduling daemon (:mod:`repro.service`): admits and
+    retires processes dynamically over a newline-JSON TCP protocol and
+    remaps cores incrementally — see ``docs/service.md``.
+``submit``
+    One-shot client for a running daemon: admit/retire/phase-change a
+    process, or query status/mapping, printing the JSON response.
 
 All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``pairwise`` accept ``--instructions`` to trade fidelity for speed.
@@ -43,6 +50,8 @@ printed summary table) — see :mod:`repro.telemetry` and
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
 from contextlib import contextmanager
@@ -66,9 +75,15 @@ from repro.analysis.report import (
     render_sweep,
     render_table1,
 )
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.jobs import Orchestrator
 from repro.lint import cli as lint_cli
+from repro.service import (
+    SchedulerService,
+    ServiceConfig,
+    ServiceServer,
+    call_once,
+)
 from repro.supervise import SupervisionConfig
 from repro.telemetry import (
     TRACE_ENV_VAR,
@@ -145,6 +160,58 @@ def build_parser() -> argparse.ArgumentParser:
         "worker-safety, telemetry hygiene)",
     )
     lint_cli.add_arguments(lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online scheduling daemon (newline-JSON over TCP)",
+    )
+    serve.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="weight-sort",
+        help="allocation policy (default: weight-sort)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--cores", type=_positive_int, default=4,
+        help="number of cores to map onto (default: 4)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks a free one and prints it (default: 0)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=_positive_int, default=1024,
+        help="bounded admission queue depth (default: 1024)",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=_positive_int, default=16,
+        help="incremental updates tolerated before a full remap "
+        "(default: 16)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="one-shot client: admit/retire/query a running daemon",
+    )
+    submit.add_argument(
+        "--op",
+        choices=[
+            "submit", "retire", "phase_change",
+            "status", "mapping", "ping", "shutdown",
+        ],
+        default="submit",
+        help="operation to perform (default: submit, i.e. admit)",
+    )
+    submit.add_argument(
+        "name", nargs="?",
+        help="benchmark profile name (submit / phase_change)",
+    )
+    submit.add_argument(
+        "--pid", type=int, default=None,
+        help="process id (submit / retire / phase_change)",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
 
     return parser
 
@@ -495,12 +562,95 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling daemon until a ``shutdown`` op or Ctrl-C."""
+    try:
+        config = ServiceConfig(
+            num_cores=args.cores,
+            queue_capacity=args.queue_capacity,
+            drift_threshold=args.drift_threshold,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cls = _POLICIES[args.policy]
+    # WeightSortPolicy is deterministic by construction and takes no seed.
+    policy = cls() if cls is WeightSortPolicy else cls(seed=args.seed)
+    service = SchedulerService(policy, config)
+
+    async def _serve() -> None:
+        """Start the daemon, serve connections, and drain on exit."""
+        await service.start()
+        server = ServiceServer(service, host=args.host, port=args.port)
+        try:
+            await server.start()
+        except OSError as exc:
+            await service.stop(drain=False)
+            raise ConfigurationError(
+                f"cannot listen on {args.host}:{args.port}: {exc}"
+            ) from exc
+        host, port = server.address
+        print(
+            f"repro-service listening on {host}:{port} "
+            f"(policy: {args.policy}, cores: {args.cores})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_closed()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; daemon stopped", file=sys.stderr)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro-service processed {service.events_processed} event(s)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """One round-trip against a running daemon; prints the response."""
+    fields = {}
+    if args.op in ("submit", "phase_change"):
+        if args.name is None or args.pid is None:
+            print(
+                f"error: '{args.op}' needs a profile name and --pid",
+                file=sys.stderr,
+            )
+            return 2
+        fields = {"pid": args.pid, "name": args.name}
+    elif args.op == "retire":
+        if args.pid is None:
+            print("error: 'retire' needs --pid", file=sys.stderr)
+            return 2
+        fields = {"pid": args.pid}
+    try:
+        response = call_once(args.host, args.port, args.op, **fields)
+    except (OSError, ReproError) as exc:
+        print(
+            f"error: no daemon reachable at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok", True) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         # Pure static analysis: no simulation, no telemetry session.
         return lint_cli.run(args)
+    if args.command == "serve":
+        # Long-running daemon: telemetry is wired per-event inside the
+        # service loop, not through the one-shot export session.
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     with _telemetry_session(args):
         if args.command == "profiles":
             return _cmd_profiles()

@@ -18,6 +18,8 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "JobError",
+    "ServiceError",
+    "ProtocolError",
 ]
 
 
@@ -65,3 +67,12 @@ class SimulationError(ReproError):
 class JobError(ReproError):
     """A job-orchestration failure: a worker crashed past its retry
     budget, a job timed out, or a run spec could not be executed."""
+
+
+class ServiceError(ReproError):
+    """The online scheduling service was driven into an invalid state
+    (duplicate admission, unknown process id, submit after shutdown)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or oversized message on the service wire protocol."""

@@ -8,9 +8,11 @@ the invariant family (the catalogue in ``docs/static-analysis.md``):
 * ``RPR2xx`` — durability / robustness
 * ``RPR3xx`` — worker-safety (spawn-pool picklability)
 * ``RPR4xx`` — telemetry hygiene
+* ``RPR5xx`` — service responsiveness (``repro.service`` only)
 
 Scopes keep package-level policy out of the rules themselves: a rule
-declares *where it applies* (``sim-core``, ``non-telemetry``, ``all``)
+declares *where it applies* (``sim-core``, ``non-telemetry``,
+``service``, ``all``)
 and the engine consults :class:`~repro.lint.context.ModuleContext` for
 the module's package. This is how wall-clock stays legal in
 ``repro.jobs`` and ``repro.telemetry`` — by package scope, not by
@@ -30,6 +32,7 @@ __all__ = [
     "SCOPE_ALL",
     "SCOPE_SIM_CORE",
     "SCOPE_NON_TELEMETRY",
+    "SCOPE_SERVICE",
     "Rule",
     "register",
     "all_rules",
@@ -45,8 +48,12 @@ SCOPE_ALL = "all"
 SCOPE_SIM_CORE = "sim-core"
 #: Rule applies everywhere except inside ``repro.telemetry`` itself.
 SCOPE_NON_TELEMETRY = "non-telemetry"
+#: Rule applies only inside the online scheduling service package.
+SCOPE_SERVICE = "service"
 
-_VALID_SCOPES = (SCOPE_ALL, SCOPE_SIM_CORE, SCOPE_NON_TELEMETRY)
+_VALID_SCOPES = (
+    SCOPE_ALL, SCOPE_SIM_CORE, SCOPE_NON_TELEMETRY, SCOPE_SERVICE,
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,8 @@ class Rule:
             return module.is_sim_core
         if self.scope == SCOPE_NON_TELEMETRY:
             return not module.in_package("repro.telemetry")
+        if self.scope == SCOPE_SERVICE:
+            return module.in_package("repro.service")
         return True
 
 

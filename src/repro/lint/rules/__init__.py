@@ -7,6 +7,18 @@ to the import list below and nothing else.
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, durability, telemetry, worker_safety
+from repro.lint.rules import (
+    determinism,
+    durability,
+    service_async,
+    telemetry,
+    worker_safety,
+)
 
-__all__ = ["determinism", "durability", "telemetry", "worker_safety"]
+__all__ = [
+    "determinism",
+    "durability",
+    "service_async",
+    "telemetry",
+    "worker_safety",
+]

@@ -1,0 +1,117 @@
+"""RPR5xx — service responsiveness rules.
+
+The scheduling daemon (:mod:`repro.service`) is a single-threaded
+asyncio event loop: one blocking call inside a coroutine stalls *every*
+connection, the admission queue, and the heartbeat ticks — the daemon
+looks hung to its own watchdog while merely sleeping. RPR501 therefore
+bans known blocking calls (``time.sleep``, synchronous file I/O,
+subprocess spawns) lexically inside ``async def`` bodies under
+``repro.service``.
+
+The sanctioned escape hatch is structural, not a waiver: blocking work
+belongs in a *synchronous* helper dispatched via
+``loop.run_in_executor`` (or ``asyncio.to_thread``). Calls inside a
+nested ``def`` are accordingly not flagged — the nested function is its
+own (synchronous) execution context.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.registry import SCOPE_SERVICE, register
+from repro.lint.violation import Violation
+
+__all__ = ["BLOCKING_CALLS"]
+
+#: Dotted call targets that block the event loop.
+BLOCKING_CALLS: Tuple[str, ...] = (
+    "time.sleep",
+    "open",
+    "io.open",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+)
+
+
+def _violation(
+    module: ModuleContext, node: ast.AST, code: str, message: str
+) -> Violation:
+    lineno = getattr(node, "lineno", 1)
+    return Violation(
+        path=module.path,
+        line=lineno,
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+        source=module.source_line(lineno),
+    )
+
+
+def _async_body_calls(function: ast.AsyncFunctionDef) -> List[ast.Call]:
+    """Calls executed directly by the coroutine *function*.
+
+    Nested ``def``/``async def``/``class`` bodies are skipped: a nested
+    sync function runs wherever it is *called* (typically an executor —
+    the sanctioned pattern), and a nested coroutine is analysed as its
+    own scope by the outer walk.
+    """
+    calls: List[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    visit(function)
+    return calls
+
+
+@register(
+    "RPR501",
+    "blocking-call-in-async",
+    "blocking call inside an async def in the service package",
+    scope=SCOPE_SERVICE,
+    rationale=(
+        "The daemon is one event loop: a time.sleep or synchronous file/"
+        "process/network call inside a coroutine stalls every connection "
+        "and suppresses heartbeat ticks, making a loaded daemon "
+        "indistinguishable from a wedged one. Use asyncio.sleep, or move "
+        "the blocking work into a sync helper dispatched through "
+        "loop.run_in_executor / asyncio.to_thread."
+    ),
+)
+def check_blocking_in_async(module: ModuleContext) -> Iterator[Violation]:
+    """Flag blocking calls lexically inside coroutine bodies."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for call in _async_body_calls(node):
+            resolved = module.resolve_call(call)
+            if resolved in BLOCKING_CALLS:
+                yield _violation(
+                    module,
+                    call,
+                    "RPR501",
+                    f"blocking call {resolved}() inside 'async def "
+                    f"{node.name}' stalls the daemon's event loop; use the "
+                    "asyncio equivalent or run it in an executor",
+                )

@@ -1,0 +1,63 @@
+"""Online symbiotic scheduling service (ROADMAP item 2).
+
+The batch pipeline runs one closed sample→signature→map loop over a
+fixed process set. This package is the production framing of the same
+mechanism: a long-running asyncio daemon that admits and retires
+processes dynamically, keeps their CBF-signature estimates streaming,
+and recomputes core mappings *incrementally* so per-event work stays
+bounded under heavy traffic.
+
+Layers (each its own module, composable without the daemon):
+
+* :mod:`repro.service.events` — the admit/retire/phase-change event
+  types shared by queue, protocol and replay.
+* :mod:`repro.service.registry` — the live :class:`ProcessHandle`
+  table with streaming footprint/symbiosis estimation.
+* :mod:`repro.service.mapper` — :class:`IncrementalMapper`, wrapping
+  any batch :class:`~repro.alloc.base.AllocationPolicy` with
+  single-event partition repair plus drift-bounded full remaps.
+* :mod:`repro.service.daemon` — :class:`SchedulerService`, the
+  bounded-queue event loop wiring supervision and telemetry.
+* :mod:`repro.service.protocol` / ``server`` / ``client`` — the
+  newline-JSON wire protocol over asyncio streams.
+* :mod:`repro.service.replay` — the load-test driver replaying a
+  seeded :class:`~repro.workloads.arrivals.ArrivalTrace`.
+
+See ``docs/service.md`` for the protocol, event lifecycle and
+backpressure semantics.
+"""
+
+from repro.service.daemon import SchedulerService, ServiceConfig
+from repro.service.events import (
+    AdmitEvent,
+    PhaseChangeEvent,
+    RetireEvent,
+    SettleEvent,
+    event_from_arrival,
+)
+from repro.service.mapper import IncrementalMapper, MapDecision, StablePolicy
+from repro.service.registry import ProcessHandle, ProcessRegistry
+from repro.service.replay import ReplayReport, run_replay, write_bench_json
+from repro.service.client import ServiceClient, call_once
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "SchedulerService",
+    "ServiceConfig",
+    "AdmitEvent",
+    "RetireEvent",
+    "PhaseChangeEvent",
+    "SettleEvent",
+    "event_from_arrival",
+    "IncrementalMapper",
+    "MapDecision",
+    "StablePolicy",
+    "ProcessHandle",
+    "ProcessRegistry",
+    "ReplayReport",
+    "run_replay",
+    "write_bench_json",
+    "ServiceClient",
+    "call_once",
+    "ServiceServer",
+]

@@ -1,0 +1,117 @@
+"""Client for the scheduling daemon's newline-JSON protocol.
+
+:class:`ServiceClient` is the asyncio-native client (one connection,
+sequential request/response); :func:`call_once` is the synchronous
+one-shot convenience the CLI's ``repro-cli submit`` uses — connect,
+send one request, return the decoded response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    encode_message,
+    read_message,
+    request,
+)
+
+__all__ = ["ServiceClient", "call_once"]
+
+
+class ServiceClient:
+    """One connection to a running :class:`ServiceServer`.
+
+    Build with :meth:`connect`; every operation sends one request line
+    and awaits its response line. Responses are returned as decoded
+    payloads — including error responses (``ok`` false), so callers
+    decide whether a rejection is exceptional. A *transport* failure
+    (connection dropped mid-call) raises
+    :class:`~repro.errors.ServiceError`.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Open a connection to the daemon at ``host:port``."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionResetError:
+            pass  # server already gone; the socket is closed either way
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and await its response payload."""
+        self._next_id += 1
+        payload = request(op, self._next_id, **fields)
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
+        response = await read_message(self._reader)
+        if response is None:
+            raise ServiceError(
+                f"connection closed before a response to {op!r} arrived"
+            )
+        return response
+
+    # -- endpoint conveniences -----------------------------------------
+
+    async def submit(self, pid: int, name: str) -> Dict[str, Any]:
+        """Admit process *pid* running profile *name*."""
+        return await self.call("submit", pid=pid, name=name)
+
+    async def retire(self, pid: int) -> Dict[str, Any]:
+        """Retire process *pid*."""
+        return await self.call("retire", pid=pid)
+
+    async def phase_change(self, pid: int, name: str) -> Dict[str, Any]:
+        """Report a phase change of *pid* to profile *name*."""
+        return await self.call("phase_change", pid=pid, name=name)
+
+    async def status(self) -> Dict[str, Any]:
+        """Fetch the daemon status payload."""
+        return await self.call("status")
+
+    async def mapping(self) -> Dict[str, Any]:
+        """Fetch the current core mapping."""
+        return await self.call("mapping")
+
+    async def ping(self) -> Dict[str, Any]:
+        """Liveness probe (also reports the protocol version)."""
+        return await self.call("ping")
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and stop."""
+        return await self.call("shutdown")
+
+
+def call_once(host: str, port: int, op: str, **fields: Any) -> Dict[str, Any]:
+    """Synchronous one-shot request (the CLI's transport).
+
+    Opens a connection, performs one call, closes, and returns the
+    decoded response payload.
+    """
+
+    async def _run() -> Dict[str, Any]:
+        client = await ServiceClient.connect(host, port)
+        try:
+            return await client.call(op, **fields)
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())

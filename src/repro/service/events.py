@@ -1,0 +1,87 @@
+"""Scheduling events flowing through the service admission queue.
+
+One frozen dataclass per event kind keeps dispatch explicit (the daemon
+switches on ``kind``) while the shared shape — a ``kind`` tag plus the
+fields the registry needs — serialises 1:1 onto the wire protocol
+(:mod:`repro.service.protocol`) and onto
+:class:`~repro.workloads.arrivals.ArrivalEvent` for replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import ServiceError
+from repro.workloads.arrivals import ArrivalEvent
+
+__all__ = [
+    "SERVICE_EVENT_KINDS",
+    "AdmitEvent",
+    "RetireEvent",
+    "PhaseChangeEvent",
+    "SettleEvent",
+    "ServiceEvent",
+    "event_from_arrival",
+]
+
+#: Every event kind the daemon dispatches on.
+SERVICE_EVENT_KINDS: Tuple[str, ...] = (
+    "admit", "retire", "phase_change", "settle",
+)
+
+
+@dataclass(frozen=True)
+class AdmitEvent:
+    """A new process ``pid`` running workload profile ``name`` arrives."""
+
+    pid: int
+    name: str
+    kind: str = "admit"
+
+
+@dataclass(frozen=True)
+class RetireEvent:
+    """Process ``pid`` exits and leaves the registry."""
+
+    pid: int
+    kind: str = "retire"
+
+
+@dataclass(frozen=True)
+class PhaseChangeEvent:
+    """Process ``pid`` enters a new execution phase, profile ``name``.
+
+    Phase changes invalidate the incremental mapping premise (the
+    process's footprint may be arbitrarily different), so the mapper
+    answers them with a full remap.
+    """
+
+    pid: int
+    name: str
+    kind: str = "phase_change"
+
+
+@dataclass(frozen=True)
+class SettleEvent:
+    """Force a full remap now, clearing any accumulated drift.
+
+    Replay drivers enqueue one settle at trace end so the final
+    mapping is directly comparable to the full-remap oracle.
+    """
+
+    kind: str = "settle"
+
+
+ServiceEvent = Union[AdmitEvent, RetireEvent, PhaseChangeEvent, SettleEvent]
+
+
+def event_from_arrival(event: ArrivalEvent) -> ServiceEvent:
+    """Convert one trace event into the service's queue event type."""
+    if event.kind == "admit":
+        return AdmitEvent(pid=event.pid, name=event.name)
+    if event.kind == "retire":
+        return RetireEvent(pid=event.pid)
+    if event.kind == "phase_change":
+        return PhaseChangeEvent(pid=event.pid, name=event.name)
+    raise ServiceError(f"unknown arrival event kind {event.kind!r}")

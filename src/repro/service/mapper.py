@@ -1,0 +1,267 @@
+"""Incremental core-mapping over the batch allocation policies.
+
+A full remap calls an :class:`~repro.alloc.base.AllocationPolicy` over
+the whole population — optimal, but at 14 processes the exhaustive
+min-cut already costs milliseconds, far too much to pay on *every*
+admission under load. :class:`IncrementalMapper` keeps per-event work
+bounded (cf. the representative-sampling argument in PAPERS.md): single
+arrivals and departures repair only the affected partition, and the
+policy is re-run in full only on phase changes or once accumulated
+*drift* (count of incremental repairs since the last full remap)
+crosses a threshold.
+
+Determinism contract
+--------------------
+The interference policies deliberately vary their tie-break seed per
+invocation (the phase-1 majority vote needs tied optima explored). An
+online mapper must not: two services replaying the same event trace
+would diverge purely on invocation counts, and a random tie-break per
+event causes gratuitous migration churn. :class:`StablePolicy`
+therefore pins the wrapped policy's invocation counter for the duration
+of each ``allocate`` call, making it a pure function of the task
+snapshot — which is exactly what lets the pinned equivalence test
+compare the incremental mapper against a full-remap oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.alloc.base import AllocationPolicy
+from repro.core.metrics import interference_from_symbiosis
+from repro.errors import ConfigurationError, ServiceError
+from repro.sched.affinity import Mapping, canonical_mapping
+from repro.sched.syscall import TaskView
+
+__all__ = ["StablePolicy", "MapDecision", "IncrementalMapper"]
+
+
+class StablePolicy:
+    """Snapshot-pure adapter over a batch allocation policy.
+
+    Pins the wrapped policy's per-invocation tie-break counter (when it
+    has one) so that ``allocate`` becomes a pure function of
+    ``(tasks, num_cores)`` — identical snapshots always yield identical
+    mappings, regardless of how many times the policy ran before.
+    """
+
+    def __init__(self, policy: AllocationPolicy) -> None:
+        self.policy = policy
+        self.name = f"stable({policy.name})"
+
+    def allocate(self, tasks: Sequence[TaskView], num_cores: int) -> Mapping:
+        """Run the wrapped policy with its invocation counter pinned."""
+        saved = getattr(self.policy, "_invocations", None)
+        if saved is not None:
+            self.policy._invocations = 0
+        try:
+            return self.policy.allocate(tasks, num_cores)
+        finally:
+            if saved is not None:
+                self.policy._invocations = saved
+
+
+@dataclass(frozen=True)
+class MapDecision:
+    """The outcome of one mapper step.
+
+    ``action`` records which path produced the mapping (``full`` or
+    ``incremental``); ``moved`` the pids whose core changed; ``drift``
+    the repairs accumulated since the last full remap, after this step.
+    """
+
+    action: str
+    mapping: Mapping
+    moved: Tuple[int, ...]
+    drift: int
+
+
+class IncrementalMapper:
+    """Single-event partition repair with drift-bounded full remaps.
+
+    Parameters
+    ----------
+    policy:
+        Any batch allocation policy; it is wrapped in
+        :class:`StablePolicy` and consulted only on full remaps.
+    num_cores:
+        Cores to partition over.
+    drift_threshold:
+        Incremental repairs tolerated before the next event forces a
+        full remap (1 = remap on every event, i.e. no incrementality).
+    """
+
+    def __init__(
+        self,
+        policy: AllocationPolicy,
+        num_cores: int,
+        drift_threshold: int = 16,
+    ) -> None:
+        if num_cores < 1:
+            raise ConfigurationError(f"num_cores must be >= 1, got {num_cores}")
+        if drift_threshold < 1:
+            raise ConfigurationError(
+                f"drift_threshold must be >= 1, got {drift_threshold}"
+            )
+        self.policy = StablePolicy(policy)
+        self.num_cores = num_cores
+        self.drift_threshold = drift_threshold
+        self.drift = 0
+        self.full_remaps = 0
+        self.incremental_updates = 0
+        #: Working partition, indexed by core (NOT canonicalised — core
+        #: identity must survive incremental repair steps).
+        self._groups: List[List[int]] = [[] for _ in range(num_cores)]
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def mapping(self) -> Mapping:
+        """The current mapping in canonical (core-permutation) form."""
+        return canonical_mapping(self._groups)
+
+    def oracle(self, views: Sequence[TaskView]) -> Mapping:
+        """What a from-scratch full remap would decide for *views*.
+
+        Pure query: consults the stabilised policy without touching the
+        mapper's own partition or drift state. The equivalence tests
+        compare :meth:`settle` output against this.
+        """
+        if not views:
+            return canonical_mapping([[] for _ in range(self.num_cores)])
+        return self.policy.allocate(views, self.num_cores).canonical()
+
+    def _cores_of(self) -> dict:
+        placement = {}
+        for core, group in enumerate(self._groups):
+            for pid in group:
+                placement[pid] = core
+        return placement
+
+    def _decide(self, action: str, before: dict) -> MapDecision:
+        after = self._cores_of()
+        moved = tuple(
+            sorted(
+                pid
+                for pid, core in after.items()
+                if before.get(pid) is not None and before[pid] != core
+            )
+        )
+        return MapDecision(
+            action=action, mapping=self.mapping, moved=moved, drift=self.drift
+        )
+
+    # -- full remap ----------------------------------------------------
+
+    def _full(self, views: Sequence[TaskView], before: dict) -> MapDecision:
+        self.full_remaps += 1
+        self.drift = 0
+        if not views:
+            self._groups = [[] for _ in range(self.num_cores)]
+        else:
+            decided = self.policy.allocate(views, self.num_cores).canonical()
+            self._groups = [sorted(group) for group in decided.groups]
+        return self._decide("full", before)
+
+    # -- incremental repairs -------------------------------------------
+
+    def _view_of(self, views: Sequence[TaskView], tid: int) -> TaskView:
+        for view in views:
+            if view.tid == tid:
+                return view
+        raise ServiceError(f"pid {tid} missing from task views")
+
+    def _placement_cost(self, view: TaskView, core: int) -> float:
+        """Occupancy-weighted interference of placing *view* on *core*."""
+        return view.occupancy * interference_from_symbiosis(
+            view.symbiosis[core]
+        )
+
+    def _rebalance(self, views: Sequence[TaskView]) -> None:
+        """Restore near-balanced group sizes after a departure.
+
+        Migrates, one task at a time, from the largest group to the
+        smallest while their sizes differ by more than one — the same
+        balance invariant the batch policies produce. The migrant is
+        the donor task suffering the most on its current core (highest
+        occupancy-weighted interference), ties broken by pid.
+        """
+        while True:
+            sizes = [len(g) for g in self._groups]
+            donor = max(range(self.num_cores), key=lambda c: (sizes[c], -c))
+            receiver = min(range(self.num_cores), key=lambda c: (sizes[c], c))
+            if sizes[donor] - sizes[receiver] <= 1:
+                return
+            migrant = max(
+                self._groups[donor],
+                key=lambda pid: (
+                    self._placement_cost(self._view_of(views, pid), donor),
+                    -pid,
+                ),
+            )
+            self._groups[donor].remove(migrant)
+            self._groups[receiver].append(migrant)
+            self._groups[receiver].sort()
+
+    def admit(self, views: Sequence[TaskView], pid: int) -> MapDecision:
+        """Place one arrival; *views* is the post-admission snapshot.
+
+        The arrival goes to the least-interfering of the smallest
+        groups (preserving balance); everything else stays put. Falls
+        back to a full remap when drift would cross the threshold.
+        """
+        before = self._cores_of()
+        if self.drift + 1 >= self.drift_threshold:
+            return self._full(views, before)
+        view = self._view_of(views, pid)
+        sizes = [len(g) for g in self._groups]
+        smallest = min(sizes)
+        candidates = [c for c in range(self.num_cores) if sizes[c] == smallest]
+        core = min(
+            candidates, key=lambda c: (self._placement_cost(view, c), c)
+        )
+        self._groups[core].append(pid)
+        self._groups[core].sort()
+        self.drift += 1
+        self.incremental_updates += 1
+        return self._decide("incremental", before)
+
+    def retire(self, views: Sequence[TaskView], pid: int) -> MapDecision:
+        """Remove one departure; *views* is the post-removal snapshot."""
+        before = self._cores_of()
+        if self.drift + 1 >= self.drift_threshold:
+            for group in self._groups:
+                if pid in group:
+                    group.remove(pid)
+            return self._full(views, before)
+        removed = False
+        for group in self._groups:
+            if pid in group:
+                group.remove(pid)
+                removed = True
+                break
+        if not removed:
+            raise ServiceError(f"pid {pid} is not in the current mapping")
+        self._rebalance(views)
+        self.drift += 1
+        self.incremental_updates += 1
+        return self._decide("incremental", before)
+
+    def phase_change(
+        self, views: Sequence[TaskView], pid: int
+    ) -> MapDecision:
+        """A phase change invalidates the estimate: always remap fully."""
+        if pid not in self._cores_of():
+            raise ServiceError(f"pid {pid} is not in the current mapping")
+        return self._full(views, self._cores_of())
+
+    def settle(self, views: Sequence[TaskView]) -> MapDecision:
+        """Clear accumulated drift with an unconditional full remap.
+
+        Replays call this once at trace end; because the stabilised
+        policy is a pure function of the snapshot, the settled mapping
+        is byte-identical to :meth:`oracle` on the same views — the
+        trace-end equivalence contract the bench asserts.
+        """
+        return self._full(views, self._cores_of())

@@ -1,0 +1,112 @@
+"""The newline-JSON wire protocol spoken by server and client.
+
+One request or response per line: a compact, sorted-key JSON object
+followed by ``\\n``. Requests carry ``{"op", "id", ...fields}``;
+responses ``{"id", "ok", ...}`` with ``"error"`` set when ``ok`` is
+false. Newline framing keeps the protocol trivially debuggable
+(``nc``-able) and maps 1:1 onto asyncio stream ``readline``; the
+per-line byte cap bounds memory against a misbehaving peer.
+
+See ``docs/service.md`` for the full endpoint table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "encode_message",
+    "decode_message",
+    "request",
+    "response_ok",
+    "response_error",
+    "read_message",
+]
+
+#: Wire protocol revision; servers reject requests from the future.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one framed line (a status payload fits comfortably).
+MAX_LINE_BYTES = 256 * 1024
+
+#: Every operation the server dispatches.
+OPS: Tuple[str, ...] = (
+    "submit", "retire", "phase_change", "status", "mapping", "ping",
+    "shutdown",
+)
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Frame one JSON object as a compact, sorted-key wire line."""
+    line = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(line) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line cap"
+        )
+    return line + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line back into a JSON object."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte cap"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def request(op: str, request_id: int, **fields: Any) -> Dict[str, Any]:
+    """Build one request payload (client side)."""
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; valid ops: {', '.join(OPS)}")
+    payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": op, "id": request_id}
+    payload.update(fields)
+    return payload
+
+
+def response_ok(request_id: Optional[int], **fields: Any) -> Dict[str, Any]:
+    """Build one success response payload (server side)."""
+    payload: Dict[str, Any] = {"id": request_id, "ok": True}
+    payload.update(fields)
+    return payload
+
+
+def response_error(request_id: Optional[int], error: str) -> Dict[str, Any]:
+    """Build one failure response payload (server side)."""
+    return {"id": request_id, "ok": False, "error": error}
+
+
+async def read_message(reader) -> Optional[Dict[str, Any]]:
+    """Read one framed message from an asyncio stream reader.
+
+    Returns ``None`` on clean EOF. An overlong line (the stream was
+    created with ``limit=MAX_LINE_BYTES``) or malformed JSON raises
+    :class:`~repro.errors.ProtocolError`.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as exc:  # stream limit overrun
+        raise ProtocolError(
+            f"peer sent a line over the {MAX_LINE_BYTES}-byte cap"
+        ) from exc
+    if not line:
+        return None
+    return decode_message(line.rstrip(b"\n"))

@@ -1,0 +1,184 @@
+"""Asyncio stream server exposing a :class:`SchedulerService` over TCP.
+
+One connection handler per client, many concurrent clients: each reads
+newline-JSON requests (:mod:`repro.service.protocol`), routes them into
+the daemon, and writes one response line per request. Protocol faults
+(malformed JSON, unknown ops, missing fields) answer with an error
+response on the same connection — a confused client must never crash
+the daemon or poison other connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError, ReproError
+from repro.service.daemon import SchedulerService
+from repro.service.events import AdmitEvent, PhaseChangeEvent, RetireEvent
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    encode_message,
+    read_message,
+    response_error,
+    response_ok,
+)
+
+__all__ = ["ServiceServer"]
+
+
+def _field(message: Dict[str, Any], name: str, kind: type) -> Any:
+    """Extract one typed request field or raise a protocol error."""
+    try:
+        value = message[name]
+    except KeyError:
+        raise ProtocolError(f"request is missing field {name!r}") from None
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise ProtocolError(
+            f"field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+class ServiceServer:
+    """Serves one :class:`SchedulerService` on a TCP address.
+
+    ``port=0`` (the default) binds an ephemeral port; read the actual
+    address from :attr:`address` after :meth:`start`. The ``shutdown``
+    op answers its sender, then gracefully drains and stops both the
+    daemon and the server — :meth:`serve_until_closed` returns once
+    that completes.
+    """
+
+    def __init__(
+        self,
+        service: SchedulerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed = asyncio.Event()
+        self._shutdown_task: Optional[asyncio.Task] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise ReproError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+
+    async def close_listener(self) -> None:
+        """Stop accepting connections without touching the daemon.
+
+        Used by replay drivers that still need to settle the daemon
+        in-process after the wire traffic ends.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def stop(self) -> None:
+        """Close the listener and gracefully drain the daemon."""
+        await self.close_listener()
+        if self.service.running:
+            await self.service.stop(drain=True)
+        self._closed.set()
+
+    async def serve_until_closed(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) completes."""
+        await self._closed.wait()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection until EOF or a fatal frame error."""
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    # Framing is unrecoverable mid-stream: answer, drop.
+                    writer.write(encode_message(response_error(None, str(exc))))
+                    await writer.drain()
+                    return
+                if message is None:
+                    return
+                response = await self._respond(message)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except ConnectionResetError:
+            return  # client vanished mid-write; nothing left to answer
+        except asyncio.CancelledError:
+            # Listener teardown cancels in-flight handlers. Finishing
+            # normally keeps 3.11's stream callback from logging the
+            # cancellation as an unhandled exception.
+            return
+        finally:
+            writer.close()
+
+    async def _respond(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one request and build its response payload."""
+        request_id = message.get("id")
+        try:
+            version = message.get("v", PROTOCOL_VERSION)
+            if version > PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol version {version} is newer than this "
+                    f"server's {PROTOCOL_VERSION}"
+                )
+            op = _field(message, "op", str)
+            if op == "submit":
+                result = await self.service.submit_event(
+                    AdmitEvent(
+                        pid=_field(message, "pid", int),
+                        name=_field(message, "name", str),
+                    )
+                )
+                return response_ok(request_id, result=result)
+            if op == "retire":
+                result = await self.service.submit_event(
+                    RetireEvent(pid=_field(message, "pid", int))
+                )
+                return response_ok(request_id, result=result)
+            if op == "phase_change":
+                result = await self.service.submit_event(
+                    PhaseChangeEvent(
+                        pid=_field(message, "pid", int),
+                        name=_field(message, "name", str),
+                    )
+                )
+                return response_ok(request_id, result=result)
+            if op == "status":
+                return response_ok(request_id, status=self.service.status())
+            if op == "mapping":
+                return response_ok(
+                    request_id, **self.service.mapping_payload()
+                )
+            if op == "ping":
+                return response_ok(request_id, version=PROTOCOL_VERSION)
+            if op == "shutdown":
+                if self._shutdown_task is None:
+                    self._shutdown_task = asyncio.create_task(self.stop())
+                return response_ok(request_id, stopping=True)
+            raise ProtocolError(f"unknown op {op!r}")
+        except ReproError as exc:
+            return response_error(request_id, str(exc))

@@ -6,6 +6,13 @@ from repro.workloads.aim9 import (
     make_aim9_generator,
     true_footprint_schedule,
 )
+from repro.workloads.arrivals import (
+    EVENT_KINDS,
+    ArrivalEvent,
+    ArrivalTrace,
+    bursty_trace,
+    poisson_trace,
+)
 from repro.workloads.base import BLOCK_BYTES, TraceGenerator, WorkloadProfile
 from repro.workloads.parsec import (
     PARSEC_PROFILES,
@@ -32,6 +39,11 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "EVENT_KINDS",
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "bursty_trace",
+    "poisson_trace",
     "aim9_phases",
     "make_aim9_generator",
     "true_footprint_schedule",

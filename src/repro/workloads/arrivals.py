@@ -1,0 +1,307 @@
+"""Seeded arrival traces for the online scheduling service.
+
+The batch methodology simulates a *fixed* process set; the service
+(:mod:`repro.service`) schedules a *churning* one. This module supplies
+the churn: deterministic admit/retire/phase-change event streams over
+the 12 SPEC-like profiles, generated from an explicit seed so a load
+replay (``repro.service.replay``) is exactly repeatable.
+
+Two arrival processes are provided:
+
+* :func:`poisson_trace` — memoryless arrivals with exponential
+  inter-arrival gaps, the classic open-system model.
+* :func:`bursty_trace` — alternating admission bursts (many arrivals in
+  tight succession) and calm drain periods, the adversarial shape for
+  an incremental remapper because drift accumulates fastest inside a
+  burst.
+
+The live population performs a reflected random walk between
+``min_live`` and ``max_live``: an admit below the floor bootstraps the
+system, and the ceiling converts further arrivals into departures.
+Event times are simulated seconds since trace start — they order and
+pace a replay, they are never read from a wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workloads.spec import spec_profile_names
+
+__all__ = [
+    "EVENT_KINDS",
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "poisson_trace",
+    "bursty_trace",
+]
+
+#: The event kinds an arrival trace may contain, in no particular order.
+EVENT_KINDS: Tuple[str, ...] = ("admit", "retire", "phase_change")
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One scheduling event in an arrival trace.
+
+    ``time`` is simulated seconds since trace start (pacing only);
+    ``pid`` identifies the process across its admit/phase/retire
+    lifecycle; ``name`` is the workload profile the process runs —
+    for a retire it records the profile being retired.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    pid: int
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A deterministic sequence of arrival events plus its provenance.
+
+    ``kind`` names the generating process (``poisson`` / ``bursty``)
+    and ``seed`` the root seed, so a report can state exactly which
+    trace it replayed.
+    """
+
+    kind: str
+    seed: int
+    events: Tuple[ArrivalEvent, ...]
+
+    def __len__(self) -> int:
+        """Number of events in the trace."""
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        """Iterate events in submission order."""
+        return iter(self.events)
+
+    def final_population(self) -> Dict[int, str]:
+        """pid -> profile name of every process still live at trace end."""
+        live: Dict[int, str] = {}
+        for event in self.events:
+            if event.kind == "retire":
+                live.pop(event.pid, None)
+            else:
+                live[event.pid] = event.name
+        return live
+
+    def peak_population(self) -> int:
+        """Largest number of simultaneously live processes."""
+        live = 0
+        peak = 0
+        for event in self.events:
+            if event.kind == "admit":
+                live += 1
+                peak = max(peak, live)
+            elif event.kind == "retire":
+                live -= 1
+        return peak
+
+
+def _validate(
+    num_events: int,
+    pool: Sequence[str],
+    min_live: int,
+    max_live: int,
+    phase_fraction: float,
+) -> None:
+    """Reject impossible trace parameters with actionable messages."""
+    if num_events < 1:
+        raise WorkloadError(f"num_events must be >= 1, got {num_events}")
+    if not pool:
+        raise WorkloadError("profile pool must not be empty")
+    if len(set(pool)) != len(pool):
+        raise WorkloadError("profile pool contains duplicates")
+    if min_live < 1:
+        raise WorkloadError(f"min_live must be >= 1, got {min_live}")
+    if max_live < min_live:
+        raise WorkloadError(
+            f"max_live ({max_live}) must be >= min_live ({min_live})"
+        )
+    if not 0.0 <= phase_fraction < 1.0:
+        raise WorkloadError(
+            f"phase_fraction must be in [0, 1), got {phase_fraction}"
+        )
+    if phase_fraction > 0.0 and len(pool) < 2:
+        raise WorkloadError(
+            "phase changes need at least two profiles to switch between"
+        )
+
+
+class _TraceBuilder:
+    """Shared state machine for both arrival processes.
+
+    Holds the live-process table and emits admit/retire/phase-change
+    events, enforcing the ``min_live``/``max_live`` reflecting barriers
+    so callers only choose *intent* — the builder converts an illegal
+    intent into the nearest legal one (an admit over the ceiling
+    becomes a retire, a retire under the floor becomes an admit).
+    """
+
+    def __init__(
+        self,
+        rng,
+        pool: Sequence[str],
+        min_live: int,
+        max_live: int,
+    ) -> None:
+        self.rng = rng
+        self.pool = list(pool)
+        self.min_live = min_live
+        self.max_live = max_live
+        self.live: Dict[int, str] = {}
+        self.events: List[ArrivalEvent] = []
+        self._next_pid = 1
+        self._time = 0.0
+
+    def advance(self, mean_gap: float) -> None:
+        """Advance simulated time by one exponential inter-arrival gap."""
+        self._time += float(self.rng.exponential(mean_gap))
+
+    def _pick_live(self) -> int:
+        """A uniformly random live pid (sorted order keeps this stable)."""
+        pids = sorted(self.live)
+        return pids[int(self.rng.integers(len(pids)))]
+
+    def _emit(self, kind: str, pid: int, name: str) -> None:
+        self.events.append(
+            ArrivalEvent(
+                seq=len(self.events),
+                time=self._time,
+                kind=kind,
+                pid=pid,
+                name=name,
+            )
+        )
+
+    def admit(self) -> None:
+        """Admit a fresh process running a uniformly drawn profile."""
+        pid = self._next_pid
+        self._next_pid += 1
+        name = self.pool[int(self.rng.integers(len(self.pool)))]
+        self.live[pid] = name
+        self._emit("admit", pid, name)
+
+    def retire(self) -> None:
+        """Retire a uniformly drawn live process."""
+        pid = self._pick_live()
+        name = self.live.pop(pid)
+        self._emit("retire", pid, name)
+
+    def phase_change(self) -> None:
+        """Switch a live process to a different uniformly drawn profile."""
+        pid = self._pick_live()
+        candidates = [n for n in self.pool if n != self.live[pid]]
+        name = candidates[int(self.rng.integers(len(candidates)))]
+        self.live[pid] = name
+        self._emit("phase_change", pid, name)
+
+    def step(self, kind: str) -> None:
+        """Emit one event of intent *kind*, clamped to the barriers."""
+        population = len(self.live)
+        if population < self.min_live:
+            self.admit()
+        elif kind == "admit" and population >= self.max_live:
+            self.retire()
+        elif kind == "admit":
+            self.admit()
+        elif kind == "phase_change":
+            self.phase_change()
+        else:
+            self.retire()
+
+
+def _intent(rng, p_admit: float, p_phase: float) -> str:
+    """Draw one event intent from the (admit, phase, retire) simplex."""
+    u = float(rng.random())
+    if u < p_admit:
+        return "admit"
+    if u < p_admit + p_phase:
+        return "phase_change"
+    return "retire"
+
+
+def poisson_trace(
+    num_events: int,
+    seed: int,
+    *,
+    pool: Optional[Sequence[str]] = None,
+    mean_interarrival: float = 1.0,
+    min_live: int = 2,
+    max_live: int = 12,
+    phase_fraction: float = 0.1,
+) -> ArrivalTrace:
+    """A memoryless arrival trace: exponential gaps, balanced churn.
+
+    Each event is an admit or retire with equal probability (so the
+    live population random-walks between the barriers), except that a
+    ``phase_fraction`` slice of events becomes a phase change of one
+    live process instead. Defaults draw from the full 12-profile
+    SPEC-like pool.
+    """
+    names = list(pool) if pool is not None else list(spec_profile_names())
+    _validate(num_events, names, min_live, max_live, phase_fraction)
+    if mean_interarrival <= 0:
+        raise WorkloadError(
+            f"mean_interarrival must be > 0, got {mean_interarrival}"
+        )
+    builder = _TraceBuilder(make_rng(seed), names, min_live, max_live)
+    remaining_churn = 1.0 - phase_fraction
+    while len(builder.events) < num_events:
+        builder.advance(mean_interarrival)
+        builder.step(
+            _intent(builder.rng, remaining_churn / 2.0, phase_fraction)
+        )
+    return ArrivalTrace(
+        kind="poisson", seed=seed, events=tuple(builder.events)
+    )
+
+
+def bursty_trace(
+    num_events: int,
+    seed: int,
+    *,
+    pool: Optional[Sequence[str]] = None,
+    burst_length: int = 8,
+    burst_interarrival: float = 0.05,
+    calm_interarrival: float = 2.0,
+    min_live: int = 2,
+    max_live: int = 12,
+    phase_fraction: float = 0.1,
+) -> ArrivalTrace:
+    """An ON/OFF arrival trace: admission bursts, then drain periods.
+
+    During a burst (geometric length around ``burst_length``) events
+    arrive with tiny exponential gaps and are strongly admit-biased;
+    between bursts the system drains with large gaps and a retire bias.
+    This is the stress shape for incremental remapping — drift
+    accumulates fastest when many arrivals land between full remaps.
+    """
+    names = list(pool) if pool is not None else list(spec_profile_names())
+    _validate(num_events, names, min_live, max_live, phase_fraction)
+    if burst_length < 1:
+        raise WorkloadError(f"burst_length must be >= 1, got {burst_length}")
+    if burst_interarrival <= 0 or calm_interarrival <= 0:
+        raise WorkloadError("inter-arrival means must be > 0")
+    builder = _TraceBuilder(make_rng(seed), names, min_live, max_live)
+    rng = builder.rng
+    bursting = True
+    remaining = int(rng.geometric(1.0 / burst_length))
+    while len(builder.events) < num_events:
+        if remaining == 0:
+            bursting = not bursting
+            remaining = int(rng.geometric(1.0 / burst_length))
+        remaining -= 1
+        if bursting:
+            builder.advance(burst_interarrival)
+            builder.step(_intent(rng, 0.8, phase_fraction / 2.0))
+        else:
+            builder.advance(calm_interarrival)
+            builder.step(_intent(rng, 0.2, phase_fraction))
+    return ArrivalTrace(kind="bursty", seed=seed, events=tuple(builder.events))

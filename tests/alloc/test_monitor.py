@@ -101,3 +101,52 @@ class TestMonitor:
     def test_invalid_interval(self):
         with pytest.raises(AllocationError):
             UserLevelMonitor(WeightSortPolicy(), interval_cycles=0.0)
+
+
+class TestMonitorMemo:
+    """Signature-digest memoization (skip allocate on unchanged input)."""
+
+    def test_memo_hit_on_unchanged_snapshot(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        first = mon.invoke(syscall)
+        second = mon.invoke(syscall)
+        assert second == first
+        assert mon.memo_hits == 1
+        # Hits still land in the decision log for the majority vote.
+        assert mon.decisions == [first, second]
+
+    def test_memo_miss_after_snapshot_changes(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        mon.invoke(syscall)
+        # Advance the simulator: new fills + a switch change the digest.
+        rng = np.random.default_rng(7)
+        sig.record_fill_batch(0, rng.integers(0, 1 << 20, 10))
+        sched.context_switch(0)
+        mon.invoke(syscall)
+        assert mon.memo_hits == 0
+
+    def test_memoize_off_switch(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(
+            WeightSortPolicy(), interval_cycles=100.0, memoize=False
+        )
+        first = mon.invoke(syscall)
+        second = mon.invoke(syscall)
+        assert second == first
+        assert mon.memo_hits == 0
+
+    def test_reset_clears_memo(self):
+        sched, sig, syscall, tasks = make_env()
+        warm_contexts(sched, sig, tasks)
+        mon = UserLevelMonitor(WeightSortPolicy(), interval_cycles=100.0)
+        mon.invoke(syscall)
+        mon.reset()
+        assert mon.memo_hits == 0
+        mon.invoke(syscall)
+        # First invocation after reset recomputes from scratch.
+        assert mon.memo_hits == 0

@@ -1,0 +1,26 @@
+"""Fixture: the sanctioned async patterns RPR501 must not flag."""
+
+import asyncio
+import time
+
+
+async def pace(interval):
+    """asyncio.sleep yields the loop — the correct way to wait."""
+    await asyncio.sleep(interval)
+
+
+async def offload(path):
+    """Blocking work wrapped in a nested sync helper for an executor."""
+
+    def read_blocking():
+        """Runs in the executor's thread, not on the event loop."""
+        with open(path) as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_blocking)
+
+
+def synchronous_helper(interval):
+    """Plain sync code may sleep; only coroutine bodies are constrained."""
+    time.sleep(interval)

@@ -1,0 +1,49 @@
+"""RPR5xx service-responsiveness rules: blocking calls in coroutines."""
+
+from tests.lint.conftest import codes_of
+
+#: Pretend module placing a fixture inside the service package.
+SERVICE_MODULE = "repro.service._lint_fixture"
+
+
+def test_blocking_fixture_flags_every_call(lint_fixture):
+    violations = lint_fixture("svc_async_bad.py", module=SERVICE_MODULE)
+    assert codes_of(violations) == ["RPR501", "RPR501", "RPR501", "RPR501"]
+
+
+def test_sanctioned_patterns_are_clean(lint_fixture):
+    assert lint_fixture("svc_async_ok.py", module=SERVICE_MODULE) == []
+
+
+def test_rule_is_scoped_to_the_service_package(lint_fixture):
+    # The same blocking code is legal outside repro.service — worker
+    # bootstrap and the jobs layer sleep synchronously by design.
+    assert lint_fixture("svc_async_bad.py", module="repro.jobs._fx") == []
+    assert lint_fixture("svc_async_bad.py", module="repro.perf._fx") == []
+
+
+def test_nested_sync_def_is_the_escape_hatch(lint_fixture):
+    source = (
+        '"""Doc."""\n'
+        "import time\n"
+        "async def outer():\n"
+        '    """Dispatches the nested helper to an executor."""\n'
+        "    def helper():\n"
+        '        """Blocking by design; runs off-loop."""\n'
+        "        time.sleep(1)\n"
+        "    return helper\n"
+    )
+    from repro.lint import lint_source
+
+    assert lint_source("svc.py", source, module=SERVICE_MODULE) == []
+
+
+def test_service_package_itself_is_clean():
+    # The shipped daemon must satisfy its own responsiveness rule.
+    from pathlib import Path
+
+    from repro.lint import lint_paths
+
+    root = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+    result = lint_paths([root])
+    assert [v for v in result.violations if v.code.startswith("RPR5")] == []

@@ -1,0 +1,165 @@
+"""Incremental mapper: stable policies, drift, repair, equivalence."""
+
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.alloc.weighted import WeightedInterferenceGraphPolicy
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.mapper import IncrementalMapper, MapDecision, StablePolicy
+from repro.service.registry import ProcessRegistry
+
+PROFILES = [
+    "mcf", "povray", "astar", "milc", "gcc", "bzip2", "hmmer", "sjeng",
+]
+
+
+def make_views(count, num_cores=2, observations=3):
+    """A registry snapshot of *count* deterministic processes."""
+    reg = ProcessRegistry(num_cores)
+    for pid in range(1, count + 1):
+        reg.admit(pid, PROFILES[(pid - 1) % len(PROFILES)])
+    for _ in range(observations):
+        for pid in range(1, count + 1):
+            reg.observe(pid)
+    return reg.views()
+
+
+class TestStablePolicy:
+    def test_pure_function_of_the_snapshot(self):
+        views = make_views(6)
+        stable = StablePolicy(WeightedInterferenceGraphPolicy(seed=5))
+        first = stable.allocate(views, 2)
+        for _ in range(3):
+            assert stable.allocate(views, 2) == first
+
+    def test_wrapped_counter_is_restored(self):
+        policy = WeightedInterferenceGraphPolicy(seed=5)
+        policy._invocations = 7
+        StablePolicy(policy).allocate(make_views(4), 2)
+        assert policy._invocations == 7
+
+    def test_policies_without_counters_work(self):
+        stable = StablePolicy(WeightSortPolicy())
+        assert stable.name == "stable(weight_sort)"
+        views = make_views(4)
+        assert stable.allocate(views, 2) == stable.allocate(views, 2)
+
+
+class TestMapperBasics:
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalMapper(WeightSortPolicy(), 0)
+        with pytest.raises(ConfigurationError):
+            IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=0)
+
+    def test_admit_is_incremental_and_balanced(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            decision = mapper.admit(views, pid)
+            assert isinstance(decision, MapDecision)
+            assert decision.action == "incremental"
+            assert decision.moved == ()  # arrivals never displace others
+        sizes = sorted(len(g) for g in mapper.mapping.groups)
+        assert sizes == [2, 2]
+        assert mapper.incremental_updates == 4
+        assert mapper.full_remaps == 0
+
+    def test_admit_of_missing_view_is_rejected(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        with pytest.raises(ServiceError):
+            mapper.admit(make_views(2), 99)
+
+    def test_retire_unknown_pid_is_rejected(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        with pytest.raises(ServiceError):
+            mapper.retire(make_views(2), 99)
+
+    def test_phase_change_unknown_pid_is_rejected(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2)
+        with pytest.raises(ServiceError):
+            mapper.phase_change(make_views(2), 99)
+
+    def test_retire_rebalances(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        views = make_views(6)
+        for pid in range(1, 7):
+            mapper.admit(views, pid)
+        # Retire both members of one group; rebalance must keep the
+        # size gap at <= 1 without a full remap.
+        groups = [sorted(g) for g in mapper.mapping.groups]
+        victims = groups[0][:2]
+        remaining = make_views(6)
+        for pid in victims:
+            remaining = [v for v in remaining if v.tid != pid]
+            mapper.retire(remaining, pid)
+        sizes = sorted(len(g) for g in mapper.mapping.groups)
+        assert sizes == [2, 2]
+        assert mapper.full_remaps == 0
+
+    def test_phase_change_forces_full_remap(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        assert mapper.drift == 4
+        decision = mapper.phase_change(views, 2)
+        assert decision.action == "full"
+        assert mapper.drift == 0
+        assert mapper.full_remaps == 1
+
+
+class TestDrift:
+    def test_threshold_triggers_full_remap(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=3)
+        views = make_views(4)
+        assert mapper.admit(views, 1).action == "incremental"
+        assert mapper.admit(views, 2).action == "incremental"
+        assert mapper.drift == 2
+        decision = mapper.admit(views, 3)  # drift would reach 3: full
+        assert decision.action == "full"
+        assert mapper.drift == 0
+
+    def test_threshold_one_disables_incrementality(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=1)
+        views = make_views(3)
+        for pid in (1, 2, 3):
+            assert mapper.admit(views, pid).action == "full"
+        assert mapper.incremental_updates == 0
+
+    def test_settle_always_full_remaps(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        views = make_views(2)
+        mapper.admit(views, 1)
+        mapper.admit(views, 2)
+        first = mapper.settle(views)
+        assert first.action == "full"
+        # Even with zero drift: settle pins the equivalence contract.
+        second = mapper.settle(views)
+        assert second.action == "full"
+        assert second.mapping == first.mapping
+
+
+class TestOracle:
+    def test_oracle_is_a_pure_query(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2, drift_threshold=100)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        before = (mapper.drift, mapper.mapping, mapper.full_remaps)
+        mapper.oracle(views)
+        assert (mapper.drift, mapper.mapping, mapper.full_remaps) == before
+
+    def test_settle_matches_oracle_on_the_same_views(self):
+        for policy_cls in (WeightSortPolicy,):
+            mapper = IncrementalMapper(policy_cls(), 2, drift_threshold=100)
+            views = make_views(6)
+            for pid in range(1, 7):
+                mapper.admit(views, pid)
+            fresh = make_views(6)
+            assert mapper.settle(fresh).mapping == mapper.oracle(fresh)
+
+    def test_oracle_of_empty_views_is_the_empty_mapping(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 3)
+        mapping = mapper.oracle([])
+        assert all(len(g) == 0 for g in mapping.groups)

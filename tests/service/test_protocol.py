@@ -1,0 +1,95 @@
+"""Wire protocol framing: encode/decode, caps, stream reading."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    read_message,
+    request,
+    response_error,
+    response_ok,
+)
+
+
+def test_encode_decode_roundtrip():
+    payload = {"op": "submit", "id": 3, "pid": 7, "name": "mcf"}
+    line = encode_message(payload)
+    assert line.endswith(b"\n")
+    assert b" " not in line  # compact separators
+    assert decode_message(line.rstrip(b"\n")) == payload
+
+
+def test_encode_is_canonical():
+    a = encode_message({"b": 1, "a": 2})
+    b = encode_message({"a": 2, "b": 1})
+    assert a == b  # sorted keys: key order never leaks onto the wire
+
+
+def test_encode_rejects_oversized_payloads():
+    with pytest.raises(ProtocolError):
+        encode_message({"blob": "x" * MAX_LINE_BYTES})
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        decode_message(b"{not json")
+    with pytest.raises(ProtocolError):
+        decode_message(b'"a bare string"')
+    with pytest.raises(ProtocolError):
+        decode_message(b"\xff\xfe")
+    with pytest.raises(ProtocolError):
+        decode_message(b"x" * (MAX_LINE_BYTES + 1))
+
+
+def test_request_builder():
+    payload = request("status", 5)
+    assert payload == {"v": PROTOCOL_VERSION, "op": "status", "id": 5}
+    with pytest.raises(ProtocolError):
+        request("no-such-op", 1)
+    assert set(OPS) >= {"submit", "retire", "status", "shutdown"}
+
+
+def test_response_builders():
+    ok = response_ok(4, result={"x": 1})
+    assert ok["ok"] is True and ok["id"] == 4
+    err = response_error(None, "boom")
+    assert err == {"id": None, "ok": False, "error": "boom"}
+
+
+def _feed(data, *, eof=True, limit=MAX_LINE_BYTES):
+    reader = asyncio.StreamReader(limit=limit)
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def test_read_message_roundtrip():
+    async def run():
+        reader = _feed(encode_message({"op": "ping", "id": 1}))
+        return await read_message(reader)
+
+    assert asyncio.run(run()) == {"op": "ping", "id": 1}
+
+
+def test_read_message_eof_is_none():
+    async def run():
+        return await read_message(_feed(b""))
+
+    assert asyncio.run(run()) is None
+
+
+def test_read_message_overlong_line_raises():
+    async def run():
+        reader = _feed(b"x" * 2048, eof=False, limit=1024)
+        return await read_message(reader)
+
+    with pytest.raises(ProtocolError):
+        asyncio.run(run())

@@ -1,0 +1,216 @@
+"""Client/server protocol round trips over real TCP sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.daemon import SchedulerService, ServiceConfig
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+)
+from repro.service.server import ServiceServer
+
+
+async def start_stack(**config_overrides):
+    """A running daemon + server on an ephemeral localhost port."""
+    defaults = dict(num_cores=2, queue_capacity=32)
+    defaults.update(config_overrides)
+    service = SchedulerService(WeightSortPolicy(), ServiceConfig(**defaults))
+    await service.start()
+    server = ServiceServer(service, host="127.0.0.1", port=0)
+    await server.start()
+    return service, server
+
+
+def test_address_requires_start():
+    service = SchedulerService(WeightSortPolicy())
+    with pytest.raises(ReproError):
+        ServiceServer(service).address
+
+
+def test_ping_and_full_event_round_trip():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port)
+        try:
+            pong = await client.ping()
+            assert pong["ok"] and pong["version"] == PROTOCOL_VERSION
+            admit = await client.submit(1, "mcf")
+            assert admit["ok"] and admit["result"]["kind"] == "admit"
+            await client.submit(2, "povray")
+            phase = await client.phase_change(1, "astar")
+            assert phase["ok"] and phase["result"]["action"] == "full"
+            status = await client.status()
+            assert status["status"]["registry"]["population"] == 2
+            mapping = await client.mapping()
+            assert mapping["population"] == 2
+            retire = await client.retire(2)
+            assert retire["ok"] and retire["result"]["population"] == 1
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_rejections_travel_as_ok_false():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port)
+        try:
+            await client.submit(1, "mcf")
+            dup = await client.submit(1, "mcf")
+            assert dup["ok"] is True  # transport ok...
+            assert dup["result"]["ok"] is False  # ...decision rejected
+            # A daemon-level error (unknown pid) still answers.
+            gone = await client.retire(99)
+            assert gone["result"]["ok"] is False
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+async def raw_exchange(host, port, payload_bytes):
+    """Send raw bytes, return the first decoded response line."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES
+    )
+    try:
+        writer.write(payload_bytes)
+        await writer.drain()
+        line = await reader.readline()
+        return decode_message(line.rstrip(b"\n"))
+    finally:
+        writer.close()
+
+
+def test_malformed_json_answers_then_drops_the_connection():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        try:
+            response = await raw_exchange(host, port, b"{broken\n")
+            assert response["ok"] is False
+            assert "malformed" in response["error"]
+            # The daemon survives the confused client.
+            client = await ServiceClient.connect(host, port)
+            assert (await client.ping())["ok"]
+            await client.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_unknown_op_and_missing_fields_answer_errors():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        try:
+            bad_op = await raw_exchange(
+                host, port,
+                encode_message({"v": 1, "op": "explode", "id": 1}),
+            )
+            assert bad_op["ok"] is False and "unknown op" in bad_op["error"]
+            missing = await raw_exchange(
+                host, port,
+                encode_message({"v": 1, "op": "submit", "id": 2, "pid": 1}),
+            )
+            assert missing["ok"] is False and "name" in missing["error"]
+            wrong_type = await raw_exchange(
+                host, port,
+                encode_message(
+                    {"v": 1, "op": "retire", "id": 3, "pid": "seven"}
+                ),
+            )
+            assert wrong_type["ok"] is False and "int" in wrong_type["error"]
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_future_protocol_versions_are_rejected():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        try:
+            response = await raw_exchange(
+                host, port,
+                encode_message(
+                    {"v": PROTOCOL_VERSION + 1, "op": "ping", "id": 1}
+                ),
+            )
+            assert response["ok"] is False
+            assert "version" in response["error"]
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_shutdown_op_drains_and_stops_everything():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port)
+        await client.submit(1, "mcf")
+        reply = await client.shutdown()
+        assert reply["ok"] and reply["stopping"] is True
+        await asyncio.wait_for(server.serve_until_closed(), timeout=5.0)
+        assert not service.running
+        assert service.events_processed == 1
+        await client.close()
+        # New connections are refused once the listener is gone.
+        with pytest.raises(OSError):
+            await ServiceClient.connect(host, port)
+
+    asyncio.run(run())
+
+
+def test_overlong_line_is_answered_and_the_connection_dropped():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        try:
+            writer.write(b"x" * (MAX_LINE_BYTES + 10) + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            response = decode_message(line.rstrip(b"\n"))
+            assert response["ok"] is False and "cap" in response["error"]
+            assert await reader.read() == b""  # server hung up on us
+        finally:
+            writer.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_surviving_connections_refuse_work_after_stop():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port)
+        try:
+            await server.stop()  # listener closed, daemon drained...
+            refused = await client.submit(1, "mcf")
+            # ...but the open connection still answers — with a refusal.
+            assert refused["ok"] is False
+            assert "not accepting" in refused["error"]
+        finally:
+            await client.close()
+
+    asyncio.run(run())

@@ -1,0 +1,145 @@
+"""Seeded arrival traces: determinism, barriers, validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.arrivals import (
+    EVENT_KINDS,
+    ArrivalTrace,
+    bursty_trace,
+    poisson_trace,
+)
+from repro.workloads.spec import spec_profile_names
+
+
+@pytest.mark.parametrize("factory", [poisson_trace, bursty_trace])
+class TestTraceInvariants:
+    def test_same_seed_same_trace(self, factory):
+        a = factory(200, seed=7)
+        b = factory(200, seed=7)
+        assert a.events == b.events
+        assert a.seed == b.seed == 7
+
+    def test_different_seeds_differ(self, factory):
+        assert factory(200, seed=1).events != factory(200, seed=2).events
+
+    def test_length_and_sequencing(self, factory):
+        trace = factory(150, seed=3)
+        assert len(trace) == 150
+        assert [e.seq for e in trace] == list(range(150))
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert all(t >= 0.0 for t in times)
+
+    def test_kinds_and_profiles_are_legal(self, factory):
+        trace = factory(300, seed=5)
+        names = set(spec_profile_names())
+        for event in trace:
+            assert event.kind in EVENT_KINDS
+            assert event.name in names
+
+    def test_population_respects_barriers(self, factory):
+        trace = factory(500, seed=9, min_live=2, max_live=6)
+        live = set()
+        for event in trace:
+            if event.kind == "admit":
+                assert event.pid not in live
+                live.add(event.pid)
+            elif event.kind == "retire":
+                assert event.pid in live
+                live.remove(event.pid)
+            else:
+                assert event.pid in live
+            assert len(live) <= 6
+            # The floor may be crossed by exactly one departure before
+            # the builder's next step re-admits.
+            assert len(live) >= 1 or event.seq == 0
+
+    def test_phase_fraction_zero_means_no_phase_changes(self, factory):
+        trace = factory(300, seed=4, phase_fraction=0.0)
+        assert all(e.kind != "phase_change" for e in trace)
+
+    def test_phase_changes_switch_profiles(self, factory):
+        trace = factory(400, seed=6)
+        profile = {}
+        for event in trace:
+            if event.kind == "phase_change":
+                assert profile[event.pid] != event.name
+            if event.kind == "retire":
+                profile.pop(event.pid)
+            else:
+                profile[event.pid] = event.name
+
+    def test_final_and_peak_population_helpers(self, factory):
+        trace = factory(250, seed=8, min_live=2, max_live=7)
+        live = {}
+        peak = 0
+        for event in trace:
+            if event.kind == "retire":
+                live.pop(event.pid)
+            else:
+                live[event.pid] = event.name
+            peak = max(peak, len(live))
+        assert trace.final_population() == live
+        assert trace.peak_population() == peak
+
+
+class TestValidation:
+    def test_rejects_bad_num_events(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(0, seed=0)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, pool=[])
+
+    def test_rejects_duplicate_pool(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, pool=["mcf", "mcf"])
+
+    def test_rejects_bad_barriers(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, min_live=0)
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, min_live=5, max_live=4)
+
+    def test_rejects_bad_phase_fraction(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, phase_fraction=1.0)
+
+    def test_phase_changes_need_two_profiles(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, pool=["mcf"], phase_fraction=0.1)
+        # A single-profile pool is fine without phase changes.
+        trace = poisson_trace(
+            10, seed=0, pool=["mcf"], phase_fraction=0.0, min_live=1
+        )
+        assert len(trace) == 10
+
+    def test_rejects_bad_interarrival(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(10, seed=0, mean_interarrival=0.0)
+        with pytest.raises(WorkloadError):
+            bursty_trace(10, seed=0, burst_interarrival=0.0)
+        with pytest.raises(WorkloadError):
+            bursty_trace(10, seed=0, burst_length=0)
+
+
+def test_bursty_has_tighter_gaps_inside_bursts():
+    trace = bursty_trace(
+        600, seed=12, burst_interarrival=0.05, calm_interarrival=2.0
+    )
+    gaps = [
+        b.time - a.time for a, b in zip(trace.events, trace.events[1:])
+    ]
+    # Bimodal gap distribution: plenty of sub-0.3s burst gaps AND
+    # plenty of >0.5s calm gaps in the same trace.
+    assert sum(1 for g in gaps if g < 0.3) > 100
+    assert sum(1 for g in gaps if g > 0.5) > 50
+
+
+def test_trace_is_a_frozen_value():
+    trace = poisson_trace(20, seed=1)
+    assert isinstance(trace, ArrivalTrace)
+    with pytest.raises(AttributeError):
+        trace.seed = 2
