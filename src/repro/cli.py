@@ -22,10 +22,17 @@ Subcommands
 ``serve``
     Run the online scheduling daemon (:mod:`repro.service`): admits and
     retires processes dynamically over a newline-JSON TCP protocol and
-    remaps cores incrementally — see ``docs/service.md``.
+    remaps cores incrementally — see ``docs/service.md``. With
+    ``--state-dir`` the daemon is crash-consistent (event WAL +
+    snapshots, :mod:`repro.durable`); ``--recover`` rebuilds its exact
+    pre-crash state from that directory. ``--request-timeout`` and
+    ``--shed-queue-depth`` arm the overload protections.
 ``submit``
     One-shot client for a running daemon: admit/retire/phase-change a
     process, or query status/mapping, printing the JSON response.
+    ``--timeout`` bounds connect/read (loud ``ServiceTimeout`` instead
+    of hanging); ``--client-id`` tags mutating ops for idempotent
+    retries.
 
 All commands accept ``--seed`` for reproducibility; ``mix`` and
 ``pairwise`` accept ``--instructions`` to trade fidelity for speed.
@@ -75,6 +82,7 @@ from repro.analysis.report import (
     render_sweep,
     render_table1,
 )
+from repro.durable import DurabilityManager
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.jobs import Orchestrator
 from repro.lint import cli as lint_cli
@@ -188,6 +196,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="incremental updates tolerated before a full remap "
         "(default: 16)",
     )
+    serve.add_argument(
+        "--state-dir", default=None,
+        help="durability directory (event WAL + snapshots); omit for a "
+        "purely in-memory daemon",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="rebuild daemon state from --state-dir before serving "
+        "(snapshot + WAL tail replay)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=_positive_int, default=256,
+        help="events between durable state snapshots (default: 256)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-request deadline in seconds for mutating ops "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--shed-queue-depth", type=_positive_int, default=None,
+        help="shed mutating requests with 'overloaded' once the "
+        "admission queue is this deep (default: never shed)",
+    )
+    serve.add_argument(
+        "--stale-after", type=float, default=None,
+        help="seconds of event silence before status reports "
+        "degraded=true (default: never)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -212,6 +249,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, required=True)
+    submit.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="connect/read deadline in seconds (default: 30)",
+    )
+    submit.add_argument(
+        "--client-id", default=None,
+        help="idempotency tag: re-running a one-shot command with the "
+        "same id is a safe retry of that ONE request (answered as a "
+        "duplicate, never re-applied) — use a distinct id per logical "
+        "request, or different requests dedup against each other",
+    )
 
     return parser
 
@@ -564,11 +612,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the scheduling daemon until a ``shutdown`` op or Ctrl-C."""
+    if args.recover and args.state_dir is None:
+        print("error: --recover requires --state-dir", file=sys.stderr)
+        return 2
     try:
         config = ServiceConfig(
             num_cores=args.cores,
             queue_capacity=args.queue_capacity,
             drift_threshold=args.drift_threshold,
+            stale_after_seconds=args.stale_after,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -576,12 +628,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cls = _POLICIES[args.policy]
     # WeightSortPolicy is deterministic by construction and takes no seed.
     policy = cls() if cls is WeightSortPolicy else cls(seed=args.seed)
-    service = SchedulerService(policy, config)
+    try:
+        if args.recover:
+            service = SchedulerService.recover(
+                policy,
+                config,
+                state_dir=args.state_dir,
+                snapshot_interval=args.snapshot_interval,
+            )
+            print(
+                f"recovered {service.events_processed} event(s) of state "
+                f"({service.recovered_events} replayed from the WAL tail, "
+                f"snapshot: {service.recovered_from_snapshot})",
+                flush=True,
+            )
+        elif args.state_dir is not None:
+            service = SchedulerService(
+                policy,
+                config,
+                durability=DurabilityManager(
+                    args.state_dir,
+                    snapshot_interval=args.snapshot_interval,
+                ),
+            )
+        else:
+            service = SchedulerService(policy, config)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     async def _serve() -> None:
         """Start the daemon, serve connections, and drain on exit."""
         await service.start()
-        server = ServiceServer(service, host=args.host, port=args.port)
+        server = ServiceServer(
+            service,
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+            shed_queue_depth=args.shed_queue_depth,
+        )
         try:
             await server.start()
         except OSError as exc:
@@ -628,7 +713,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 2
         fields = {"pid": args.pid}
     try:
-        response = call_once(args.host, args.port, args.op, **fields)
+        response = call_once(
+            args.host,
+            args.port,
+            args.op,
+            timeout=args.timeout,
+            client_id=args.client_id,
+            **fields,
+        )
     except (OSError, ReproError) as exc:
         print(
             f"error: no daemon reachable at {args.host}:{args.port}: {exc}",

@@ -20,6 +20,7 @@ __all__ = [
     "JobError",
     "ServiceError",
     "ProtocolError",
+    "ServiceTimeout",
 ]
 
 
@@ -76,3 +77,12 @@ class ServiceError(ReproError):
 
 class ProtocolError(ServiceError):
     """A malformed or oversized message on the service wire protocol."""
+
+
+class ServiceTimeout(ServiceError):
+    """A service client deadline expired (connect or read).
+
+    Raised instead of blocking forever on a dead or wedged peer; the
+    caller cannot tell whether the request was applied, so any retry
+    must reuse the same ``(client_id, seq)`` pair and rely on the
+    server's idempotency table."""

@@ -8,11 +8,12 @@ the invariant family (the catalogue in ``docs/static-analysis.md``):
 * ``RPR2xx`` — durability / robustness
 * ``RPR3xx`` — worker-safety (spawn-pool picklability)
 * ``RPR4xx`` — telemetry hygiene
-* ``RPR5xx`` — service responsiveness (``repro.service`` only)
+* ``RPR5xx`` — service responsiveness and durable-state discipline
+  (``repro.service`` / ``repro.durable``)
 
 Scopes keep package-level policy out of the rules themselves: a rule
 declares *where it applies* (``sim-core``, ``non-telemetry``,
-``service``, ``all``)
+``service``, ``durable``, ``all``)
 and the engine consults :class:`~repro.lint.context.ModuleContext` for
 the module's package. This is how wall-clock stays legal in
 ``repro.jobs`` and ``repro.telemetry`` — by package scope, not by
@@ -33,6 +34,7 @@ __all__ = [
     "SCOPE_SIM_CORE",
     "SCOPE_NON_TELEMETRY",
     "SCOPE_SERVICE",
+    "SCOPE_DURABLE",
     "Rule",
     "register",
     "all_rules",
@@ -50,9 +52,13 @@ SCOPE_SIM_CORE = "sim-core"
 SCOPE_NON_TELEMETRY = "non-telemetry"
 #: Rule applies only inside the online scheduling service package.
 SCOPE_SERVICE = "service"
+#: Rule applies to the packages that persist scheduler state: the
+#: durability layer itself and the service daemon that hosts it.
+SCOPE_DURABLE = "durable"
 
 _VALID_SCOPES = (
     SCOPE_ALL, SCOPE_SIM_CORE, SCOPE_NON_TELEMETRY, SCOPE_SERVICE,
+    SCOPE_DURABLE,
 )
 
 
@@ -76,6 +82,10 @@ class Rule:
             return not module.in_package("repro.telemetry")
         if self.scope == SCOPE_SERVICE:
             return module.in_package("repro.service")
+        if self.scope == SCOPE_DURABLE:
+            return module.in_package("repro.durable") or module.in_package(
+                "repro.service"
+            )
         return True
 
 

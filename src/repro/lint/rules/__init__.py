@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.lint.rules import (
     determinism,
     durability,
+    durable_publish,
     service_async,
     telemetry,
     worker_safety,
@@ -18,6 +19,7 @@ from repro.lint.rules import (
 __all__ = [
     "determinism",
     "durability",
+    "durable_publish",
     "service_async",
     "telemetry",
     "worker_safety",

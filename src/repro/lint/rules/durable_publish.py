@@ -1,0 +1,136 @@
+"""RPR502 — durable-state publish discipline for the durability layer.
+
+RPR201 already enforces fsync-before-``os.replace`` everywhere, but it
+resolves exactly one spelling of the commit point. The crash-consistent
+scheduler state (``repro.durable`` WAL/snapshots, ``repro.service``
+recovery) must not be publishable through a *different* rename that
+dodges the audit: ``os.rename``, ``shutil.move``, or the pathlib
+method forms ``Path.rename(target)`` / ``Path.replace(target)``. A
+rename made durable is a rename preceded by ``os.fsync`` of the data
+it publishes — otherwise a power loss between write and rename can
+commit an empty snapshot or a truncated WAL, which the recovery path
+would then faithfully replay as truth.
+
+The rule is scoped to the durable-state packages rather than global
+because the method-form detection is heuristic (any one-argument
+``.rename(...)``/``.replace(...)`` call); outside the packages that
+persist scheduler state the false-positive cost would outweigh the
+audit value. ``str.replace(old, new)`` takes two arguments and is
+never matched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.registry import SCOPE_DURABLE, register
+from repro.lint.violation import Violation
+
+__all__ = ["RENAME_CALLS"]
+
+#: Dotted call targets that publish a file by renaming it.
+RENAME_CALLS: Tuple[str, ...] = ("os.rename", "shutil.move")
+
+#: Method names whose one-argument form is a pathlib-style publish.
+_RENAME_METHODS = frozenset({"rename", "replace"})
+
+
+def _publish_label(call: ast.Call, module: ModuleContext) -> Optional[str]:
+    """Display label if *call* is a rename-family publish, else ``None``.
+
+    ``os.replace`` itself is excluded — that spelling is RPR201's
+    territory and flagging it twice would demand paired ``noqa``s.
+    """
+    resolved = module.resolve_call(call)
+    if resolved in RENAME_CALLS:
+        return resolved
+    if resolved is not None:
+        return None
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _RENAME_METHODS
+        and len(call.args) == 1
+        and not call.keywords
+    ):
+        return f".{func.attr}"
+    return None
+
+
+def _scope_calls(
+    scope: ast.AST, module: ModuleContext
+) -> Tuple[List[int], List[Tuple[int, str]]]:
+    """``(fsync_lines, rename_publishes)`` called directly by *scope*.
+
+    Nested ``def``/``class`` bodies are skipped — they are analysed as
+    their own scopes, so an outer fsync never excuses an inner rename.
+    """
+    fsyncs: List[int] = []
+    renames: List[Tuple[int, str]] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                if module.resolve_call(child) == "os.fsync":
+                    fsyncs.append(child.lineno)
+                else:
+                    label = _publish_label(child, module)
+                    if label is not None:
+                        renames.append((child.lineno, label))
+            visit(child)
+
+    visit(scope)
+    return fsyncs, renames
+
+
+@register(
+    "RPR502",
+    "durable-rename-without-fsync",
+    "rename-family publish of durable state without a preceding os.fsync",
+    scope=SCOPE_DURABLE,
+    rationale=(
+        "The WAL and snapshot files are the daemon's crash-recovery "
+        "truth. os.rename, shutil.move, and the pathlib rename/replace "
+        "methods publish a file just like os.replace but dodge the "
+        "RPR201 audit; without an os.fsync of the written data first, "
+        "a power loss can commit an empty or truncated state file that "
+        "recovery then replays as reality. Write to a temp file, "
+        "flush, fsync, then publish."
+    ),
+)
+def check_durable_rename_without_fsync(
+    module: ModuleContext,
+) -> Iterator[Violation]:
+    """Flag rename-family publishes with no earlier os.fsync in scope."""
+    scopes = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+    ]
+    for scope in scopes:
+        fsync_lines, renames = _scope_calls(scope, module)
+        first_fsync = min(fsync_lines) if fsync_lines else None
+        for line, label in renames:
+            if first_fsync is None or first_fsync > line:
+                yield Violation(
+                    path=module.path,
+                    line=line,
+                    col=1,
+                    code="RPR502",
+                    message=(
+                        f"{label}() publishes durable state without a "
+                        "preceding os.fsync in this function; a crash can "
+                        "commit an empty or truncated state file that "
+                        "recovery replays as truth (write-tmp, flush, "
+                        "fsync, then rename)"
+                    ),
+                    source=module.source_line(line),
+                )

@@ -34,10 +34,18 @@ from repro.service.events import (
     RetireEvent,
     SettleEvent,
     event_from_arrival,
+    event_from_payload,
+    event_to_payload,
 )
 from repro.service.mapper import IncrementalMapper, MapDecision, StablePolicy
 from repro.service.registry import ProcessHandle, ProcessRegistry
-from repro.service.replay import ReplayReport, run_replay, write_bench_json
+from repro.service.replay import (
+    RecoveryReport,
+    ReplayReport,
+    measure_recovery,
+    run_replay,
+    write_bench_json,
+)
 from repro.service.client import ServiceClient, call_once
 from repro.service.server import ServiceServer
 
@@ -49,12 +57,16 @@ __all__ = [
     "PhaseChangeEvent",
     "SettleEvent",
     "event_from_arrival",
+    "event_from_payload",
+    "event_to_payload",
     "IncrementalMapper",
     "MapDecision",
     "StablePolicy",
     "ProcessHandle",
     "ProcessRegistry",
+    "RecoveryReport",
     "ReplayReport",
+    "measure_recovery",
     "run_replay",
     "write_bench_json",
     "ServiceClient",

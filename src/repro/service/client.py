@@ -4,22 +4,42 @@
 sequential request/response); :func:`call_once` is the synchronous
 one-shot convenience the CLI's ``repro-cli submit`` uses — connect,
 send one request, return the decoded response.
+
+Liveness: every connect and every response read runs under a deadline
+(default 30 s) and raises a loud
+:class:`~repro.errors.ServiceTimeout` instead of blocking forever on a
+dead or half-open peer. A timed-out *mutating* request is ambiguous —
+the daemon may or may not have applied it — so the client tags every
+mutating request with a durable ``(client_id, seq)`` pair and offers
+:meth:`ServiceClient.resend_last`: after :meth:`ServiceClient.reconnect`
+(seeded capped-jitter backoff via
+:class:`~repro.supervise.retry.RetryPolicy`), the resend is answered
+from the server's idempotency table if the original was applied, and
+applied normally if it was lost. Either way: exactly once.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceTimeout
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     encode_message,
     read_message,
     request,
 )
+from repro.supervise.retry import RetryPolicy
 
-__all__ = ["ServiceClient", "call_once"]
+__all__ = ["DEFAULT_TIMEOUT", "ServiceClient", "call_once"]
+
+#: Default connect/read deadline in seconds (``None`` disables).
+DEFAULT_TIMEOUT = 30.0
+
+#: Ops whose requests mutate daemon state (and therefore carry the
+#: idempotency tag and are kept for :meth:`ServiceClient.resend_last`).
+_MUTATING_OPS = ("submit", "retire", "phase_change")
 
 
 class ServiceClient:
@@ -30,23 +50,73 @@ class ServiceClient:
     payloads — including error responses (``ok`` false), so callers
     decide whether a rejection is exceptional. A *transport* failure
     (connection dropped mid-call) raises
-    :class:`~repro.errors.ServiceError`.
+    :class:`~repro.errors.ServiceError`; an expired deadline raises
+    :class:`~repro.errors.ServiceTimeout`.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        client_id: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.timeout = timeout
+        self.client_id = client_id
+        self.retry = retry if retry is not None else RetryPolicy(
+            base=0.05, cap=2.0
+        )
         self._next_id = 0
+        self._seq = 0
+        self._last_mutating: Optional[Dict[str, Any]] = None
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        """Open a connection to the daemon at ``host:port``."""
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=MAX_LINE_BYTES
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        client_id: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "ServiceClient":
+        """Open a connection to the daemon at ``host:port``.
+
+        ``client_id`` arms idempotency tagging: every mutating request
+        carries ``(client_id, seq)`` with a per-connection-object
+        monotonic ``seq``, letting the server recognise resends.
+        """
+        reader, writer = await cls._open(host, port, timeout)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            timeout=timeout,
+            client_id=client_id,
+            retry=retry,
         )
-        return cls(reader, writer)
+
+    @staticmethod
+    async def _open(host: str, port: int, timeout: Optional[float]):
+        """Open one stream pair under the connect deadline."""
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=MAX_LINE_BYTES),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from None
 
     async def close(self) -> None:
         """Close the connection."""
@@ -56,18 +126,91 @@ class ServiceClient:
         except ConnectionResetError:
             pass  # server already gone; the socket is closed either way
 
-    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request and await its response payload."""
-        self._next_id += 1
-        payload = request(op, self._next_id, **fields)
+    async def reconnect(self, attempts: int = 5) -> None:
+        """Re-open the connection, backing off between failed tries.
+
+        Delays come from the client's seeded
+        :class:`~repro.supervise.retry.RetryPolicy` session — capped,
+        jittered, and deterministic per seed, so a herd of reconnecting
+        clients spreads out instead of stampeding the restarted daemon.
+        The request-id and ``seq`` counters survive, so
+        :meth:`resend_last` after a reconnect is recognised as a
+        duplicate if the old connection's request was applied.
+        """
+        if self._host is None or self._port is None:
+            raise ServiceError(
+                "cannot reconnect: client was built from raw streams"
+            )
+        try:
+            await self.close()
+        except OSError:
+            pass  # the old transport is beyond caring
+        session = self.retry.session()
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(session.next_delay())
+            try:
+                self._reader, self._writer = await self._open(
+                    self._host, self._port, self.timeout
+                )
+                return
+            except (ServiceTimeout, OSError) as exc:
+                last_error = exc
+        raise ServiceTimeout(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{attempts} attempts: {last_error}"
+        )
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _send(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Write one request payload and await its response line."""
+        op = payload.get("op", "?")
         self._writer.write(encode_message(payload))
         await self._writer.drain()
-        response = await read_message(self._reader)
+        try:
+            response = await asyncio.wait_for(
+                read_message(self._reader), self.timeout
+            )
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"no response to {op!r} within {self.timeout}s — peer dead "
+                "or wedged; reconnect() then resend_last() to retry safely"
+            ) from None
         if response is None:
             raise ServiceError(
                 f"connection closed before a response to {op!r} arrived"
             )
         return response
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and await its response payload.
+
+        Mutating ops are stamped with the idempotency tag (when
+        ``client_id`` is set) and remembered for :meth:`resend_last`.
+        """
+        self._next_id += 1
+        if op in _MUTATING_OPS and self.client_id is not None:
+            self._seq += 1
+            fields.setdefault("client", self.client_id)
+            fields.setdefault("seq", self._seq)
+        payload = request(op, self._next_id, **fields)
+        if op in _MUTATING_OPS:
+            self._last_mutating = payload
+        return await self._send(payload)
+
+    async def resend_last(self) -> Dict[str, Any]:
+        """Resend the last mutating request verbatim (same tag).
+
+        The safe follow-up to a :class:`~repro.errors.ServiceTimeout`:
+        if the original was applied, the server's dedup table answers
+        with the original result (flagged ``duplicate``); if it was
+        lost, the resend applies it for the first time.
+        """
+        if self._last_mutating is None:
+            raise ServiceError("no mutating request has been sent yet")
+        return await self._send(self._last_mutating)
 
     # -- endpoint conveniences -----------------------------------------
 
@@ -100,15 +243,27 @@ class ServiceClient:
         return await self.call("shutdown")
 
 
-def call_once(host: str, port: int, op: str, **fields: Any) -> Dict[str, Any]:
+def call_once(
+    host: str,
+    port: int,
+    op: str,
+    *,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    client_id: Optional[str] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
     """Synchronous one-shot request (the CLI's transport).
 
     Opens a connection, performs one call, closes, and returns the
-    decoded response payload.
+    decoded response payload. ``timeout`` bounds both the connect and
+    the response wait (:class:`~repro.errors.ServiceTimeout` on
+    expiry); ``client_id`` tags mutating ops for idempotent retries.
     """
 
     async def _run() -> Dict[str, Any]:
-        client = await ServiceClient.connect(host, port)
+        client = await ServiceClient.connect(
+            host, port, timeout=timeout, client_id=client_id
+        )
         try:
             return await client.call(op, **fields)
         finally:

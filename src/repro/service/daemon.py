@@ -19,6 +19,16 @@ Health reuses the supervision layer rather than reinventing it:
   a tick per processed event and an idle tick while the queue is
   empty, so an external watchdog can distinguish loaded from wedged.
 
+Crash consistency is optional and composed in from
+:mod:`repro.durable`: with a
+:class:`~repro.durable.manager.DurabilityManager` attached, every
+event is WAL-appended before it is applied, state is snapshotted every
+N events, duplicate ``(client, seq)`` submissions are answered from
+the idempotency table instead of re-applied, and
+:meth:`SchedulerService.recover` rebuilds an exact replica of the
+pre-crash daemon. Without it (the default) nothing is logged and
+behaviour is byte-identical to the pre-durability daemon.
+
 Telemetry follows the house contract — one guarded ``current()`` read,
 byte-identical behaviour when disabled: ``service_events_<kind>_total``
 counters, the ``service_registry_size`` gauge and the
@@ -34,6 +44,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.alloc.base import AllocationPolicy
+from repro.durable.dedup import DedupTable
+from repro.durable.manager import DurabilityManager
+from repro.durable.state import capture_state, restore_state
 from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.service.events import (
     AdmitEvent,
@@ -41,6 +54,8 @@ from repro.service.events import (
     RetireEvent,
     ServiceEvent,
     SettleEvent,
+    event_from_payload,
+    event_to_payload,
 )
 from repro.service.mapper import IncrementalMapper, MapDecision
 from repro.service.registry import DEFAULT_CAPACITY_LINES, ProcessRegistry
@@ -60,7 +75,12 @@ class ServiceConfig:
     ``drift_threshold`` is forwarded to the incremental mapper;
     ``wave_events`` sets how many processed events advance one circuit
     breaker cooldown wave; ``heartbeat_interval`` paces idle liveness
-    ticks when a heartbeat board is attached.
+    ticks when a heartbeat board is attached; ``stale_after_seconds``
+    (``None`` = never) arms the degraded mode — once the footprint
+    stream has been silent that long the daemon keeps serving its
+    last-good mapping but flags ``degraded=true`` in ``status``. The
+    default keeps every clock read out of the event path, so
+    undegraded runs stay byte-identical to a build without the feature.
     """
 
     num_cores: int = 2
@@ -72,6 +92,7 @@ class ServiceConfig:
     breaker_cooldown_waves: int = 2
     wave_events: int = 64
     heartbeat_interval: float = 1.0
+    stale_after_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -85,6 +106,11 @@ class ServiceConfig:
         if self.heartbeat_interval <= 0:
             raise ConfigurationError(
                 f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.stale_after_seconds is not None and self.stale_after_seconds <= 0:
+            raise ConfigurationError(
+                "stale_after_seconds must be > 0 or None, got "
+                f"{self.stale_after_seconds}"
             )
 
 
@@ -103,6 +129,14 @@ class SchedulerService:
         mapping; in production a ``multiprocessing.Manager().dict()``).
     heartbeat_slot:
         Board slot this daemon ticks under.
+    durability:
+        Optional :class:`~repro.durable.manager.DurabilityManager`.
+        When attached, every event is WAL-logged *before* it is
+        applied and the full service state is snapshotted every
+        ``snapshot_interval`` events; :meth:`recover` rebuilds the
+        daemon from that directory after a crash. ``None`` (the
+        default) keeps the daemon purely in-memory, byte-identical to
+        a build without the durability layer.
     """
 
     def __init__(
@@ -112,6 +146,7 @@ class SchedulerService:
         *,
         heartbeat_board: Optional[Any] = None,
         heartbeat_slot: Tuple[int, int] = (0, 0),
+        durability: Optional[DurabilityManager] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = ProcessRegistry(
@@ -130,14 +165,108 @@ class SchedulerService:
         )
         self._heartbeat_board = heartbeat_board
         self._heartbeat_slot = heartbeat_slot
+        self.durability = durability
+        self.dedup = DedupTable()
         self.events_processed = 0
         self.events_ok = 0
         self.events_rejected = 0
         self.events_dropped = 0
+        self.events_deduped = 0
+        self.recovered_events = 0
+        self.recovered_from_snapshot = False
         self._events_since_wave = 0
+        #: Monotonic stamp of the last applied event; read/written only
+        #: when ``stale_after_seconds`` arms the degraded mode.
+        self._last_event_monotonic: Optional[float] = None
         self._queue: Optional[asyncio.Queue] = None
         self._task: Optional[asyncio.Task] = None
         self._accepting = False
+
+    # -- recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        policy: AllocationPolicy,
+        config: Optional[ServiceConfig] = None,
+        *,
+        state_dir,
+        snapshot_interval: int = 256,
+        fsync_every: int = 1,
+        heartbeat_board: Optional[Any] = None,
+        heartbeat_slot: Tuple[int, int] = (0, 0),
+    ) -> "SchedulerService":
+        """Rebuild a daemon from a durability directory after a crash.
+
+        Loads the newest intact snapshot (corrupt ones are quarantined
+        and ignored), replays the WAL tail through the daemon's own
+        event handler, and returns a service whose registry, mapper,
+        breaker, dedup table and counters are byte-identical to an
+        uninterrupted run over the same event sequence — the
+        equivalence the kill-at-every-index test pins. The recovered
+        service is not started; call :meth:`start` as usual.
+        """
+        durability = DurabilityManager(
+            state_dir,
+            snapshot_interval=snapshot_interval,
+            fsync_every=fsync_every,
+        )
+        service = cls(
+            policy,
+            config,
+            heartbeat_board=heartbeat_board,
+            heartbeat_slot=heartbeat_slot,
+            durability=durability,
+        )
+        service._recover_from(durability)
+        return service
+
+    def checkpoint(self) -> bool:
+        """Force a snapshot + WAL compaction now; False when not durable.
+
+        The daemon never snapshots on :meth:`stop` — clean shutdown
+        leaves the snapshot + WAL tail exactly as the last event left
+        them, and recovery replays the tail. Call this to bound the
+        tail explicitly (e.g. before planned maintenance).
+        """
+        if self.durability is None:
+            return False
+        self.durability.checkpoint(capture_state(self))
+        return True
+
+    def _recover_from(self, durability: DurabilityManager) -> None:
+        """Load snapshot + WAL tail into this (fresh, stopped) service."""
+        tel = telemetry_current()
+        span = (
+            tel.tracer.begin("durable.recover")
+            if tel is not None and tel.tracer is not None
+            else None
+        )
+        started = (
+            time.perf_counter()
+            if tel is not None and tel.metrics is not None
+            else None
+        )
+        tail: list = []
+        try:
+            state, _, tail = durability.load()
+            if state is not None:
+                restore_state(self, state)
+                self.recovered_from_snapshot = True
+            for _, payload in tail:
+                self._handle(event_from_payload(payload), record=False)
+            self.recovered_events = len(tail)
+        finally:
+            if tel is not None and tel.metrics is not None:
+                if tail:
+                    tel.metrics.counter(
+                        "durable_recovery_replayed_total"
+                    ).inc(len(tail))
+                tel.metrics.histogram(
+                    "durable_recovery_seconds", DURATION_BUCKETS
+                ).observe(time.perf_counter() - started)
+            if span is not None:
+                tel.tracer.end(span)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -230,7 +359,7 @@ class SchedulerService:
             self.events_dropped += 1
             tel = telemetry_current()
             if tel is not None and tel.metrics is not None:
-                tel.metrics.counter("service_dropped_total").inc()
+                tel.metrics.counter("service_dropped_events_total").inc()
             return None
         return future
 
@@ -263,18 +392,41 @@ class SchedulerService:
                 future.set_result(result)
             self._queue.task_done()
 
-    def _handle(self, event: ServiceEvent) -> Dict[str, Any]:
-        """Process one event; never raises (the daemon must keep serving)."""
+    def _handle(
+        self, event: ServiceEvent, record: bool = True
+    ) -> Dict[str, Any]:
+        """Process one event; never raises (the daemon must keep serving).
+
+        With durability attached (and ``record=True``) the event is
+        WAL-appended *before* it is applied — write-ahead order. The
+        recovery replay path calls with ``record=False``: re-applying
+        an already-logged event must not log it again. A duplicate
+        ``(client, seq)`` request short-circuits here, answered from
+        the dedup table without touching the WAL or the scheduler.
+        """
         # Even a foreign object in the queue must produce an answer, so
         # the kind tag cannot assume the event honours the protocol.
         kind = getattr(event, "kind", type(event).__name__)
         tel = telemetry_current()
+        client = getattr(event, "client", None)
+        seq = getattr(event, "seq", None)
+        if client is not None and seq is not None:
+            cached = self.dedup.check(client, seq)
+            if cached is not None:
+                self.events_deduped += 1
+                if tel is not None and tel.metrics is not None:
+                    tel.metrics.counter("service_deduped_total").inc()
+                result = dict(cached)
+                result["duplicate"] = True
+                return result
         span = (
             tel.tracer.begin("service.event", kind=kind)
             if tel is not None and tel.tracer is not None
             else None
         )
         try:
+            if record and self.durability is not None:
+                self.durability.record_event(event_to_payload(event))
             try:
                 result = self._dispatch(event, tel)
             except ReproError as exc:
@@ -294,6 +446,12 @@ class SchedulerService:
             if self._events_since_wave >= self.config.wave_events:
                 self._events_since_wave = 0
                 self.breaker.advance_wave()
+            if client is not None and seq is not None:
+                self.dedup.remember(client, seq, result)
+            if record and self.durability is not None:
+                self.durability.note_applied(lambda: capture_state(self))
+            if self.config.stale_after_seconds is not None:
+                self._last_event_monotonic = time.monotonic()
             if tel is not None and tel.metrics is not None:
                 tel.metrics.counter(
                     f"service_events_{kind}_total"
@@ -401,17 +559,37 @@ class SchedulerService:
 
     # -- introspection -------------------------------------------------
 
+    def queue_depth(self) -> int:
+        """Events currently waiting in the admission queue."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the footprint stream has been stale past threshold.
+
+        Always ``False`` while ``stale_after_seconds`` is unset (no
+        clock is ever read) and until the first event arrives; once
+        degraded, the daemon keeps answering ``mapping`` with the
+        last-good mapping rather than refusing service.
+        """
+        threshold = self.config.stale_after_seconds
+        if threshold is None or self._last_event_monotonic is None:
+            return False
+        return time.monotonic() - self._last_event_monotonic > threshold
+
     def status(self) -> Dict[str, Any]:
         """JSON-native daemon status (the ``status`` endpoint)."""
         return {
             "running": self.running,
             "accepting": self._accepting,
-            "queue_depth": 0 if self._queue is None else self._queue.qsize(),
+            "degraded": self.degraded,
+            "queue_depth": self.queue_depth(),
             "events": {
                 "processed": self.events_processed,
                 "ok": self.events_ok,
                 "rejected": self.events_rejected,
                 "dropped": self.events_dropped,
+                "deduped": self.events_deduped,
             },
             "mapper": {
                 "full_remaps": self.mapper.full_remaps,
@@ -421,6 +599,9 @@ class SchedulerService:
             },
             "breaker_open": self.breaker.open_keys(),
             "registry": self.registry.status(),
+            "durability": (
+                None if self.durability is None else self.durability.status()
+            ),
         }
 
     def mapping_payload(self) -> Dict[str, Any]:

@@ -3,14 +3,22 @@
 One frozen dataclass per event kind keeps dispatch explicit (the daemon
 switches on ``kind``) while the shared shape — a ``kind`` tag plus the
 fields the registry needs — serialises 1:1 onto the wire protocol
-(:mod:`repro.service.protocol`) and onto
-:class:`~repro.workloads.arrivals.ArrivalEvent` for replays.
+(:mod:`repro.service.protocol`), onto
+:class:`~repro.workloads.arrivals.ArrivalEvent` for replays, and onto
+the write-ahead log (:func:`event_to_payload` /
+:func:`event_from_payload`).
+
+Every mutating event optionally carries an idempotency tag: the
+``(client, seq)`` pair a reconnecting client resends so the daemon can
+recognise (and answer, but never re-apply) a duplicate. The tag is part
+of the WAL payload — recovery replays it so the dedup table rebuilds
+deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.workloads.arrivals import ArrivalEvent
@@ -23,6 +31,8 @@ __all__ = [
     "SettleEvent",
     "ServiceEvent",
     "event_from_arrival",
+    "event_from_payload",
+    "event_to_payload",
 ]
 
 #: Every event kind the daemon dispatches on.
@@ -38,6 +48,8 @@ class AdmitEvent:
     pid: int
     name: str
     kind: str = "admit"
+    client: Optional[str] = None
+    seq: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -46,6 +58,8 @@ class RetireEvent:
 
     pid: int
     kind: str = "retire"
+    client: Optional[str] = None
+    seq: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -60,6 +74,8 @@ class PhaseChangeEvent:
     pid: int
     name: str
     kind: str = "phase_change"
+    client: Optional[str] = None
+    seq: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -71,6 +87,8 @@ class SettleEvent:
     """
 
     kind: str = "settle"
+    client: Optional[str] = None
+    seq: Optional[int] = None
 
 
 ServiceEvent = Union[AdmitEvent, RetireEvent, PhaseChangeEvent, SettleEvent]
@@ -85,3 +103,40 @@ def event_from_arrival(event: ArrivalEvent) -> ServiceEvent:
     if event.kind == "phase_change":
         return PhaseChangeEvent(pid=event.pid, name=event.name)
     raise ServiceError(f"unknown arrival event kind {event.kind!r}")
+
+
+def event_to_payload(event: ServiceEvent) -> Dict[str, Any]:
+    """JSON-native WAL payload for one event (omits unset fields)."""
+    payload: Dict[str, Any] = {"kind": event.kind}
+    for field in ("pid", "name", "client", "seq"):
+        value = getattr(event, field, None)
+        if value is not None:
+            payload[field] = value
+    return payload
+
+
+def event_from_payload(payload: Dict[str, Any]) -> ServiceEvent:
+    """Rebuild the queue event a WAL payload was recorded from."""
+    kind = payload.get("kind")
+    client = payload.get("client")
+    seq = payload.get("seq")
+    try:
+        if kind == "admit":
+            return AdmitEvent(
+                pid=payload["pid"], name=payload["name"],
+                client=client, seq=seq,
+            )
+        if kind == "retire":
+            return RetireEvent(pid=payload["pid"], client=client, seq=seq)
+        if kind == "phase_change":
+            return PhaseChangeEvent(
+                pid=payload["pid"], name=payload["name"],
+                client=client, seq=seq,
+            )
+        if kind == "settle":
+            return SettleEvent(client=client, seq=seq)
+    except KeyError as exc:
+        raise ServiceError(
+            f"WAL payload for {kind!r} event is missing field {exc}"
+        ) from None
+    raise ServiceError(f"unknown WAL event kind {kind!r}")

@@ -256,6 +256,35 @@ class IncrementalMapper:
             raise ServiceError(f"pid {pid} is not in the current mapping")
         return self._full(views, self._cores_of())
 
+    # -- snapshot support ----------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-native mapper state for durable snapshots.
+
+        Groups are exported in core-index order (NOT canonicalised):
+        core identity is working state the incremental repair paths
+        depend on, so it must survive a snapshot round-trip.
+        """
+        return {
+            "drift": self.drift,
+            "full_remaps": self.full_remaps,
+            "incremental_updates": self.incremental_updates,
+            "groups": [list(group) for group in self._groups],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace partition and counters from :meth:`export_state` output."""
+        groups = state["groups"]
+        if len(groups) != self.num_cores:
+            raise ServiceError(
+                f"snapshot has {len(groups)} groups but mapper partitions "
+                f"{self.num_cores} cores"
+            )
+        self._groups = [sorted(int(pid) for pid in group) for group in groups]
+        self.drift = int(state["drift"])
+        self.full_remaps = int(state["full_remaps"])
+        self.incremental_updates = int(state["incremental_updates"])
+
     def settle(self, views: Sequence[TaskView]) -> MapDecision:
         """Clear accumulated drift with an unconditional full remap.
 

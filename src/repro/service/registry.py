@@ -261,6 +261,46 @@ class ProcessRegistry:
             )
         return views
 
+    # -- snapshot support ----------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-native registry contents for durable snapshots.
+
+        Footprints are exported as raw floats — JSON's shortest
+        round-trip ``repr`` restores them bit-identical, which the
+        recovery-equivalence fingerprint depends on.
+        """
+        return {
+            "processes": {
+                str(pid): {
+                    "profile": h.profile.name,
+                    "core": h.core,
+                    "footprint": h.footprint,
+                    "samples_seen": h.samples_seen,
+                }
+                for pid, h in sorted(self._handles.items())
+            }
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the process table from :meth:`export_state` output.
+
+        Profiles are re-resolved by name, so only named (catalogue)
+        profiles survive a snapshot round-trip — which is all the wire
+        protocol can admit in the first place.
+        """
+        handles: Dict[int, ProcessHandle] = {}
+        processes = state.get("processes", {})
+        assert isinstance(processes, dict)
+        for pid_text, entry in processes.items():
+            pid = int(pid_text)
+            profile = self._resolve_profile(entry["profile"], None)
+            handle = ProcessHandle(pid, profile, int(entry["core"]))
+            handle.footprint = float(entry["footprint"])
+            handle.samples_seen = int(entry["samples_seen"])
+            handles[pid] = handle
+        self._handles = handles
+
     # -- introspection -------------------------------------------------
 
     def __len__(self) -> int:

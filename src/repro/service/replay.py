@@ -30,6 +30,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.alloc.base import AllocationPolicy
 from repro.alloc.weight_sort import WeightSortPolicy
+from repro.durable.manager import DurabilityManager
+from repro.durable.state import capture_state, state_fingerprint
 from repro.errors import ServiceError
 from repro.service.client import ServiceClient
 from repro.service.daemon import SchedulerService, ServiceConfig
@@ -37,7 +39,14 @@ from repro.service.events import SettleEvent, event_from_arrival
 from repro.service.server import ServiceServer
 from repro.workloads.arrivals import ArrivalTrace
 
-__all__ = ["ReplayReport", "run_replay", "write_bench_json", "percentile"]
+__all__ = [
+    "RecoveryReport",
+    "ReplayReport",
+    "measure_recovery",
+    "percentile",
+    "run_replay",
+    "write_bench_json",
+]
 
 #: Transports a replay can drive the daemon through.
 TRANSPORTS: Tuple[str, ...] = ("direct", "socket")
@@ -84,6 +93,10 @@ class ReplayReport:
     final_mapping: str
     oracle_mapping: str
     oracle_match: bool
+    #: Durability-layer summary when the replay ran with a state dir
+    #: attached; ``None`` (and absent from the payload) otherwise, so
+    #: durability-off artifacts keep their pre-durability shape.
+    durability: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """Plain-dict form for the bench JSON artifact."""
@@ -119,6 +132,11 @@ class ReplayReport:
                 "oracle": self.oracle_mapping,
                 "oracle_match": self.oracle_match,
             },
+            **(
+                {}
+                if self.durability is None
+                else {"durability": self.durability}
+            ),
         }
 
 
@@ -173,6 +191,9 @@ def run_replay(
     config: Optional[ServiceConfig] = None,
     transport: str = "direct",
     host: str = "127.0.0.1",
+    state_dir: Optional[Union[str, Path]] = None,
+    snapshot_interval: int = 256,
+    fsync_every: int = 1,
 ) -> ReplayReport:
     """Replay *trace* against a fresh daemon and report what happened.
 
@@ -181,6 +202,12 @@ def run_replay(
     occupancy weights, keeping full-remap cost flat under load. Any
     other policy can be passed in; the interference policies are
     stabilised by the mapper either way.
+
+    ``state_dir`` attaches the durability layer: every event is
+    WAL-logged (fsync cadence ``fsync_every``) and state snapshots
+    every ``snapshot_interval`` events. The dirty directory is left
+    behind on purpose — it is what :func:`measure_recovery` and the
+    recovery bench feed on.
     """
     if transport not in TRANSPORTS:
         raise ServiceError(
@@ -188,9 +215,18 @@ def run_replay(
         )
     chosen = policy if policy is not None else WeightSortPolicy()
     cfg = config if config is not None else ServiceConfig(num_cores=4)
+    durability = (
+        None
+        if state_dir is None
+        else DurabilityManager(
+            state_dir,
+            snapshot_interval=snapshot_interval,
+            fsync_every=fsync_every,
+        )
+    )
 
     async def _run() -> Tuple[SchedulerService, List[float], dict, float]:
-        service = SchedulerService(chosen, cfg)
+        service = SchedulerService(chosen, cfg, durability=durability)
         await service.start()
         started = time.perf_counter()
         try:
@@ -229,11 +265,82 @@ def run_replay(
         final_mapping=settle["mapping"],
         oracle_mapping=settle["oracle"],
         oracle_match=settle["mapping"] == settle["oracle"],
+        durability=(
+            None
+            if durability is None
+            # The state dir is a tmp path — dropping it keeps the bench
+            # artifact stable run-to-run.
+            else {
+                k: v
+                for k, v in durability.status().items()
+                if k != "state_dir"
+            }
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one crash-recovery measured (the ``BENCH_service_recovery``
+    payload): how much history was replayed, from where, and how long
+    snapshot load + WAL tail replay took."""
+
+    policy: str
+    num_cores: int
+    events_processed: int
+    recovered_events: int
+    from_snapshot: bool
+    recovery_seconds: float
+    final_mapping: str
+    fingerprint: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-dict form for the bench JSON artifact."""
+        return {
+            "policy": self.policy,
+            "num_cores": self.num_cores,
+            "events_processed": self.events_processed,
+            "recovered_events": self.recovered_events,
+            "from_snapshot": self.from_snapshot,
+            "recovery_seconds": round(self.recovery_seconds, 6),
+            "final_mapping": self.final_mapping,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def measure_recovery(
+    state_dir: Union[str, Path],
+    policy: Optional[AllocationPolicy] = None,
+    *,
+    config: Optional[ServiceConfig] = None,
+) -> RecoveryReport:
+    """Recover a daemon from *state_dir* and time the whole path.
+
+    Policy and config must match the run that produced the directory
+    (the snapshot's embedded config is checked on restore). The wall
+    clock covers everything a restarted daemon pays before it can
+    serve: snapshot read + checksum, state restore, and WAL tail
+    replay through the event handler.
+    """
+    chosen = policy if policy is not None else WeightSortPolicy()
+    cfg = config if config is not None else ServiceConfig(num_cores=4)
+    started = time.perf_counter()
+    service = SchedulerService.recover(chosen, cfg, state_dir=state_dir)
+    elapsed = time.perf_counter() - started
+    return RecoveryReport(
+        policy=chosen.name,
+        num_cores=cfg.num_cores,
+        events_processed=service.events_processed,
+        recovered_events=service.recovered_events,
+        from_snapshot=service.recovered_from_snapshot,
+        recovery_seconds=elapsed,
+        final_mapping=str(service.mapper.mapping),
+        fingerprint=state_fingerprint(capture_state(service)),
     )
 
 
 def write_bench_json(
-    report: ReplayReport, path: Union[str, Path]
+    report: Union[ReplayReport, RecoveryReport], path: Union[str, Path]
 ) -> Path:
     """Write the report's JSON payload to *path* (parents created)."""
     target = Path(path)

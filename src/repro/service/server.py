@@ -6,6 +6,21 @@ the daemon, and writes one response line per request. Protocol faults
 (malformed JSON, unknown ops, missing fields) answer with an error
 response on the same connection — a confused client must never crash
 the daemon or poison other connections.
+
+Overload protection (both off by default, preserving pure-backpressure
+semantics):
+
+* ``request_timeout`` bounds how long one mutating request may wait on
+  the daemon; expiry answers ``"deadline exceeded"``. The event may
+  still be applied after the deadline — the client's ``(client, seq)``
+  idempotency tag is what makes its retry safe.
+* ``shed_queue_depth`` sheds mutating requests with an immediate
+  ``"overloaded"`` error once the admission queue is that deep,
+  instead of stalling every connection behind the backlog.
+
+Mutating requests may carry a ``(client, seq)`` idempotency tag
+(both fields or neither); the daemon answers recognised duplicates
+from its dedup table without re-applying them.
 """
 
 from __future__ import annotations
@@ -13,9 +28,14 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ConfigurationError, ProtocolError, ReproError
 from repro.service.daemon import SchedulerService
-from repro.service.events import AdmitEvent, PhaseChangeEvent, RetireEvent
+from repro.service.events import (
+    AdmitEvent,
+    PhaseChangeEvent,
+    RetireEvent,
+    ServiceEvent,
+)
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -24,6 +44,7 @@ from repro.service.protocol import (
     response_error,
     response_ok,
 )
+from repro.telemetry.context import current as telemetry_current
 
 __all__ = ["ServiceServer"]
 
@@ -42,6 +63,25 @@ def _field(message: Dict[str, Any], name: str, kind: type) -> Any:
     return value
 
 
+def _idempotency_tag(
+    message: Dict[str, Any],
+) -> Tuple[Optional[str], Optional[int]]:
+    """The request's ``(client, seq)`` tag, or ``(None, None)``.
+
+    The tag is all-or-nothing: a request naming only one half is
+    malformed (a half-tagged retry could never be recognised).
+    """
+    has_client = "client" in message
+    has_seq = "seq" in message
+    if not has_client and not has_seq:
+        return None, None
+    if has_client != has_seq:
+        raise ProtocolError(
+            "idempotency tag needs both 'client' and 'seq' (got one)"
+        )
+    return _field(message, "client", str), _field(message, "seq", int)
+
+
 class ServiceServer:
     """Serves one :class:`SchedulerService` on a TCP address.
 
@@ -50,6 +90,10 @@ class ServiceServer:
     op answers its sender, then gracefully drains and stops both the
     daemon and the server — :meth:`serve_until_closed` returns once
     that completes.
+
+    ``request_timeout`` (seconds) and ``shed_queue_depth`` (events)
+    arm the overload protections described in the module docstring;
+    both default to off.
     """
 
     def __init__(
@@ -57,10 +101,25 @@ class ServiceServer:
         service: SchedulerService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        request_timeout: Optional[float] = None,
+        shed_queue_depth: Optional[int] = None,
     ) -> None:
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be > 0 or None, got {request_timeout}"
+            )
+        if shed_queue_depth is not None and shed_queue_depth < 1:
+            raise ConfigurationError(
+                f"shed_queue_depth must be >= 1 or None, got {shed_queue_depth}"
+            )
         self.service = service
         self.host = host
         self.port = port
+        self.request_timeout = request_timeout
+        self.shed_queue_depth = shed_queue_depth
+        self.requests_shed = 0
+        self.requests_deadline_exceeded = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._closed = asyncio.Event()
         self._shutdown_task: Optional[asyncio.Task] = None
@@ -135,6 +194,44 @@ class ServiceServer:
         finally:
             writer.close()
 
+    async def _submit_guarded(
+        self, event: ServiceEvent, request_id: Optional[int]
+    ) -> Dict[str, Any]:
+        """Submit one mutating event under shedding + deadline rules.
+
+        A deadline expiry leaves the event *queued* — the daemon may
+        still apply it after answering the error. That is exactly why
+        deadline errors tell the client to retry with the same
+        idempotency tag rather than a fresh one.
+        """
+        if (
+            self.shed_queue_depth is not None
+            and self.service.queue_depth() >= self.shed_queue_depth
+        ):
+            self.requests_shed += 1
+            tel = telemetry_current()
+            if tel is not None and tel.metrics is not None:
+                tel.metrics.counter("service_shed_total").inc()
+            return response_error(request_id, "overloaded")
+        if self.request_timeout is None:
+            result = await self.service.submit_event(event)
+            return response_ok(request_id, result=result)
+        try:
+            result = await asyncio.wait_for(
+                self.service.submit_event(event), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.requests_deadline_exceeded += 1
+            tel = telemetry_current()
+            if tel is not None and tel.metrics is not None:
+                tel.metrics.counter("service_deadline_total").inc()
+            return response_error(
+                request_id,
+                "deadline exceeded (the event may still be applied; "
+                "retry with the same idempotency tag)",
+            )
+        return response_ok(request_id, result=result)
+
     async def _respond(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one request and build its response payload."""
         request_id = message.get("id")
@@ -147,26 +244,37 @@ class ServiceServer:
                 )
             op = _field(message, "op", str)
             if op == "submit":
-                result = await self.service.submit_event(
+                client, seq = _idempotency_tag(message)
+                return await self._submit_guarded(
                     AdmitEvent(
                         pid=_field(message, "pid", int),
                         name=_field(message, "name", str),
-                    )
+                        client=client,
+                        seq=seq,
+                    ),
+                    request_id,
                 )
-                return response_ok(request_id, result=result)
             if op == "retire":
-                result = await self.service.submit_event(
-                    RetireEvent(pid=_field(message, "pid", int))
+                client, seq = _idempotency_tag(message)
+                return await self._submit_guarded(
+                    RetireEvent(
+                        pid=_field(message, "pid", int),
+                        client=client,
+                        seq=seq,
+                    ),
+                    request_id,
                 )
-                return response_ok(request_id, result=result)
             if op == "phase_change":
-                result = await self.service.submit_event(
+                client, seq = _idempotency_tag(message)
+                return await self._submit_guarded(
                     PhaseChangeEvent(
                         pid=_field(message, "pid", int),
                         name=_field(message, "name", str),
-                    )
+                        client=client,
+                        seq=seq,
+                    ),
+                    request_id,
                 )
-                return response_ok(request_id, result=result)
             if op == "status":
                 return response_ok(request_id, status=self.service.status())
             if op == "mapping":

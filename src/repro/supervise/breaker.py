@@ -30,7 +30,7 @@ to telemetry counters and to the poison-spec quarantine.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -143,6 +143,40 @@ class CircuitBreaker:
         self._probe_wave.pop(key, None)
         self._transition(key, STATE_CLOSED)
         self._state.pop(key, None)
+
+    # -- snapshot support ----------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-native breaker state for durable snapshots.
+
+        The observer callback is runtime wiring, not state — it is
+        neither exported nor touched by :meth:`restore`.
+        """
+        return {
+            "wave": self.wave,
+            "failures": dict(self._failures),
+            "state": dict(self._state),
+            "opened_wave": dict(self._opened_wave),
+            "probe_wave": dict(self._probe_wave),
+            "last_error": dict(self._last_error),
+            "transitions": [list(entry) for entry in self.transitions],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace all breaker state from :meth:`export_state` output."""
+        self.wave = int(state["wave"])
+        self._failures = {k: int(v) for k, v in state["failures"].items()}
+        self._state = dict(state["state"])
+        self._opened_wave = {
+            k: int(v) for k, v in state["opened_wave"].items()
+        }
+        self._probe_wave = {
+            k: int(v) for k, v in state["probe_wave"].items()
+        }
+        self._last_error = dict(state["last_error"])
+        self.transitions = [
+            (int(wave), key, old, new)
+            for wave, key, old, new in state["transitions"]
+        ]
 
     def record_failure(self, key: str, error: str = "") -> bool:
         """Record one *terminal* failure; True when this trips the circuit.

@@ -1,0 +1,1 @@
+"""Tests for the crash-consistency layer (:mod:`repro.durable`)."""

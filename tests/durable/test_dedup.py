@@ -1,0 +1,125 @@
+"""Idempotency: the dedup table, and duplicate resends over real sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.durable.dedup import DedupTable
+from repro.errors import ConfigurationError
+from repro.service.client import ServiceClient
+from repro.service.daemon import SchedulerService, ServiceConfig
+from repro.service.server import ServiceServer
+
+
+def test_fresh_requests_are_not_duplicates():
+    table = DedupTable()
+    assert table.check("cli", 1) is None
+    assert table.hits == 0
+
+
+def test_remembered_request_answers_from_the_window():
+    table = DedupTable()
+    table.remember("cli", 1, {"ok": True, "pid": 7})
+    assert table.check("cli", 1) == {"ok": True, "pid": 7}
+    assert table.hits == 1
+
+
+def test_old_duplicate_outside_the_window_is_still_recognised():
+    table = DedupTable(window=2)
+    for seq in range(1, 5):
+        table.remember("cli", seq, {"seq": seq})
+    # seq 1 and 2 were evicted, but stay below the high-water mark.
+    assert table.check("cli", 1) == {"duplicate": True}
+    assert table.check("cli", 4) == {"seq": 4}
+    assert table.check("cli", 5) is None
+
+
+def test_clients_are_independent():
+    table = DedupTable()
+    table.remember("a", 3, {"who": "a"})
+    assert table.check("b", 3) is None
+    assert len(table) == 1
+
+
+def test_export_restore_round_trip():
+    table = DedupTable(window=4)
+    table.remember("a", 1, {"r": 1})
+    table.remember("a", 2, {"r": 2})
+    table.remember("b", 9, {"r": 9})
+    clone = DedupTable(window=4)
+    clone.restore(table.export_state())
+    assert clone.check("a", 2) == {"r": 2}
+    assert clone.check("b", 9) == {"r": 9}
+    assert clone.check("a", 3) is None
+    assert clone.export_state() == table.export_state()
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        DedupTable(window=0)
+
+
+def test_duplicate_resend_after_reconnect_is_not_reapplied():
+    """The satellite contract: a client that times out, reconnects, and
+    resends its last mutating request must see the original result and
+    must not mutate the daemon a second time."""
+
+    async def run():
+        service = SchedulerService(
+            WeightSortPolicy(), ServiceConfig(num_cores=2)
+        )
+        await service.start()
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        host, port = server.address
+        client = await ServiceClient.connect(
+            host, port, client_id="cli-1", timeout=5.0
+        )
+        try:
+            first = await client.submit(1, "mcf")
+            assert first["ok"] and "duplicate" not in first["result"]
+            # The connection dies (e.g. after a ServiceTimeout); the
+            # request-id and seq counters survive the reconnect.
+            await client.reconnect(attempts=3)
+            resent = await client.resend_last()
+            assert resent["ok"]
+            assert resent["result"]["duplicate"] is True
+            assert resent["result"]["pid"] == first["result"]["pid"]
+            assert resent["result"]["mapping"] == first["result"]["mapping"]
+            # Applied exactly once despite two wire deliveries.
+            assert service.events_processed == 1
+            assert service.events_deduped == 1
+            assert len(service.registry) == 1
+            status = await client.status()
+            assert status["status"]["events"]["deduped"] == 1
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_untagged_clients_keep_at_least_once_semantics():
+    # Without a client_id there is no tag: a resend is a second apply
+    # (and the daemon answers it as a duplicate-admit rejection).
+    async def run():
+        service = SchedulerService(
+            WeightSortPolicy(), ServiceConfig(num_cores=2)
+        )
+        await service.start()
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port, timeout=5.0)
+        try:
+            first = await client.submit(1, "mcf")
+            assert first["ok"]
+            resent = await client.resend_last()
+            assert resent["result"]["ok"] is False  # pid already admitted
+            assert service.events_processed == 2
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())

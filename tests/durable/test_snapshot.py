@@ -1,0 +1,107 @@
+"""Snapshot store: checksums, atomic publish, quarantine on corruption."""
+
+import json
+
+import pytest
+
+from repro.durable.snapshot import SNAPSHOT_SCHEMA_VERSION, SnapshotStore
+from repro.errors import ConfigurationError
+
+STATE = {"registry": {"processes": {}}, "counters": {"events_processed": 7}}
+
+
+def test_save_load_round_trip(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(STATE, last_lsn=41)
+    assert store.load() == (STATE, 41)
+    assert store.writes == 1 and store.corrupt == 0
+
+
+def test_newer_save_replaces_older(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(STATE, last_lsn=10)
+    store.save({"v": 2}, last_lsn=20)
+    assert store.load() == ({"v": 2}, 20)
+
+
+def test_missing_snapshot_is_none_without_quarantine(tmp_path):
+    store = SnapshotStore(tmp_path)
+    assert store.load() is None
+    assert store.corrupt == 0
+    assert not list(tmp_path.glob("*.corrupt*"))
+
+
+def test_bitflipped_state_fails_the_checksum_and_quarantines(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(STATE, last_lsn=41)
+    envelope = json.loads(store.path.read_text(encoding="ascii"))
+    envelope["state"]["counters"]["events_processed"] = 9999  # tampered
+    store.path.write_text(json.dumps(envelope), encoding="ascii")
+    assert store.load() is None
+    assert store.corrupt == 1
+    assert (tmp_path / "snapshot.json.corrupt").exists()
+    assert not store.path.exists()  # moved aside, not copied
+
+
+def test_undecodable_snapshot_is_quarantined(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.root.mkdir(exist_ok=True)
+    store.path.write_text("not json at all", encoding="ascii")
+    assert store.load() is None
+    assert (tmp_path / "snapshot.json.corrupt").exists()
+
+
+def test_wrong_schema_version_is_quarantined(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(STATE, last_lsn=1)
+    envelope = json.loads(store.path.read_text(encoding="ascii"))
+    envelope["version"] = SNAPSHOT_SCHEMA_VERSION + 1
+    store.path.write_text(json.dumps(envelope), encoding="ascii")
+    assert store.load() is None
+    assert store.corrupt == 1
+
+
+def test_quarantine_names_never_collide(tmp_path):
+    store = SnapshotStore(tmp_path)
+    for round_number in range(3):
+        store.root.mkdir(exist_ok=True)
+        store.path.write_text(f"garbage {round_number}", encoding="ascii")
+        assert store.load() is None
+    names = sorted(p.name for p in tmp_path.glob("snapshot.json.corrupt*"))
+    assert names == [
+        "snapshot.json.corrupt",
+        "snapshot.json.corrupt.1",
+        "snapshot.json.corrupt.2",
+    ]
+    assert store.corrupt == 3
+    # The evidence survives: each quarantined file keeps its bytes.
+    assert (tmp_path / "snapshot.json.corrupt").read_text(
+        encoding="ascii"
+    ) == "garbage 0"
+
+
+def test_quarantine_warns_once_then_logs_quietly(tmp_path, caplog):
+    store = SnapshotStore(tmp_path)
+    with caplog.at_level("WARNING", logger="repro.durable.snapshot"):
+        for round_number in range(2):
+            store.root.mkdir(exist_ok=True)
+            store.path.write_text("junk", encoding="ascii")
+            store.load()
+    warnings = [r for r in caplog.records if r.levelname == "WARNING"]
+    assert len(warnings) == 1
+
+
+def test_saving_after_corruption_restores_service(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.root.mkdir(exist_ok=True)
+    store.path.write_text("junk", encoding="ascii")
+    assert store.load() is None
+    store.save(STATE, last_lsn=5)
+    assert store.load() == (STATE, 5)
+
+
+def test_non_directory_root_is_rejected(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("file", encoding="ascii")
+    with pytest.raises(ConfigurationError):
+        SnapshotStore(blocker)

@@ -1,0 +1,162 @@
+"""Overload protection and liveness: timeouts, shedding, degraded mode."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.errors import ConfigurationError, ServiceTimeout
+from repro.service.client import ServiceClient
+from repro.service.daemon import SchedulerService, ServiceConfig
+from repro.service.events import AdmitEvent
+from repro.service.server import ServiceServer
+
+
+async def start_stack(config=None, **server_kwargs):
+    """A running daemon + server on an ephemeral localhost port."""
+    service = SchedulerService(
+        WeightSortPolicy(),
+        config if config is not None else ServiceConfig(num_cores=2),
+    )
+    await service.start()
+    server = ServiceServer(service, host="127.0.0.1", port=0, **server_kwargs)
+    await server.start()
+    return service, server
+
+
+def test_server_overload_knob_validation():
+    service = SchedulerService(WeightSortPolicy())
+    with pytest.raises(ConfigurationError):
+        ServiceServer(service, request_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ServiceServer(service, shed_queue_depth=0)
+
+
+def test_half_open_socket_raises_service_timeout_not_a_hang():
+    """Regression for the unbounded-read bug: a peer that accepts the
+    connection but never answers must surface a ServiceTimeout within
+    the deadline instead of blocking the caller forever."""
+
+    async def mute_handler(reader, writer):
+        await reader.read()  # swallow everything, answer nothing
+
+    async def run():
+        mute = await asyncio.start_server(mute_handler, "127.0.0.1", 0)
+        host, port = mute.sockets[0].getsockname()[:2]
+        client = await ServiceClient.connect(host, port, timeout=0.2)
+        try:
+            started = time.monotonic()
+            with pytest.raises(ServiceTimeout, match="reconnect"):
+                await client.ping()
+            assert time.monotonic() - started < 2.0
+        finally:
+            await client.close()
+            mute.close()
+            await mute.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_timeout_none_disables_the_deadline():
+    async def run():
+        service, server = await start_stack()
+        host, port = server.address
+        client = await ServiceClient.connect(host, port, timeout=None)
+        try:
+            assert (await client.ping())["ok"]
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_deep_queue_sheds_mutating_requests():
+    async def run():
+        service, server = await start_stack(shed_queue_depth=2)
+        host, port = server.address
+        # Simulate a backlog the consumer has not drained yet.
+        service.queue_depth = lambda: 5
+        client = await ServiceClient.connect(host, port, timeout=5.0)
+        try:
+            shed = await client.submit(1, "mcf")
+            assert shed["ok"] is False and shed["error"] == "overloaded"
+            assert server.requests_shed == 1
+            # Reads are never shed: status still answers under backlog.
+            assert (await client.status())["ok"]
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_request_deadline_answers_instead_of_stalling():
+    async def run():
+        service, server = await start_stack(request_timeout=0.05)
+        host, port = server.address
+
+        async def stuck_submit(event):
+            await asyncio.sleep(30.0)
+
+        service.submit_event = stuck_submit
+        client = await ServiceClient.connect(host, port, timeout=5.0)
+        try:
+            late = await client.submit(1, "mcf")
+            assert late["ok"] is False
+            assert "deadline exceeded" in late["error"]
+            assert "idempotency" in late["error"]
+            assert server.requests_deadline_exceeded == 1
+        finally:
+            await client.close()
+            del service.submit_event  # restore the real method
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_degraded_mode_serves_the_last_good_mapping():
+    async def run():
+        config = ServiceConfig(num_cores=2, stale_after_seconds=0.02)
+        service, server = await start_stack(config=config)
+        host, port = server.address
+        client = await ServiceClient.connect(host, port, timeout=5.0)
+        try:
+            admit = await client.submit(1, "mcf")
+            assert admit["ok"]
+            assert service.degraded is False  # stream is fresh
+            await asyncio.sleep(0.08)  # silence past the threshold
+            assert service.degraded is True
+            status = await client.status()
+            assert status["status"]["degraded"] is True
+            # Degraded is a flag, not a refusal: the last-good mapping
+            # keeps being served.
+            mapping = await client.mapping()
+            assert mapping["ok"] and mapping["population"] == 1
+            # A fresh event clears the staleness.
+            await client.submit(2, "povray")
+            assert service.degraded is False
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_degraded_is_inert_when_unarmed():
+    service = SchedulerService(WeightSortPolicy(), ServiceConfig(num_cores=2))
+    assert service.degraded is False
+    service._handle(AdmitEvent(pid=1, name="mcf"))
+    # No clock was read: the stamp stays unset with the feature off.
+    assert service._last_event_monotonic is None
+    assert service.degraded is False
+
+
+def test_status_surfaces_the_new_fields():
+    service = SchedulerService(WeightSortPolicy(), ServiceConfig(num_cores=2))
+    status = service.status()
+    assert status["degraded"] is False
+    assert status["queue_depth"] == 0
+    assert status["events"]["deduped"] == 0
+    assert status["durability"] is None
