@@ -1,0 +1,73 @@
+"""Cross-validation — do the fast backends drive the exact schedules?
+
+Twelve stratified 4-benchmark SPEC mixes (every benchmark appears in at
+least three) are pushed through the full decision pipeline under each
+backend: pairwise degradation matrix, then all three mapping algorithms
+(greedy pairing, exhaustive MIN-CUT, solo-weighted MIN-CUT). A mix
+counts as agreeing only when *every* algorithm's choice is
+decision-equivalent to exact's (identical, or equally cheap when priced
+on the exact matrix). Whole-mix miss-rate error is tracked alongside.
+
+CI gates on this bench (the ``estimate-accuracy`` job): agreement must
+reach ``REPRO_EST_MIN_AGREEMENT`` of the 12 mixes per backend (default
+10) and the miss-rate MAPE must stay under ``REPRO_EST_MAX_MAPE``
+(default 6%; observed ~1-2% for both backends).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.estimate.validate import validate_mixes
+from repro.perf.experiment import stratified_mixes
+from repro.perf.machine import core2duo
+from repro.utils.tables import format_percent
+from repro.workloads.spec import spec_profile_names
+
+#: Gate knobs (env-overridable so CI can tune without a code change).
+MIN_AGREEMENT = int(os.environ.get("REPRO_EST_MIN_AGREEMENT", "10"))
+MAX_MAPE = float(os.environ.get("REPRO_EST_MAX_MAPE", "0.06"))
+
+#: Seed 7 + truncation gives exactly the 12 mixes the gate is pinned to,
+#: with every benchmark still covered at least 3 times.
+MIX_COUNT = 12
+
+
+def bench_estimate_accuracy(benchmark, report, full_scale):
+    instructions = 600_000 if full_scale else 300_000
+    mixes = stratified_mixes(
+        spec_profile_names(), mixes_per_benchmark=4, mix_size=4, seed=7
+    )[:MIX_COUNT]
+    summary = run_once(
+        benchmark,
+        lambda: validate_mixes(
+            core2duo(), mixes, instructions=instructions, seed=0
+        ),
+    )
+
+    text = (
+        f"backend cross-validation: {len(mixes)} stratified SPEC mixes, "
+        f"{instructions} instructions, core2duo\n"
+    )
+    for backend in summary.backends():
+        agreed, total = summary.agreement(backend)
+        text += (
+            f"\n  {backend:10s} mapping agreement {agreed}/{total}"
+            f"  miss-rate MAPE {format_percent(summary.miss_rate_mape(backend))}"
+            f"  MAE {summary.miss_rate_mae(backend):.4f}"
+        )
+        for record in summary.to_dict()[backend]["disagreeing_mixes"]:
+            text += f"\n    disagreed: {'+'.join(record)}"
+    report("estimate_accuracy", text)
+
+    for backend in ("analytical", "sampled"):
+        agreed, total = summary.agreement(backend)
+        assert total == MIX_COUNT
+        assert agreed >= MIN_AGREEMENT, (
+            f"{backend}: only {agreed}/{total} mixes decision-equivalent "
+            f"to exact (floor {MIN_AGREEMENT})"
+        )
+        mape = summary.miss_rate_mape(backend)
+        assert mape <= MAX_MAPE, (
+            f"{backend}: miss-rate MAPE {mape:.3f} above {MAX_MAPE}"
+        )

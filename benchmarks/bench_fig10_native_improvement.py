@@ -19,7 +19,7 @@ from repro.analysis.report import render_sweep
 from repro.utils.tables import format_percent
 
 
-def bench_figure10_native(benchmark, report, full_scale, jobs):
+def bench_fig10_native_improvement(benchmark, report, full_scale, jobs):
     mixes_per_benchmark = 6 if full_scale else 3
     sweep = run_once(
         benchmark,

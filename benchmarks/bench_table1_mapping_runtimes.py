@@ -13,7 +13,7 @@ from repro.perf.machine import core2duo
 from repro.utils.tables import format_percent
 
 
-def bench_table1(benchmark, report, full_scale):
+def bench_table1_mapping_runtimes(benchmark, report, full_scale):
     instructions = 12_000_000 if full_scale else 6_000_000
     names, times = run_once(
         benchmark, lambda: table1_mapping_runtimes(instructions=instructions)

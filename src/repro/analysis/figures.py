@@ -303,8 +303,14 @@ def table1_mapping_runtimes(
     seed: int = 0,
     batch_accesses: int = 256,
     orchestrator=None,
+    backend: str = "exact",
+    estimator=None,
 ) -> Tuple[List[str], Dict]:
-    """Table 1: povray/gobmk/libquantum/hmmer under all three mappings."""
+    """Table 1: povray/gobmk/libquantum/hmmer under all three mappings.
+
+    *backend* routes every mapping measurement through the selected
+    simulation backend (see :mod:`repro.estimate`).
+    """
     machine = machine or core2duo()
     names = ["povray", "gobmk", "libquantum", "hmmer"]
     tasks = build_tasks(names, instructions=instructions, seed=seed)
@@ -317,6 +323,7 @@ def table1_mapping_runtimes(
     times = run_all_mappings(
         machine, tasks, seed=seed, batch_accesses=batch_accesses,
         orchestrator=orchestrator, workload=workload,
+        backend=backend, estimator=estimator,
     )
     return names, times
 

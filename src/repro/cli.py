@@ -84,6 +84,7 @@ from repro.analysis.report import (
 )
 from repro.durable import DurabilityManager
 from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.estimate.dispatch import BACKENDS
 from repro.jobs import Orchestrator
 from repro.lint import cli as lint_cli
 from repro.service import (
@@ -156,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--instructions", type=int, default=1_000_000)
     sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument(
+        "--backend", choices=list(BACKENDS), default="exact",
+        help="simulation backend for phase-2 measurements "
+        "(default: exact; see docs/estimation.md)",
+    )
     _add_jobs_arguments(sweep)
 
     fig = sub.add_parser("figure", help="regenerate a quick paper figure")
@@ -571,12 +577,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         mixes_per_benchmark=args.mixes_per_benchmark,
         orchestrator=orchestrator,
         keep_going=args.keep_going,
+        backend=args.backend,
     )
     print(
         render_sweep(
             sweep,
             f"Figure 10-style sweep ({len(sweep.mix_results)} mixes, "
-            f"policy: {args.policy})",
+            f"policy: {args.policy}, backend: {args.backend})",
         )
     )
     print()

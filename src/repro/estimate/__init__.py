@@ -1,0 +1,103 @@
+"""Fast-path estimation backends behind the exact-simulation interface.
+
+The exact :class:`~repro.perf.simulator.MulticoreSimulator` replays
+every reference of every task through real cache state — faithful, and
+by far the costliest thing the repo does. This package provides two
+cheaper backends that answer the same questions (per-task user times,
+co-run degradations, aggregate L2 miss rate) through the same result
+types, selectable per :class:`~repro.jobs.spec.RunSpec`:
+
+``analytical``
+    One vectorised profiling pass per task (:mod:`.reuse`) feeds a
+    closed-form footprint/reuse-distance composition model
+    (:mod:`.analytical`) — no interleaved simulation at all.
+``sampled``
+    Phase detection over windowed signatures (:mod:`.phases`) selects
+    representative intervals that run through the *exact* simulator via
+    the dispatch seam, then extrapolate (:mod:`.sampled`).
+
+:mod:`.dispatch` is the single entry point (and the only module allowed
+to construct the exact simulator — lint rule RPR503); :mod:`.validate`
+cross-checks both backends' mapping decisions and miss rates against
+exact simulation. See ``docs/estimation.md`` for the selection guide
+and the error-bound contract.
+"""
+
+from importlib import import_module
+from typing import List
+
+# Lazy re-exports (PEP 562). The job-spec layer imports this package for
+# backend dispatch while :mod:`repro.perf.experiment` (imported by the
+# analytical/validate modules) imports the job-spec layer — eager
+# imports here would close that cycle. Submodules load on first
+# attribute access instead.
+_EXPORTS = {
+    "AnalyticalModel": "repro.estimate.analytical",
+    "MappingPrediction": "repro.estimate.analytical",
+    "TaskPrediction": "repro.estimate.analytical",
+    "analytical_simulation": "repro.estimate.analytical",
+    "predicted_pairwise": "repro.estimate.analytical",
+    "BACKENDS": "repro.estimate.dispatch",
+    "estimate_mix": "repro.estimate.dispatch",
+    "make_exact_simulator": "repro.estimate.dispatch",
+    "EstimatorOptions": "repro.estimate.options",
+    "Phase": "repro.estimate.phases",
+    "detect_phases": "repro.estimate.phases",
+    "representative_windows": "repro.estimate.phases",
+    "window_signatures": "repro.estimate.phases",
+    "ReuseProfile": "repro.estimate.reuse",
+    "profile_task": "repro.estimate.reuse",
+    "profile_trace": "repro.estimate.reuse",
+    "ReplayGenerator": "repro.estimate.sampled",
+    "SampleReport": "repro.estimate.sampled",
+    "TaskSample": "repro.estimate.sampled",
+    "sampled_simulation": "repro.estimate.sampled",
+    "MixValidation": "repro.estimate.validate",
+    "ValidationSummary": "repro.estimate.validate",
+    "sampled_pairwise": "repro.estimate.validate",
+    "validate_mixes": "repro.estimate.validate",
+}
+
+
+def __getattr__(name: str):
+    """Resolve a public name from its submodule on first access."""
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(module), name)
+
+
+def __dir__() -> List[str]:
+    """Public surface (lazy names included)."""
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "BACKENDS",
+    "AnalyticalModel",
+    "EstimatorOptions",
+    "MappingPrediction",
+    "MixValidation",
+    "Phase",
+    "ReplayGenerator",
+    "ReuseProfile",
+    "SampleReport",
+    "TaskPrediction",
+    "TaskSample",
+    "ValidationSummary",
+    "analytical_simulation",
+    "detect_phases",
+    "estimate_mix",
+    "make_exact_simulator",
+    "predicted_pairwise",
+    "profile_task",
+    "profile_trace",
+    "representative_windows",
+    "sampled_pairwise",
+    "sampled_simulation",
+    "validate_mixes",
+    "window_signatures",
+]

@@ -1,0 +1,139 @@
+"""Phase detection from windowed presence signatures.
+
+The sampled backend's interval selection needs to know where a trace's
+behaviour *changes*: simulating three windows of a ten-million-reference
+streaming phase tells you everything about the other 4880, but only if
+the windows really are from the same phase. Detection mirrors the
+paper's signature hardware in miniature — each window of the reference
+stream is folded into a small presence bitmap (a per-window, 1-hash CBF
+over ``signature_bits`` buckets), and a phase boundary is declared
+whenever consecutive windows' bitmaps drift apart by more than a
+Jaccard-distance threshold (the Bueno-style windowed-signature delta).
+
+Everything here is pure array arithmetic over a block-address array: no
+simulation, no wall clock, deterministic for a given trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.estimate.options import EstimatorOptions
+
+__all__ = [
+    "Phase",
+    "window_signatures",
+    "detect_phases",
+    "representative_windows",
+    "coverage",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A maximal run of behaviourally-similar windows.
+
+    ``start``/``stop`` are window indices (``stop`` exclusive); the
+    phase covers references ``start·window_refs`` up to
+    ``stop·window_refs`` (the last window may be short).
+    """
+
+    start: int
+    stop: int
+
+    @property
+    def windows(self) -> int:
+        """Number of windows the phase spans."""
+        return self.stop - self.start
+
+
+def window_signatures(
+    blocks: np.ndarray, options: EstimatorOptions
+) -> np.ndarray:
+    """Per-window presence bitmaps of a block-address stream.
+
+    Returns a ``(num_windows, signature_bits)`` boolean array; bit ``b``
+    of row ``w`` is set iff some block of window ``w`` hashes (modulo)
+    into bucket ``b``. The trailing partial window is included.
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if len(blocks) == 0:
+        raise ConfigurationError("cannot signature an empty trace")
+    bits = options.signature_bits
+    window = options.window_refs
+    num_windows = -(-len(blocks) // window)
+    out = np.zeros((num_windows, bits), dtype=bool)
+    buckets = blocks % bits
+    for w in range(num_windows):
+        out[w, buckets[w * window : (w + 1) * window]] = True
+    return out
+
+
+def detect_phases(
+    signatures: np.ndarray, options: EstimatorOptions
+) -> List[Phase]:
+    """Split a window sequence into phases at signature-delta boundaries.
+
+    The Jaccard distance ``1 − |A∩B|/|A∪B|`` between *consecutive*
+    window signatures is compared against ``options.phase_threshold``;
+    a crossing starts a new phase. Distances are computed vectorised
+    over the whole sequence.
+    """
+    n = len(signatures)
+    if n == 0:
+        raise ConfigurationError("no windows to phase-detect")
+    if n == 1:
+        return [Phase(0, 1)]
+    a, b = signatures[:-1], signatures[1:]
+    inter = (a & b).sum(axis=1).astype(np.float64)
+    union = (a | b).sum(axis=1).astype(np.float64)
+    distance = 1.0 - inter / np.maximum(union, 1.0)
+    boundaries = np.flatnonzero(distance > options.phase_threshold) + 1
+    edges = [0, *boundaries.tolist(), n]
+    return [Phase(s, e) for s, e in zip(edges[:-1], edges[1:]) if e > s]
+
+
+def representative_windows(
+    signatures: np.ndarray,
+    phases: List[Phase],
+    options: EstimatorOptions,
+) -> np.ndarray:
+    """Pick the representative window indices to actually simulate.
+
+    Per phase, ``max(1, windows // denominator)`` windows are kept — the
+    ones whose signatures are closest to the phase's mean signature
+    (its centroid), so the simulated sample is the phase's most typical
+    behaviour rather than a uniform stride that may straddle its edges.
+    Returns the kept indices sorted ascending (trace order preserved).
+    """
+    keep: List[int] = []
+    for phase in phases:
+        rows = signatures[phase.start : phase.stop].astype(np.float64)
+        count = max(1, phase.windows // options.denominator)
+        centroid = rows.mean(axis=0)
+        distance = np.abs(rows - centroid).sum(axis=1)
+        # Stable tie-break: argsort is stable, earlier windows win ties.
+        order = np.argsort(distance, kind="stable")[:count]
+        keep.extend(int(phase.start + i) for i in order)
+    return np.asarray(sorted(keep), dtype=np.int64)
+
+
+def coverage(
+    kept: np.ndarray, total_windows: int
+) -> Tuple[float, Optional[float]]:
+    """(fraction of windows simulated, crude relative error bound).
+
+    The bound is the standard ``1/√k`` sampling heuristic over the
+    ``k`` kept windows — an *indicative* scale for the extrapolation
+    error, not a guarantee (see ``docs/estimation.md`` for the
+    contract). ``None`` when everything was kept (exact coverage).
+    """
+    k = len(kept)
+    frac = k / total_windows if total_windows else 0.0
+    if frac >= 1.0:
+        return 1.0, None
+    return frac, 1.0 / np.sqrt(max(k, 1))

@@ -29,7 +29,7 @@ Workload kinds:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from repro.alloc.interference import InterferenceGraphPolicy
@@ -40,6 +40,8 @@ from repro.alloc.weighted import WeightedInterferenceGraphPolicy
 from repro.cache.config import CacheConfig, CacheGeometry
 from repro.core.signature import SignatureConfig
 from repro.errors import ConfigurationError, JobError, SimulationError
+from repro.estimate.dispatch import BACKENDS
+from repro.estimate.options import EstimatorOptions
 from repro.jobs.keys import SPEC_SCHEMA_VERSION
 from repro.perf.machine import MachineConfig
 from repro.supervise.heartbeat import tick as heartbeat_tick
@@ -296,6 +298,19 @@ class RunSpec:
         (``{"kind": ..., ...}``). ``None`` (the default) runs fault-free
         and is **omitted from the canonical dict**, so pre-existing spec
         keys and cached outcomes stay valid.
+    backend:
+        Which simulation backend executes the spec — one of
+        :data:`~repro.estimate.dispatch.BACKENDS`. The default
+        ``"exact"`` is **omitted from the canonical dict** (same
+        backward-compatibility pattern as ``faults``); estimate
+        backends enter the content address, so exact and estimated
+        outcomes never share a cache entry.
+    estimator:
+        Optional :class:`~repro.estimate.options.EstimatorOptions`
+        kwargs for the estimate backends (``None`` means defaults, and
+        is omitted from the canonical dict). Rejected when
+        ``backend="exact"`` — silent no-op knobs would poison cache
+        keys.
     """
 
     machine: TMapping[str, Any]
@@ -310,9 +325,52 @@ class RunSpec:
     min_wall_cycles: Optional[float] = None
     max_wall_cycles: Optional[float] = None
     faults: Optional[TMapping[str, Any]] = None
+    backend: str = "exact"
+    estimator: Optional[TMapping[str, Any]] = None
+
+    #: Every field with a canonical serialisation in :meth:`to_dict`.
+    #: A field added to the dataclass but not here (and to ``to_dict``)
+    #: would silently drop out of the content address — hashing fails
+    #: loudly instead.
+    _SERIALISED_FIELDS = frozenset({
+        "machine", "workload", "mapping", "monitor", "signature",
+        "scheduler", "overhead", "seed", "batch_accesses",
+        "min_wall_cycles", "max_wall_cycles", "faults", "backend",
+        "estimator",
+    })
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.estimator is not None:
+            if self.backend == "exact":
+                raise ConfigurationError(
+                    "estimator options are meaningless on the exact "
+                    "backend; set backend='analytical' or 'sampled'"
+                )
+            # Validate eagerly: unknown estimator knobs fail at spec
+            # construction, not in a worker process.
+            EstimatorOptions.from_dict(self.estimator)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical plain-dict form (the input to key hashing)."""
+        """Canonical plain-dict form (the input to key hashing).
+
+        Fails loudly (:class:`~repro.errors.JobError`) if the dataclass
+        has grown a field this method does not serialise — an unknown
+        extension field must never be silently excluded from the
+        content address.
+        """
+        unhandled = {
+            f.name for f in fields(self)
+        } - self._SERIALISED_FIELDS
+        if unhandled:
+            raise JobError(
+                f"run spec fields {sorted(unhandled)} have no canonical "
+                "serialisation; extend RunSpec.to_dict (and bump the "
+                "spec schema if semantics changed) before hashing"
+            )
         d = {
             "schema": SPEC_SCHEMA_VERSION,
             "machine": dict(self.machine),
@@ -332,15 +390,30 @@ class RunSpec:
         }
         if self.faults is not None:
             d["faults"] = dict(self.faults)
+        if self.backend != "exact":
+            d["backend"] = self.backend
+        if self.estimator is not None:
+            d["estimator"] = dict(self.estimator)
         return d
 
     @classmethod
     def from_dict(cls, d: TMapping[str, Any]) -> "RunSpec":
-        """Rebuild from :meth:`to_dict` output (schema-checked)."""
+        """Rebuild from :meth:`to_dict` output (schema-checked).
+
+        Unknown keys fail loudly: a spec dict carrying a field this
+        version cannot serialise back would round-trip to a *different*
+        content address, so it is rejected outright.
+        """
         schema = d.get("schema")
         if schema != SPEC_SCHEMA_VERSION:
             raise JobError(
                 f"run spec schema {schema!r} != supported {SPEC_SCHEMA_VERSION}"
+            )
+        unknown = set(d) - cls._SERIALISED_FIELDS - {"schema"}
+        if unknown:
+            raise JobError(
+                f"run spec dict carries unknown fields {sorted(unknown)}; "
+                "refusing to round-trip a spec this version cannot rehash"
             )
         return cls(
             machine=dict(d["machine"]),
@@ -358,6 +431,10 @@ class RunSpec:
             min_wall_cycles=d.get("min_wall_cycles"),
             max_wall_cycles=d.get("max_wall_cycles"),
             faults=None if d.get("faults") is None else dict(d["faults"]),
+            backend=d.get("backend", "exact"),
+            estimator=(
+                None if d.get("estimator") is None else dict(d["estimator"])
+            ),
         )
 
 
@@ -375,6 +452,8 @@ def make_run_spec(
     min_wall_cycles: Optional[float] = None,
     max_wall_cycles: Optional[float] = None,
     faults: Optional[TMapping[str, Any]] = None,
+    backend: str = "exact",
+    estimator: Optional[TMapping[str, Any]] = None,
 ) -> RunSpec:
     """Build a :class:`RunSpec` from live configuration objects."""
     return RunSpec(
@@ -390,6 +469,8 @@ def make_run_spec(
         min_wall_cycles=min_wall_cycles,
         max_wall_cycles=max_wall_cycles,
         faults=None if faults is None else dict(faults),
+        backend=backend,
+        estimator=None if estimator is None else dict(estimator),
     )
 
 
@@ -586,7 +667,9 @@ def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
     injector = _build_injector(spec)
 
     heartbeat_tick("run")
-    if spec.workload.kind == "vm":
+    if spec.backend != "exact":
+        result = _execute_estimated(spec, machine, scheduler, mapping)
+    elif spec.workload.kind == "vm":
         result = _execute_vm(
             spec, machine, signature, scheduler, mapping, injector
         )
@@ -632,6 +715,53 @@ def _execute_spec_inner(spec: RunSpec) -> Dict[str, Any]:
         degradations=tuple(result.degradations),
     )
     return outcome.to_dict()
+
+
+def _execute_estimated(spec: RunSpec, machine, scheduler, mapping):
+    """Run a spec through an estimate backend (loudly rejecting the rest).
+
+    The estimate backends answer plain measurement questions (user
+    times, degradations, miss rates); features that need the exact
+    engine's event stream — monitors, signature hardware, fault
+    injection, virtualization, wall-cycle bounds — are configuration
+    errors, not silent downgrades.
+    """
+    from repro.estimate.dispatch import estimate_mix
+
+    unsupported = [
+        name
+        for name, value in (
+            ("monitor", spec.monitor),
+            ("signature", spec.signature),
+            ("overhead", spec.overhead),
+            ("faults", spec.faults),
+            ("min_wall_cycles", spec.min_wall_cycles),
+            ("max_wall_cycles", spec.max_wall_cycles),
+        )
+        if value is not None
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            f"the {spec.backend!r} backend does not support "
+            f"{', '.join(unsupported)}; use backend='exact'"
+        )
+    if spec.workload.kind == "vm":
+        raise ConfigurationError(
+            f"the {spec.backend!r} backend does not support 'vm' "
+            "workloads; use backend='exact'"
+        )
+    tasks, _ = _build_native_tasks(spec.workload)
+    result, _report = estimate_mix(
+        machine,
+        tasks,
+        backend=spec.backend,
+        mapping=mapping,
+        scheduler_config=scheduler,
+        batch_accesses=spec.batch_accesses,
+        seed=spec.seed,
+        options=EstimatorOptions.from_dict(spec.estimator),
+    )
+    return result
 
 
 def _build_injector(spec: RunSpec):

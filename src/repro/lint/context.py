@@ -42,6 +42,7 @@ SIM_CORE_PACKAGES: Tuple[str, ...] = (
     "repro.trace",
     "repro.workloads",
     "repro.utils",
+    "repro.estimate",
 )
 
 

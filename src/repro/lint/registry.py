@@ -35,6 +35,7 @@ __all__ = [
     "SCOPE_NON_TELEMETRY",
     "SCOPE_SERVICE",
     "SCOPE_DURABLE",
+    "SCOPE_ESTIMATE",
     "Rule",
     "register",
     "all_rules",
@@ -55,10 +56,12 @@ SCOPE_SERVICE = "service"
 #: Rule applies to the packages that persist scheduler state: the
 #: durability layer itself and the service daemon that hosts it.
 SCOPE_DURABLE = "durable"
+#: Rule applies only inside the estimation backends package.
+SCOPE_ESTIMATE = "estimate"
 
 _VALID_SCOPES = (
     SCOPE_ALL, SCOPE_SIM_CORE, SCOPE_NON_TELEMETRY, SCOPE_SERVICE,
-    SCOPE_DURABLE,
+    SCOPE_DURABLE, SCOPE_ESTIMATE,
 )
 
 
@@ -86,6 +89,8 @@ class Rule:
             return module.in_package("repro.durable") or module.in_package(
                 "repro.service"
             )
+        if self.scope == SCOPE_ESTIMATE:
+            return module.in_package("repro.estimate")
         return True
 
 

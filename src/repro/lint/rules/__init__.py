@@ -11,6 +11,7 @@ from repro.lint.rules import (
     determinism,
     durability,
     durable_publish,
+    estimate,
     service_async,
     telemetry,
     worker_safety,
@@ -20,6 +21,7 @@ __all__ = [
     "determinism",
     "durability",
     "durable_publish",
+    "estimate",
     "service_async",
     "telemetry",
     "worker_safety",

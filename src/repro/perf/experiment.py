@@ -23,6 +23,8 @@ import numpy as np
 from repro.alloc.monitor import UserLevelMonitor
 from repro.alloc.multithreaded import TwoPhasePolicy
 from repro.errors import ConfigurationError, SimulationError
+from repro.estimate.dispatch import estimate_mix
+from repro.estimate.options import EstimatorOptions
 from repro.jobs.failures import (
     FailureReport,
     JobFailure,
@@ -244,6 +246,46 @@ def _default_index_mapping(num_tasks: int, num_cores: int) -> Mapping:
     return canonical_mapping(groups)
 
 
+def _measure_mix(
+    machine: MachineConfig,
+    tasks: Sequence[SimTask],
+    *,
+    mapping: Optional[Mapping],
+    seed: int,
+    batch_accesses: int,
+    scheduler_config: Optional[SchedulerConfig],
+    backend: str,
+    estimator: Optional[TMapping[str, Any]],
+):
+    """One serial measurement run through the selected backend.
+
+    The exact backend goes through :func:`~repro.perf.runner.run_mix`
+    unchanged; estimate backends dispatch through
+    :func:`~repro.estimate.dispatch.estimate_mix` and return the same
+    result type.
+    """
+    if backend == "exact":
+        return run_mix(
+            machine,
+            tasks,
+            mapping=mapping,
+            seed=seed,
+            batch_accesses=batch_accesses,
+            scheduler_config=scheduler_config,
+        )
+    result, _ = estimate_mix(
+        machine,
+        tasks,
+        backend=backend,
+        mapping=mapping,
+        scheduler_config=scheduler_config,
+        batch_accesses=batch_accesses,
+        seed=seed,
+        options=EstimatorOptions.from_dict(estimator),
+    )
+    return result
+
+
 def run_all_mappings(
     machine: MachineConfig,
     tasks: Sequence[SimTask],
@@ -253,6 +295,8 @@ def run_all_mappings(
     max_mappings: Optional[int] = None,
     orchestrator=None,
     workload: Optional[WorkloadSpec] = None,
+    backend: str = "exact",
+    estimator: Optional[TMapping[str, Any]] = None,
 ) -> Dict[Mapping, Dict[str, float]]:
     """User time of every task under every balanced mapping (Table 1).
 
@@ -266,6 +310,11 @@ def run_all_mappings(
     to rebuild *tasks* declaratively, and the mappings' task ids are
     translated to the workload's index namespace for execution. The
     returned dict is keyed by the original tid-space mappings either way.
+
+    *backend* selects the simulation backend for every measurement
+    (``"exact"``, ``"analytical"`` or ``"sampled"``); *estimator*
+    optionally carries :class:`~repro.estimate.options.EstimatorOptions`
+    kwargs for the estimate backends.
     """
     mappings = _sample_mappings(
         balanced_mappings([t.tid for t in tasks], machine.num_cores),
@@ -275,13 +324,15 @@ def run_all_mappings(
     times: Dict[Mapping, Dict[str, float]] = {}
     if orchestrator is None:
         for mapping in mappings:
-            result = run_mix(
+            result = _measure_mix(
                 machine,
                 tasks,
                 mapping=mapping,
                 seed=seed,
                 batch_accesses=batch_accesses,
                 scheduler_config=scheduler_config,
+                backend=backend,
+                estimator=estimator,
             )
             times[mapping] = {t.name: result.user_time(t.name) for t in tasks}
         return times
@@ -298,6 +349,8 @@ def run_all_mappings(
             scheduler=scheduler_config,
             seed=seed,
             batch_accesses=batch_accesses,
+            backend=backend,
+            estimator=estimator,
         )
         for m in mappings
     ]
@@ -405,12 +458,18 @@ class _TwoPhasePlan:
         apply_during_phase1: bool = True,
         max_mappings: Optional[int] = None,
         faults: Optional[TMapping[str, Any]] = None,
+        backend: str = "exact",
+        estimator: Optional[TMapping[str, Any]] = None,
     ):
         self.names = tuple(names)
         self.machine = machine
         self.seed = seed
         self.batch_accesses = batch_accesses
         self.scheduler_config = scheduler_config
+        # Phase 1 needs the exact engine (signature hardware + monitor);
+        # the backend applies to phase-2 measurements only.
+        self.backend = backend
+        self.estimator = estimator
         self.workload = WorkloadSpec(
             kind="spec", names=self.names, instructions=instructions, seed=seed
         )
@@ -463,6 +522,8 @@ class _TwoPhasePlan:
             scheduler=self.scheduler_config,
             seed=self.seed,
             batch_accesses=self.batch_accesses,
+            backend=self.backend,
+            estimator=self.estimator,
         )
 
     def resolve(self, outcomes):
@@ -559,6 +620,8 @@ def two_phase(
     max_mappings: Optional[int] = None,
     orchestrator=None,
     faults: Optional[TMapping[str, Any]] = None,
+    backend: str = "exact",
+    estimator: Optional[TMapping[str, Any]] = None,
 ) -> MixResult:
     """The full Section 4 methodology for one mix.
 
@@ -580,6 +643,11 @@ def two_phase(
     to phase 1 only — phase 2 measures clean hardware. An injected fault
     the monitor detects degrades the mix to the default schedule and the
     events land in ``MixResult.degradations``.
+
+    *backend* selects the simulation backend for phase-2 measurements
+    (phase 1 always runs exact — the signature hardware and monitor need
+    the real event stream); *estimator* carries optional
+    :class:`~repro.estimate.options.EstimatorOptions` kwargs.
     """
     if orchestrator is not None:
         plan = _TwoPhasePlan(
@@ -597,6 +665,8 @@ def two_phase(
             apply_during_phase1=apply_during_phase1,
             max_mappings=max_mappings,
             faults=faults,
+            backend=backend,
+            estimator=estimator,
         )
         extra_spec = plan.resolve(orchestrator.run_specs(plan.specs))
         extra = (
@@ -645,13 +715,16 @@ def two_phase(
         batch_accesses=batch_accesses,
         scheduler_config=scheduler_config,
         max_mappings=max_mappings,
+        backend=backend,
+        estimator=estimator,
     )
     if chosen.canonical() not in mapping_times:
         # A lopsided phase-1 decision (possible with < cores·size tasks)
         # is measured explicitly.
-        result = run_mix(
+        result = _measure_mix(
             machine, tasks, mapping=chosen, seed=seed,
             batch_accesses=batch_accesses, scheduler_config=scheduler_config,
+            backend=backend, estimator=estimator,
         )
         mapping_times[chosen.canonical()] = {
             t.name: result.user_time(t.name) for t in tasks

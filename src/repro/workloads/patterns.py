@@ -276,13 +276,29 @@ class MixtureGenerator(TraceGenerator):
         self.weights = np.asarray(weights, dtype=np.float64) / total
 
     def _generate(self, n: int) -> np.ndarray:
+        # One vectorised draw replaces a scalar rng.choice per chunk,
+        # consuming the bit stream identically (choice with p is
+        # searchsorted(cdf, random()) internally, and random(m) draws
+        # the same doubles as m scalar calls) — traces are byte-for-byte
+        # what the per-chunk loop produced. Consecutive chunks from the
+        # same component merge into one next_batch call; every component
+        # generator is batch-split invariant, so merging cannot change
+        # its stream either.
+        num_chunks = -(-n // self.CHUNK)
+        cdf = np.cumsum(self.weights)
+        cdf /= cdf[-1]
+        which = cdf.searchsorted(self._rng.random(num_chunks), side="right")
         out: List[np.ndarray] = []
         remaining = n
-        while remaining > 0:
-            take = min(self.CHUNK, remaining)
-            which = int(self._rng.choice(len(self.generators), p=self.weights))
-            out.append(self.generators[which].next_batch(take))
+        start = 0
+        while start < num_chunks:
+            end = start + 1
+            while end < num_chunks and which[end] == which[start]:
+                end += 1
+            take = min((end - start) * self.CHUNK, remaining)
+            out.append(self.generators[int(which[start])].next_batch(take))
             remaining -= take
+            start = end
         return out[0] if len(out) == 1 else np.concatenate(out)
 
     def _restart(self) -> None:

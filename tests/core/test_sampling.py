@@ -53,3 +53,56 @@ class TestSetSampler:
         s = SetSampler(64, 2)
         with pytest.raises(AttributeError):
             s.denominator = 4
+
+
+class TestSetSamplerEdgeCases:
+    def test_full_ratio_tracks_exactly_one_set(self):
+        """denominator == num_sets is the extreme legal ratio: only set 0."""
+        s = SetSampler(16, 16)
+        assert s.sampled_sets == 1
+        assert s.rate == pytest.approx(1 / 16)
+        blocks = np.arange(64)
+        mask = s.mask(blocks)
+        assert mask.sum() == 4  # blocks 0, 16, 32, 48
+        assert (s.set_of(blocks[mask]) == 0).all()
+        assert s.compress_set(np.array([0])).tolist() == [0]
+
+    def test_single_set_cache(self):
+        """A 1-set (fully-associative) cache only admits denominator 1."""
+        s = SetSampler(1, 1)
+        assert s.sampled_sets == 1
+        assert s.rate == 1.0
+        blocks = np.arange(50)
+        assert s.mask(blocks).all()
+        assert (s.set_of(blocks) == 0).all()
+        assert s.tracks_block(12345)
+        with pytest.raises(ValueError):
+            SetSampler(1, 2)
+
+    def test_decisions_depend_only_on_addresses(self):
+        """Sampling is address-deterministic: the same blocks get the
+        same mask no matter which seed generated them or which sampler
+        instance answers."""
+        a = SetSampler(64, 4)
+        b = SetSampler(64, 4)
+        assert a == b
+        for seed in (0, 1, 17):
+            blocks = np.random.default_rng(seed).integers(
+                0, 10_000, size=500
+            )
+            mask_a = a.mask(blocks)
+            assert (mask_a == b.mask(blocks)).all()
+            assert (mask_a == a.mask(blocks.copy())).all()
+            for block, m in zip(blocks[:50], mask_a[:50]):
+                assert a.tracks_block(int(block)) == bool(m)
+
+    def test_mask_of_empty_block_array(self):
+        for denominator in (1, 4):
+            s = SetSampler(64, denominator)
+            assert s.mask(np.array([], dtype=np.int64)).tolist() == []
+
+    def test_compress_set_is_bijective_on_sampled_sets(self):
+        s = SetSampler(128, 8)
+        sampled = np.arange(0, 128, 8)
+        compressed = s.compress_set(sampled)
+        assert compressed.tolist() == list(range(s.sampled_sets))

@@ -1,0 +1,114 @@
+"""Tests for the analytical footprint-composition backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimate.analytical import AnalyticalModel, analytical_simulation
+from repro.estimate.options import EstimatorOptions
+from repro.estimate.reuse import profile_task
+from repro.perf.machine import core2duo
+from repro.perf.runner import build_tasks, run_mix
+
+
+def profiles_for(names, instructions=120_000, seed=0):
+    tasks = build_tasks(names, instructions=instructions, seed=seed)
+    return [profile_task(t) for t in tasks]
+
+
+class TestAnalyticalModel:
+    def test_solo_prediction_is_sane(self):
+        model = AnalyticalModel(core2duo(), profiles_for(["mcf"]))
+        solo = model.predict_solo(0)
+        assert 0.0 <= solo.miss_rate <= 1.0
+        assert solo.user_cycles > 0
+        assert solo.cycles_per_access > 0
+
+    def test_co_running_does_not_reduce_misses(self):
+        machine = core2duo()
+        profiles = profiles_for(["mcf", "milc"])
+        model = AnalyticalModel(machine, profiles)
+        solo = model.predict_solo(0)
+        shared = model.predict([[0], [1]]).tasks[0]
+        assert shared.miss_rate >= solo.miss_rate - 1e-9
+        assert shared.user_cycles >= solo.user_cycles - 1e-9
+
+    def test_prediction_is_deterministic(self):
+        machine = core2duo()
+        profiles = profiles_for(["mcf", "povray"])
+        a = AnalyticalModel(machine, profiles).predict([[0], [1]])
+        b = AnalyticalModel(machine, profiles).predict([[0], [1]])
+        assert a == b
+
+    def test_binning_changes_little(self):
+        """Coarse reuse bins track the unbinned fixed point closely."""
+        machine = core2duo()
+        names = ["mcf", "milc"]
+        fine = AnalyticalModel(
+            machine,
+            profiles_for(names),
+            EstimatorOptions(reuse_bins=1_000_000),
+        ).predict([[0], [1]])
+        coarse = AnalyticalModel(
+            machine, profiles_for(names), EstimatorOptions(reuse_bins=128)
+        ).predict([[0], [1]])
+        for f, c in zip(fine.tasks, coarse.tasks):
+            assert c.miss_rate == pytest.approx(f.miss_rate, abs=0.01)
+
+    def test_rejects_empty_profiles(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticalModel(core2duo(), [])
+
+
+class TestAnalyticalSimulation:
+    def test_result_shape_matches_exact(self):
+        machine = core2duo()
+        tasks = build_tasks(["mcf", "povray"], instructions=100_000, seed=0)
+        exact = run_mix(machine, tasks)
+        tasks = build_tasks(["mcf", "povray"], instructions=100_000, seed=0)
+        predicted = analytical_simulation(machine, tasks)
+        assert {t.name for t in predicted.tasks} == {
+            t.name for t in exact.tasks
+        }
+        assert predicted.wall_cycles > 0
+        assert 0.0 <= predicted.l2_miss_rate <= 1.0
+
+    def test_tracks_exact_miss_rate(self):
+        """Whole-mix miss rate lands near the simulated ground truth."""
+        machine = core2duo()
+        tasks = build_tasks(["mcf", "milc"], instructions=200_000, seed=0)
+        exact = run_mix(machine, tasks)
+        tasks = build_tasks(["mcf", "milc"], instructions=200_000, seed=0)
+        predicted = analytical_simulation(machine, tasks)
+        assert predicted.l2_miss_rate == pytest.approx(
+            exact.l2_miss_rate, abs=0.05
+        )
+
+    def test_distinguishes_mappings(self):
+        """Private-L2 co-location on one core must beat nothing; the
+        model has to produce *different* numbers for different groups."""
+        machine = core2duo()
+        tasks = build_tasks(
+            ["mcf", "milc", "povray", "astar"],
+            instructions=100_000,
+            seed=0,
+        )
+        preds = {}
+        for groups in ([[0, 1], [2, 3]], [[0, 2], [1, 3]]):
+            rebuilt = build_tasks(
+                ["mcf", "milc", "povray", "astar"],
+                instructions=100_000,
+                seed=0,
+            )
+            from repro.sched.affinity import Mapping
+
+            preds[str(groups)] = analytical_simulation(
+                machine,
+                rebuilt,
+                mapping=Mapping.from_groups(
+                    [[rebuilt[i].tid for i in g] for g in groups]
+                ),
+            )
+        values = [p.wall_cycles for p in preds.values()]
+        assert values[0] != values[1]
+        del tasks

@@ -1,0 +1,107 @@
+"""Tests for windowed-signature phase detection and window selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimate.options import EstimatorOptions
+from repro.estimate.phases import (
+    Phase,
+    coverage,
+    detect_phases,
+    representative_windows,
+    window_signatures,
+)
+
+OPTS = EstimatorOptions(window_refs=64, signature_bits=128, denominator=4)
+
+
+def two_phase_trace():
+    """512 refs over blocks 0-7, then 512 refs over blocks 1000-1007."""
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.integers(0, 8, size=512), rng.integers(1000, 1008, size=512)]
+    )
+
+
+class TestWindowSignatures:
+    def test_shape_includes_partial_tail(self):
+        sigs = window_signatures(np.zeros(100, dtype=np.int64), OPTS)
+        assert sigs.shape == (2, 128)  # 64 + 36
+
+    def test_presence_bits(self):
+        blocks = np.array([0, 5, 130])  # 130 % 128 == 2
+        sigs = window_signatures(blocks, OPTS)
+        assert sigs.shape == (1, 128)
+        assert set(np.flatnonzero(sigs[0])) == {0, 2, 5}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            window_signatures(np.array([], dtype=np.int64), OPTS)
+
+
+class TestDetectPhases:
+    def test_single_window_is_one_phase(self):
+        sigs = window_signatures(np.arange(10), OPTS)
+        assert detect_phases(sigs, OPTS) == [Phase(0, 1)]
+
+    def test_homogeneous_trace_is_one_phase(self):
+        rng = np.random.default_rng(1)
+        sigs = window_signatures(rng.integers(0, 8, size=1024), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        assert len(phases) == 1
+        assert phases[0] == Phase(0, len(sigs))
+
+    def test_behaviour_shift_splits(self):
+        sigs = window_signatures(two_phase_trace(), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        assert len(phases) == 2
+        assert phases[0].start == 0
+        assert phases[-1].stop == len(sigs)
+        # The boundary sits at the trace midpoint (window 8 of 16).
+        assert phases[0].stop == 8
+
+    def test_phases_partition_the_windows(self):
+        sigs = window_signatures(two_phase_trace(), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        covered = [w for p in phases for w in range(p.start, p.stop)]
+        assert covered == list(range(len(sigs)))
+
+
+class TestRepresentativeWindows:
+    def test_every_phase_keeps_at_least_one_window(self):
+        sigs = window_signatures(two_phase_trace(), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        huge = EstimatorOptions(
+            window_refs=64, signature_bits=128, denominator=1024
+        )
+        kept = representative_windows(sigs, phases, huge)
+        assert len(kept) == len(phases)
+        for phase in phases:
+            assert ((kept >= phase.start) & (kept < phase.stop)).any()
+
+    def test_denominator_one_keeps_everything_in_order(self):
+        sigs = window_signatures(two_phase_trace(), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        all_opts = EstimatorOptions(
+            window_refs=64, signature_bits=128, denominator=1
+        )
+        kept = representative_windows(sigs, phases, all_opts)
+        assert kept.tolist() == list(range(len(sigs)))
+
+    def test_deterministic(self):
+        sigs = window_signatures(two_phase_trace(), OPTS)
+        phases = detect_phases(sigs, OPTS)
+        a = representative_windows(sigs, phases, OPTS)
+        b = representative_windows(sigs, phases, OPTS)
+        assert a.tolist() == b.tolist()
+
+
+class TestCoverage:
+    def test_full_coverage_has_no_bound(self):
+        assert coverage(np.arange(16), 16) == (1.0, None)
+
+    def test_partial_coverage_bound(self):
+        frac, bound = coverage(np.arange(4), 16)
+        assert frac == pytest.approx(0.25)
+        assert bound == pytest.approx(0.5)  # 1/sqrt(4)

@@ -1,0 +1,106 @@
+"""Tests for the representative-interval sampled backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.estimate.options import EstimatorOptions
+from repro.estimate.sampled import ReplayGenerator, sampled_simulation
+from repro.perf.machine import core2duo
+from repro.perf.runner import build_tasks, run_mix
+from repro.sched.process import SimTask
+from repro.workloads.patterns import RandomRegionGenerator
+
+
+def homogeneous_tasks():
+    """Two steady single-phase tasks, so sampling genuinely shortens.
+
+    SPEC-profile traces at small scales are phase-rich (every window
+    keeps at least one representative, flooring coverage at 1.0); a
+    stable random region gives the detector one long phase to thin.
+    """
+    tasks = []
+    for i, (name, region) in enumerate((("steady-a", 64), ("steady-b", 96))):
+        task = SimTask(
+            name=name,
+            generator=RandomRegionGenerator(region, seed=i + 1),
+            total_accesses=20_000,
+            accesses_per_kinstr=30.0,
+            mlp=1.0,
+        )
+        task.tid = i
+        task.process_id = i
+        tasks.append(task)
+    return tasks
+
+
+class TestReplayGenerator:
+    def test_replays_and_wraps(self):
+        gen = ReplayGenerator(np.array([3, 1, 4]))
+        assert gen.next_batch(7).tolist()[:7] == [3, 1, 4, 3, 1, 4, 3]
+
+    def test_reset_rewinds(self):
+        gen = ReplayGenerator(np.array([3, 1, 4]))
+        gen.next_batch(2)
+        gen.reset()
+        assert gen.next_batch(3).tolist() == [3, 1, 4]
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            ReplayGenerator(np.array([], dtype=np.int64))
+
+
+class TestSampledSimulation:
+    def test_denominator_one_reproduces_exact(self):
+        """Keeping every window degenerates to the exact simulation."""
+        opts = EstimatorOptions(denominator=1, window_refs=1024)
+        machine = core2duo()
+        tasks = build_tasks(["mcf", "povray"], instructions=60_000, seed=0)
+        exact = run_mix(machine, tasks)
+        tasks = build_tasks(["mcf", "povray"], instructions=60_000, seed=0)
+        sampled, report = sampled_simulation(machine, tasks, options=opts)
+        assert report.coverage == pytest.approx(1.0)
+        assert report.error_bound is None
+        assert sampled.l2_miss_rate == pytest.approx(exact.l2_miss_rate)
+        for name in ("mcf", "povray"):
+            assert sampled.user_time(name) == pytest.approx(
+                exact.user_time(name)
+            )
+
+    def test_sampling_shortens_and_extrapolates(self):
+        opts = EstimatorOptions(denominator=8, window_refs=512)
+        machine = core2duo()
+        tasks = homogeneous_tasks()
+        full_refs = sum(t.total_accesses for t in tasks)
+        result, report = sampled_simulation(machine, tasks, options=opts)
+        assert 0.0 < report.coverage < 1.0
+        assert report.error_bound is not None and report.error_bound > 0
+        for sample in report.samples:
+            assert 0 < sample.kept_refs < sample.total_refs
+            assert sample.scale > 1.0
+            assert sample.phases >= 1
+        # Extrapolated magnitudes are full-trace scale, not sample scale.
+        assert sum(s.total_refs for s in report.samples) == full_refs
+        assert 0.0 < result.l2_miss_rate < 1.0
+        for t in result.tasks:
+            assert t.user_cycles > 0
+
+    def test_deterministic(self):
+        opts = EstimatorOptions(denominator=8, window_refs=512)
+        machine = core2duo()
+
+        def run():
+            tasks = build_tasks(
+                ["mcf", "milc"], instructions=100_000, seed=0
+            )
+            return sampled_simulation(machine, tasks, options=opts)
+
+        a, ra = run()
+        b, rb = run()
+        assert a.l2_miss_rate == b.l2_miss_rate
+        assert a.wall_cycles == b.wall_cycles
+        assert ra == rb
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ConfigurationError):
+            sampled_simulation(core2duo(), [])

@@ -1,0 +1,100 @@
+"""Fail-loud guarantees of the spec content address.
+
+A spec's key must cover *everything* that changes the run's result.
+Two classes of silent corruption are rejected outright rather than
+hashed around:
+
+* a dataclass field with no canonical serialisation (an extension this
+  version of ``to_dict`` does not know) — hashing would silently drop
+  it from the content address;
+* a spec dict carrying unknown keys — round-tripping it would rehash to
+  a *different* address than the producer computed.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.errors import ConfigurationError, JobError
+from repro.jobs import RunSpec, make_run_spec, spec_key
+from repro.jobs.spec import WorkloadSpec
+from repro.perf.machine import core2duo
+
+
+def small_spec(**kwargs):
+    return make_run_spec(
+        core2duo(),
+        WorkloadSpec(
+            kind="spec", names=("mcf", "povray"), instructions=50_000
+        ),
+        **kwargs,
+    )
+
+
+class TestUnknownFieldsFailLoudly:
+    def test_unserialised_dataclass_field_rejected_at_hash_time(self):
+        @dataclass(frozen=True)
+        class ExtendedSpec(RunSpec):
+            prefetcher: Optional[str] = "stride"
+
+        spec = ExtendedSpec(
+            machine=small_spec().machine,
+            workload=small_spec().workload,
+        )
+        with pytest.raises(JobError, match="prefetcher"):
+            spec.to_dict()
+        with pytest.raises(JobError, match="prefetcher"):
+            spec_key(spec)
+
+    def test_unknown_dict_keys_rejected_on_round_trip(self):
+        d = small_spec().to_dict()
+        d["prefetcher"] = "stride"
+        with pytest.raises(JobError, match="prefetcher"):
+            RunSpec.from_dict(d)
+
+    def test_wrong_schema_rejected(self):
+        d = small_spec().to_dict()
+        d["schema"] = "v999"
+        with pytest.raises(JobError):
+            RunSpec.from_dict(d)
+
+
+class TestBackendInTheContentAddress:
+    def test_default_backend_is_omitted(self):
+        """Pre-backend spec dicts must keep their original keys."""
+        d = small_spec().to_dict()
+        assert "backend" not in d
+        assert "estimator" not in d
+
+    def test_backends_never_share_a_key(self):
+        exact = small_spec()
+        analytical = small_spec(backend="analytical")
+        sampled = small_spec(backend="sampled")
+        keys = {spec_key(s) for s in (exact, analytical, sampled)}
+        assert len(keys) == 3
+
+    def test_estimator_options_enter_the_key(self):
+        a = small_spec(backend="sampled", estimator={"denominator": 8})
+        b = small_spec(backend="sampled", estimator={"denominator": 16})
+        assert spec_key(a) != spec_key(b)
+        assert spec_key(a) != spec_key(small_spec(backend="sampled"))
+
+    def test_round_trip_preserves_backend_and_key(self):
+        spec = small_spec(backend="analytical", estimator={"reuse_bins": 64})
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt.backend == "analytical"
+        assert rebuilt.estimator == {"reuse_bins": 64}
+        assert spec_key(rebuilt) == spec_key(spec)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(backend="psychic")
+
+    def test_estimator_on_exact_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(estimator={"denominator": 8})
+
+    def test_unknown_estimator_knob_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="turbo"):
+            small_spec(backend="sampled", estimator={"turbo": True})

@@ -1,0 +1,20 @@
+"""Fixture: exact-simulator constructions RPR503 must flag."""
+
+from repro.perf import simulator
+from repro.perf.simulator import MulticoreSimulator
+from repro.perf.simulator import MulticoreSimulator as Engine
+
+
+def build_directly(machine, tasks):
+    """Plain imported-name construction."""
+    return MulticoreSimulator(machine, tasks)  # RPR503
+
+
+def build_via_module(machine, tasks):
+    """Attribute-chain construction through the module object."""
+    return simulator.MulticoreSimulator(machine, tasks, seed=1)  # RPR503
+
+
+def build_via_alias(machine, tasks):
+    """An import alias must not dodge the seam."""
+    return Engine(machine, tasks)  # RPR503

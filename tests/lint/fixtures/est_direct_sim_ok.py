@@ -1,0 +1,23 @@
+"""Fixture: seam-respecting estimate code RPR503 must leave alone."""
+
+from repro.estimate.dispatch import make_exact_simulator
+
+
+def build_through_seam(machine, tasks):
+    """The sanctioned construction path."""
+    return make_exact_simulator(machine, tasks, seed=1)
+
+
+def unrelated_call(machine, tasks):
+    """A local helper that merely shares the suffix is not the engine."""
+
+    def multicore_simulator(m, t):
+        """Lowercase local — resolves to itself, not the class."""
+        return (m, t)
+
+    return multicore_simulator(machine, tasks)
+
+
+def mention_without_call():
+    """Referencing the class name in data is not construction."""
+    return "MulticoreSimulator"

@@ -1,0 +1,46 @@
+"""RPR503: exact-simulator construction stays behind the dispatch seam."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+from tests.lint.conftest import codes_of
+
+#: Pretend modules placing fixtures inside (and outside) the package.
+ESTIMATE_MODULE = "repro.estimate._lint_fixture"
+DISPATCH_MODULE = "repro.estimate.dispatch"
+
+
+def test_bad_fixture_flags_every_construction(lint_fixture):
+    violations = lint_fixture("est_direct_sim_bad.py", module=ESTIMATE_MODULE)
+    assert codes_of(violations) == ["RPR503"] * 3
+
+
+def test_seam_and_lookalike_calls_are_clean(lint_fixture):
+    assert lint_fixture("est_direct_sim_ok.py", module=ESTIMATE_MODULE) == []
+
+
+def test_dispatch_module_is_the_sanctioned_exception(lint_fixture):
+    violations = lint_fixture("est_direct_sim_bad.py", module=DISPATCH_MODULE)
+    assert "RPR503" not in codes_of(violations)
+
+
+def test_rule_is_scoped_to_the_estimate_package(lint_fixture):
+    # The rest of the codebase constructs the simulator by design.
+    assert (
+        codes_of(lint_fixture("est_direct_sim_bad.py", module="repro.perf._fx"))
+        == []
+    )
+    assert (
+        codes_of(
+            lint_fixture("est_direct_sim_bad.py", module="repro.service._fx")
+        )
+        == []
+    )
+
+
+def test_shipped_estimate_package_is_clean():
+    # The estimation backends must satisfy their own seam discipline.
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    result = lint_paths([src / "estimate"])
+    assert [v for v in result.violations if v.code == "RPR503"] == []

@@ -194,6 +194,42 @@ class TestMixture:
         with pytest.raises(WorkloadError):
             MixtureGenerator([RandomRegionGenerator(10)], [0.0])
 
+    def test_stream_identical_to_scalar_chunk_loop(self):
+        """The vectorised ``_generate`` must be byte-for-byte the stream
+        of the original one-``rng.choice``-per-chunk loop (traces are
+        content-addressed; any drift would invalidate cached results)."""
+
+        class ScalarMixture(MixtureGenerator):
+            def _generate(self, n):
+                out = []
+                remaining = n
+                while remaining > 0:
+                    idx = self._rng.choice(len(self.generators), p=self.weights)
+                    take = min(self.CHUNK, remaining)
+                    out.append(self.generators[int(idx)].next_batch(take))
+                    remaining -= take
+                return np.concatenate(out)
+
+        def build(cls, seed):
+            return cls(
+                [
+                    RandomRegionGenerator(32, seed=11),
+                    StreamGenerator(64, seed=12),
+                ],
+                [0.6, 0.4],
+                seed=seed,
+            )
+
+        # Odd sizes exercise partial chunks and the chunk-merging path;
+        # both generators see the same splits (chunking is per call).
+        for seed in (0, 5):
+            for splits in ((457,), (7, 16, 33, 400, 1)):
+                new = build(MixtureGenerator, seed)
+                old = build(ScalarMixture, seed)
+                got = np.concatenate([new.next_batch(k) for k in splits])
+                want = np.concatenate([old.next_batch(k) for k in splits])
+                assert np.array_equal(got, want), (seed, splits)
+
 
 class TestGeneratorForProfile:
     def _profile(self, pattern, **kw):
