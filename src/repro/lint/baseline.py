@@ -30,8 +30,11 @@ BASELINE_VERSION = 1
 #: Conventional baseline filename at the repository root.
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
-#: Code prefixes that may never be grandfathered.
-_UNBASELINABLE_PREFIXES: Tuple[str, ...] = ("RPR1",)
+#: Code prefixes that may never be grandfathered. RPR601 is the flow
+#: analyser's *interprocedural* determinism rule — the same "the core
+#: must actually be clean" policy as RPR1xx, so it ratchets the same
+#: way: the baseline stays empty for it, always.
+_UNBASELINABLE_PREFIXES: Tuple[str, ...] = ("RPR1", "RPR601")
 
 _GroupKey = Tuple[str, str, str]  # (path, code, fingerprint source line)
 
@@ -70,8 +73,8 @@ class Baseline:
         if forbidden:
             listing = "\n  ".join(v.format() for v in sorted(forbidden))
             raise ConfigurationError(
-                "determinism violations (RPR1xx) cannot be baselined — the "
-                "simulation core must be clean; fix them or add a "
+                "determinism violations (RPR1xx/RPR601) cannot be baselined "
+                "— the simulation core must be clean; fix them or add a "
                 f"'# repro: noqa[CODE]' with justification:\n  {listing}"
             )
         return cls(dict(counts))

@@ -18,12 +18,17 @@ from __future__ import annotations
 
 import argparse
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.lint.engine import LintResult, lint_paths
-from repro.lint.registry import Rule, all_rules
+from repro.lint.engine import LintResult, lint_paths, load_modules
+from repro.lint.registry import (
+    FlowRule,
+    Rule,
+    all_flow_rules,
+    all_rules,
+)
 from repro.lint.report import render_json, render_text
 from repro.lint.violation import Violation
 
@@ -61,24 +66,50 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the whole-program flow passes (RPR6xx) over the "
+        "same parse — call-graph construction plus interprocedural "
+        "determinism/async-safety/durability checks",
+    )
+    parser.add_argument(
+        "--callgraph-out", metavar="FILE", default=None,
+        help="write the call graph as versioned JSON (implies --flow)",
+    )
+    parser.add_argument(
+        "--callgraph-dot", metavar="FILE", default=None,
+        help="write the call graph as Graphviz DOT (implies --flow)",
+    )
 
 
 def _default_paths() -> List[str]:
     return [p for p in ("src", "tests", "scripts") if Path(p).exists()]
 
 
-def _selected_rules(select: Optional[str]) -> List["Rule"]:
+def _selected_rules(
+    select: Optional[str],
+) -> Tuple[List["Rule"], List["FlowRule"]]:
+    """Resolve ``--select`` against both rule families.
+
+    A code may live in either registry; unknown codes are a usage error
+    (exit 2). With no selection, everything in both families is active
+    (flow rules still only *run* under ``--flow``).
+    """
     rules = all_rules()
+    flow_rules = all_flow_rules()
     if select is None:
-        return rules
+        return rules, flow_rules
     wanted = {code.strip() for code in select.split(",") if code.strip()}
-    known = {rule.code for rule in rules}
+    known = {rule.code for rule in rules} | {r.code for r in flow_rules}
     unknown = wanted - known
     if unknown:
         raise ConfigurationError(
             f"unknown rule code(s) in --select: {sorted(unknown)}"
         )
-    return [rule for rule in rules if rule.code in wanted]
+    return (
+        [rule for rule in rules if rule.code in wanted],
+        [rule for rule in flow_rules if rule.code in wanted],
+    )
 
 
 def _list_rules() -> str:
@@ -86,6 +117,11 @@ def _list_rules() -> str:
     for rule in all_rules():
         lines.append(f"{rule.code}  {rule.name} [{rule.scope}]")
         lines.append(f"    {rule.summary}")
+    for flow_rule in all_flow_rules():
+        lines.append(
+            f"{flow_rule.code}  {flow_rule.name} [{flow_rule.scope}, flow]"
+        )
+        lines.append(f"    {flow_rule.summary}")
     return "\n".join(lines)
 
 
@@ -98,9 +134,39 @@ def run(args: argparse.Namespace) -> int:
     if not paths:
         print("error: no paths given and no src/tests/scripts directory here")
         return 2
+    flow_requested = bool(
+        getattr(args, "flow", False)
+        or getattr(args, "callgraph_out", None)
+        or getattr(args, "callgraph_dot", None)
+    )
+    flow_result = None
     try:
-        rules = _selected_rules(args.select)
-        result = lint_paths(paths, rules=rules)
+        rules, flow_rules = _selected_rules(args.select)
+        # Parse once: the same loaded modules feed the per-file rules
+        # and (under --flow) the whole-program passes and exporters.
+        modules = load_modules(paths)
+        result = lint_paths(paths, rules=rules, modules=modules)
+        if flow_requested:
+            from repro.flow import Program, analyze, run_flow
+            from repro.flow.export import callgraph_dot, callgraph_json
+
+            program = Program(modules)
+            analysis = analyze(program)
+            flow_result = run_flow(
+                program, rules=flow_rules, analysis=analysis
+            )
+            result = LintResult(
+                sorted(result.violations + flow_result.violations),
+                result.files_scanned,
+            )
+            if args.callgraph_out:
+                Path(args.callgraph_out).write_text(
+                    callgraph_json(analysis), encoding="utf-8"
+                )
+            if args.callgraph_dot:
+                Path(args.callgraph_dot).write_text(
+                    callgraph_dot(analysis), encoding="utf-8"
+                )
     except ConfigurationError as exc:
         print(f"error: {exc}")
         return 2
@@ -132,6 +198,15 @@ def run(args: argparse.Namespace) -> int:
         print(render_json(result, baselined))
     else:
         print(render_text(result, baselined))
+        if flow_result is not None:
+            stats = flow_result.stats
+            print(
+                f"flow: {stats['modules']} modules, "
+                f"{stats['functions']} functions, "
+                f"{stats['call_edges']} call edges, "
+                f"{stats['unresolved_calls']} unresolved calls, "
+                f"{stats['findings']} finding(s)"
+            )
     return 0 if result.ok else 1
 
 

@@ -8,6 +8,12 @@ remainder in a :class:`LintResult`. Baseline filtering is deliberately
 *not* done here — the CLI layer owns the baseline so programmatic users
 (tests, the self-check) always see the full picture.
 
+Parse-once sharing: :func:`load_modules` materialises the tree as
+:class:`LoadedModule` objects (parsed context + lazily built
+suppression index) that both this engine (:func:`lint_modules`) and the
+whole-program flow analyser (:mod:`repro.flow`) consume, so a combined
+``lint --flow`` run parses each file exactly once.
+
 Unparseable files are reported as ``RPR001`` violations rather than
 crashing the run: a syntax error in one file must not hide violations
 in the other two hundred.
@@ -24,7 +30,8 @@ from repro.lint.suppress import SuppressionIndex
 from repro.lint.violation import Violation
 
 __all__ = ["PARSE_ERROR_CODE", "DEFAULT_EXCLUDED_PARTS", "LintResult",
-           "iter_source_files", "lint_source", "lint_paths"]
+           "LoadedModule", "iter_source_files", "load_modules",
+           "lint_modules", "lint_source", "lint_paths"]
 
 #: Reported when a file cannot be parsed at all.
 PARSE_ERROR_CODE = "RPR001"
@@ -34,9 +41,67 @@ PARSE_ERROR_CODE = "RPR001"
 #: must not fail a whole-tree run; explicitly named files still lint.
 DEFAULT_EXCLUDED_PARTS: Tuple[str, ...] = (
     "tests/lint/fixtures",
+    "tests/flow/fixtures",
     "__pycache__",
     ".git",
 )
+
+
+class LoadedModule:
+    """One discovered file: parsed context, or the parse-error violation.
+
+    The unit of the parse-once contract: a tree is loaded into these
+    exactly once per run, then every consumer — the per-file rules, the
+    whole-program flow passes, the suppression filter — works off the
+    same parsed AST and tokenised suppression index.
+    """
+
+    def __init__(
+        self,
+        display: str,
+        source: str,
+        context: Optional[ModuleContext],
+        error: Optional[Violation] = None,
+    ) -> None:
+        self.display = display
+        self.source = source
+        self.context = context
+        self.error = error
+        self._suppressions: Optional[SuppressionIndex] = None
+
+    @property
+    def suppressions(self) -> SuppressionIndex:
+        """Lazily built (and cached) suppression index for this file."""
+        if self._suppressions is None:
+            lines = self.context.lines if self.context is not None else []
+            self._suppressions = SuppressionIndex(
+                self.display, lines, source=self.source
+            )
+        return self._suppressions
+
+    @classmethod
+    def parse(
+        cls, path: Union[str, Path], source: str, module: Optional[str] = None
+    ) -> "LoadedModule":
+        """Parse one in-memory file into a loaded module (never raises)."""
+        display = Path(path).as_posix()
+        try:
+            context = ModuleContext(display, source, module=module)
+        except SyntaxError as exc:
+            return cls(
+                display,
+                source,
+                None,
+                error=Violation(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    source="",
+                ),
+            )
+        return cls(display, source, context)
 
 
 class LintResult:
@@ -89,6 +154,81 @@ def iter_source_files(
                 yield path
 
 
+def load_modules(
+    paths: Sequence[Union[str, Path]],
+    excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS,
+    root: Optional[Union[str, Path]] = None,
+) -> List[LoadedModule]:
+    """Discover, read, and parse every source file under *paths* once.
+
+    Display paths are made relative to *root* (default: the current
+    directory) when possible, keeping reports and baselines
+    machine-independent. Unreadable and unparseable files become loaded
+    modules carrying an ``RPR001`` error instead of a context.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    modules: List[LoadedModule] = []
+    for file_path in iter_source_files(paths, excluded_parts):
+        try:
+            display: Union[str, Path] = file_path.resolve().relative_to(
+                base.resolve()
+            )
+        except ValueError:
+            display = file_path
+        display_posix = Path(display).as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            modules.append(
+                LoadedModule(
+                    display_posix,
+                    "",
+                    None,
+                    error=Violation(
+                        path=display_posix,
+                        line=1,
+                        col=1,
+                        code=PARSE_ERROR_CODE,
+                        message=f"file is unreadable: {exc}",
+                        source="",
+                    ),
+                )
+            )
+            continue
+        modules.append(LoadedModule.parse(display, source))
+    return modules
+
+
+def _lint_one(
+    module: LoadedModule, rules: Optional[Sequence[Rule]]
+) -> List[Violation]:
+    """Run the per-file rules over one loaded module."""
+    if module.context is None:
+        assert module.error is not None
+        return [module.error]
+    context = module.context
+    active = all_rules() if rules is None else list(rules)
+    found: List[Violation] = []
+    for rule in active:
+        if rule.applies_to(context):
+            found.extend(rule.check(context))
+    suppressions = module.suppressions
+    kept = [v for v in found if not suppressions.is_suppressed(v)]
+    kept.extend(suppressions.malformed)
+    return sorted(kept)
+
+
+def lint_modules(
+    modules: Sequence[LoadedModule],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Run the per-file rules over already-loaded modules (parse-once)."""
+    violations: List[Violation] = []
+    for module in modules:
+        violations.extend(_lint_one(module, rules))
+    return LintResult(sorted(violations), len(modules))
+
+
 def lint_source(
     path: Union[str, Path],
     source: str,
@@ -100,29 +240,7 @@ def lint_source(
     *module* overrides the package classification (fixtures pretend to
     live in ``repro.perf`` etc.); *rules* restricts the rule set.
     """
-    display = Path(path).as_posix()
-    try:
-        context = ModuleContext(display, source, module=module)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                code=PARSE_ERROR_CODE,
-                message=f"file does not parse: {exc.msg}",
-                source="",
-            )
-        ]
-    active = all_rules() if rules is None else list(rules)
-    found: List[Violation] = []
-    for rule in active:
-        if rule.applies_to(context):
-            found.extend(rule.check(context))
-    suppressions = SuppressionIndex(display, context.lines, source=source)
-    kept = [v for v in found if not suppressions.is_suppressed(v)]
-    kept.extend(suppressions.malformed)
-    return sorted(kept)
+    return _lint_one(LoadedModule.parse(path, source, module=module), rules)
 
 
 def lint_paths(
@@ -130,37 +248,14 @@ def lint_paths(
     rules: Optional[Sequence[Rule]] = None,
     excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS,
     root: Optional[Union[str, Path]] = None,
+    modules: Optional[Sequence[LoadedModule]] = None,
 ) -> LintResult:
     """Lint every source file under *paths*.
 
-    Violation paths are reported relative to *root* (default: the
-    current directory) when possible, keeping reports and baselines
-    machine-independent.
+    Pass *modules* (from :func:`load_modules`) to reuse an existing
+    parse — the combined ``lint --flow`` path does, so each file is
+    parsed exactly once per run.
     """
-    base = Path(root) if root is not None else Path.cwd()
-    violations: List[Violation] = []
-    files = 0
-    for file_path in iter_source_files(paths, excluded_parts):
-        files += 1
-        try:
-            display: Union[str, Path] = file_path.resolve().relative_to(
-                base.resolve()
-            )
-        except ValueError:
-            display = file_path
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            violations.append(
-                Violation(
-                    path=Path(display).as_posix(),
-                    line=1,
-                    col=1,
-                    code=PARSE_ERROR_CODE,
-                    message=f"file is unreadable: {exc}",
-                    source="",
-                )
-            )
-            continue
-        violations.extend(lint_source(display, source, rules=rules))
-    return LintResult(sorted(violations), files)
+    if modules is None:
+        modules = load_modules(paths, excluded_parts, root=root)
+    return lint_modules(modules, rules=rules)

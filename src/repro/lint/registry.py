@@ -23,7 +23,7 @@ the module's package. This is how wall-clock stays legal in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.lint.context import ModuleContext
@@ -37,10 +37,14 @@ __all__ = [
     "SCOPE_DURABLE",
     "SCOPE_ESTIMATE",
     "Rule",
+    "FlowRule",
     "register",
+    "register_flow",
     "all_rules",
+    "all_flow_rules",
     "get_rule",
     "rule_codes",
+    "flow_rule_codes",
 ]
 
 CheckFn = Callable[[ModuleContext], Iterable[Violation]]
@@ -94,7 +98,32 @@ class Rule:
         return True
 
 
+@dataclass(frozen=True)
+class FlowRule:
+    """One registered *whole-program* invariant check (RPR6xx family).
+
+    Unlike :class:`Rule`, the check receives a ``FlowAnalysis``
+    (:mod:`repro.flow.engine`) — symbol table, call graph, and loaded
+    modules — instead of one module context, so it can follow an
+    invariant across function and module boundaries. The ``scope``
+    string is descriptive (which packages the rule attributes findings
+    to); scoping is applied *inside* the pass, where the analysis knows
+    each function's package.
+    """
+
+    code: str
+    name: str
+    summary: str
+    scope: str
+    #: ``check(analysis) -> Iterable[Violation]``; typed loosely because
+    #: the analysis type lives above this registry (repro.flow).
+    check: Callable[[Any], Iterable[Violation]]
+    rationale: str = field(default="", compare=False)
+
+
 _REGISTRY: Dict[str, Rule] = {}
+
+_FLOW_REGISTRY: Dict[str, FlowRule] = {}
 
 
 def register(
@@ -128,25 +157,76 @@ def register(
     return decorator
 
 
+def register_flow(
+    code: str,
+    name: str,
+    summary: str,
+    scope: str = SCOPE_ALL,
+    rationale: str = "",
+) -> Callable[[Callable[[Any], Iterable[Violation]]],
+              Callable[[Any], Iterable[Violation]]]:
+    """Register the decorated whole-program check as flow rule *code*.
+
+    Flow rules share the code namespace with per-file rules — a code
+    registered in either registry cannot be reused in the other.
+    """
+    if scope not in _VALID_SCOPES:
+        raise ConfigurationError(f"unknown rule scope {scope!r} for {code}")
+
+    def decorator(
+        fn: Callable[[Any], Iterable[Violation]],
+    ) -> Callable[[Any], Iterable[Violation]]:
+        if code in _FLOW_REGISTRY or code in _REGISTRY:
+            raise ConfigurationError(f"lint rule {code} registered twice")
+        _FLOW_REGISTRY[code] = FlowRule(
+            code=code,
+            name=name,
+            summary=summary,
+            scope=scope,
+            check=fn,
+            rationale=rationale,
+        )
+        return fn
+
+    return decorator
+
+
 def _ensure_loaded() -> None:
     """Import the rule modules (registration happens on import)."""
     from repro.lint import rules  # noqa: F401  (import for side effect)
+    from repro.flow import rules as flow_rules  # noqa: F401
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, sorted by code."""
+    """Every registered per-file rule, sorted by code."""
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def all_flow_rules() -> List[FlowRule]:
+    """Every registered whole-program flow rule, sorted by code."""
+    _ensure_loaded()
+    return [_FLOW_REGISTRY[code] for code in sorted(_FLOW_REGISTRY)]
+
+
 def rule_codes() -> Tuple[str, ...]:
-    """The sorted tuple of registered codes."""
+    """The sorted tuple of registered per-file codes."""
     _ensure_loaded()
     return tuple(sorted(_REGISTRY))
 
 
+def flow_rule_codes() -> Tuple[str, ...]:
+    """The sorted tuple of registered flow codes."""
+    _ensure_loaded()
+    return tuple(sorted(_FLOW_REGISTRY))
+
+
 def get_rule(code: str) -> Rule:
-    """Look up one rule; unknown codes raise ``ConfigurationError``."""
+    """Look up one per-file rule; unknown codes raise loudly.
+
+    Flow rules are looked up via :func:`all_flow_rules` — they are not
+    interchangeable with per-file rules (different check signature).
+    """
     _ensure_loaded()
     try:
         return _REGISTRY[code]

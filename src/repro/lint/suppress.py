@@ -89,8 +89,19 @@ class SuppressionIndex:
                 else:
                     self.line_codes.setdefault(lineno, set()).update(codes)
 
+    def covers(self, code: str, line: int) -> bool:
+        """Whether *code* is waived at *line* (module- or line-scoped).
+
+        The flow analyser calls this directly: whole-program findings
+        (and the primitive call sites that seed them) are waived by the
+        same ``noqa``/``noqa-file`` comments as per-file findings, with
+        ``noqa-file`` acting as the module-level suppression for
+        generated or fixture-heavy modules.
+        """
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, set())
+
     def is_suppressed(self, violation: Violation) -> bool:
         """Whether *violation* is waived by a line or file suppression."""
-        if violation.code in self.file_codes:
-            return True
-        return violation.code in self.line_codes.get(violation.line, set())
+        return self.covers(violation.code, violation.line)

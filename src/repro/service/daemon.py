@@ -314,7 +314,11 @@ class SchedulerService:
                 if item is None:
                     continue
                 _, future = item
-                self.events_dropped += 1
+                # stop() is externally serialised (one caller, once) and
+                # admission was closed via _accepting=False before any
+                # await above, so no handler can interleave with this
+                # monotonic drain counter.
+                self.events_dropped += 1  # repro: noqa[RPR604]
                 if future is not None and not future.done():
                     future.set_result(
                         {
@@ -383,7 +387,12 @@ class SchedulerService:
                 self._queue.task_done()
                 return
             event, future = item
-            result = self._handle(event)
+            # Write-ahead ordering requires the WAL append (a small
+            # buffered write, fsync batched by policy) to complete
+            # synchronously before the event is applied; _run is the
+            # single consumer task, so the bounded stall is the
+            # documented durability/latency trade, not a hazard.
+            result = self._handle(event)  # repro: noqa[RPR602]
             if self._heartbeat_board is not None:
                 heartbeat.tick(
                     f"service:{getattr(event, 'kind', 'unknown')}"

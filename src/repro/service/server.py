@@ -181,7 +181,11 @@ class ServiceServer:
                     return
                 if message is None:
                     return
-                response = await self._respond(message)
+                # _respond's only instance-state writes are the
+                # monotonic shed/deadline counters — single-statement
+                # increments with no await between read and write, so
+                # interleaved handlers cannot observe a torn update.
+                response = await self._respond(message)  # repro: noqa[RPR604]
                 writer.write(encode_message(response))
                 await writer.drain()
         except ConnectionResetError:

@@ -1,0 +1,5 @@
+"""Fixture package root: re-exports for canonicalisation tests."""
+
+from graphpkg.engine import Engine, tick
+
+__all__ = ["Engine", "tick"]

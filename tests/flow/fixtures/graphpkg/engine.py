@@ -1,0 +1,55 @@
+"""Fixture engine: hierarchy dispatch, cycles, spawns, dynamic calls."""
+
+import asyncio
+
+
+class Base:
+    """Base class carrying the template-method pattern."""
+
+    def hook(self):
+        """Overridable hook."""
+        return 0
+
+    def template(self):
+        """Dispatches the hook through the hierarchy."""
+        return self.hook()
+
+
+class Engine(Base):
+    """Derived engine with its own hook and an async side."""
+
+    def __init__(self):
+        """Set up the tick counter."""
+        self.count = 0
+
+    def hook(self):
+        """Override reached via Base.template's self.hook()."""
+        return ping(1)
+
+    async def start(self):
+        """Spawn the worker as a concurrent task."""
+        asyncio.create_task(self.worker())
+
+    async def worker(self):
+        """Run one tick on the loop."""
+        return tick()
+
+
+def tick():
+    """Mutually recursive with tock — a deliberate cycle."""
+    return tock()
+
+
+def tock():
+    """Mutually recursive with tick — a deliberate cycle."""
+    return tick()
+
+
+def ping(n):
+    """Leaf helper."""
+    return n
+
+
+def dispatch(callback):
+    """Call a dynamic target — must be *reported* unresolved."""
+    return callback()

@@ -1,0 +1,10 @@
+"""Fixture entry module: calls through the package re-export."""
+
+from graphpkg import Engine, tick
+
+
+def boot():
+    """Construct an engine through the re-export and tick once."""
+    engine = Engine()
+    engine.warm_up()
+    return tick()

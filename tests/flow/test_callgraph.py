@@ -1,0 +1,140 @@
+"""Call-graph construction: the pinned fixture-package snapshot.
+
+The ``graphpkg`` fixture exercises every resolution feature in one
+small package — class-method dispatch through the hierarchy, a
+deliberate mutual-recursion cycle, an ``asyncio.create_task`` spawn
+edge, construction through a package re-export, and two genuinely
+dynamic calls that must be *reported* unresolved, never silently
+dropped. The snapshot is pinned edge-for-edge: a resolution regression
+shows up as a diff here before it shows up as a missed finding.
+"""
+
+from tests.flow.conftest import load_graph_fixture, make_program
+
+from repro.flow import analyze
+
+#: The exact expected project edges: (caller, callee, kind).
+EXPECTED_EDGES = [
+    ("graphpkg.engine.Base.template", "graphpkg.engine.Base.hook", "call"),
+    ("graphpkg.engine.Engine.hook", "graphpkg.engine.ping", "call"),
+    ("graphpkg.engine.Engine.start", "graphpkg.engine.Engine.worker",
+     "task"),
+    ("graphpkg.engine.Engine.worker", "graphpkg.engine.tick", "call"),
+    ("graphpkg.engine.tick", "graphpkg.engine.tock", "call"),
+    ("graphpkg.engine.tock", "graphpkg.engine.tick", "call"),
+    ("graphpkg.main.boot", "graphpkg.engine.Engine.__init__", "call"),
+    ("graphpkg.main.boot", "graphpkg.engine.tick", "call"),
+]
+
+
+def test_fixture_graph_snapshot_is_pinned():
+    analysis = analyze(load_graph_fixture())
+    edges = [
+        (edge.caller, edge.callee, edge.kind)
+        for edge in analysis.graph.edges
+    ]
+    assert edges == EXPECTED_EDGES
+
+
+def test_cycle_does_not_diverge_and_both_edges_exist():
+    analysis = analyze(load_graph_fixture())
+    edges = {(e.caller, e.callee) for e in analysis.graph.edges}
+    assert ("graphpkg.engine.tick", "graphpkg.engine.tock") in edges
+    assert ("graphpkg.engine.tock", "graphpkg.engine.tick") in edges
+
+
+def test_unresolved_calls_are_reported_not_dropped():
+    analysis = analyze(load_graph_fixture())
+    unresolved = {
+        (call.caller, call.display) for call in analysis.graph.unresolved
+    }
+    # The callable-parameter call and the method on a local variable are
+    # both genuinely dynamic; the graph must say so explicitly.
+    assert ("graphpkg.engine.dispatch", "callback") in unresolved
+    assert ("graphpkg.main.boot", "engine.warm_up") in unresolved
+    assert len(analysis.graph.unresolved) == 2
+
+
+def test_create_task_spawn_consumes_inner_call():
+    # create_task(self.worker()) is ONE task edge — no phantom extra
+    # synchronous "call" edge for the coroutine-building inner call.
+    analysis = analyze(load_graph_fixture())
+    start_edges = analysis.graph.callees("graphpkg.engine.Engine.start")
+    assert [(e.callee, e.kind) for e in start_edges] == [
+        ("graphpkg.engine.Engine.worker", "task")
+    ]
+
+
+def test_run_in_executor_edge_kind():
+    program = make_program(
+        (
+            "pkg.svc",
+            '"""Doc."""\n'
+            "import asyncio\n"
+            "def blocking_work():\n"
+            '    """Runs off-loop."""\n'
+            "    return 1\n"
+            "async def dispatcher():\n"
+            '    """Dispatches to a thread."""\n'
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, blocking_work)\n"
+            "    await asyncio.to_thread(blocking_work)\n",
+        )
+    )
+    analysis = analyze(program)
+    kinds = [
+        (e.callee, e.kind)
+        for e in analysis.graph.callees("pkg.svc.dispatcher")
+    ]
+    assert kinds == [
+        ("pkg.svc.blocking_work", "executor"),
+        ("pkg.svc.blocking_work", "executor"),
+    ]
+
+
+def test_primitive_calls_mirror_per_file_semantics():
+    program = make_program(
+        (
+            "pkg.helpers",
+            '"""Doc."""\n'
+            "import time\n"
+            "import numpy as np\n"
+            "def stamp():\n"
+            '    """Clock + seeded and unseeded RNG."""\n'
+            "    t = time.time()\n"
+            "    good = np.random.default_rng(42)\n"
+            "    bad = np.random.default_rng()\n"
+            "    return t, good, bad\n",
+        )
+    )
+    analysis = analyze(program)
+    primitives = [
+        (p.target, p.category)
+        for p in analysis.graph.primitives_by_caller["pkg.helpers.stamp"]
+    ]
+    # The seeded default_rng(42) is NOT a primitive; the unseeded one is.
+    assert sorted(primitives) == [
+        ("numpy.random.default_rng", "rng"),
+        ("time.time", "clock"),
+    ]
+
+
+def test_nested_function_visible_by_bare_name():
+    program = make_program(
+        (
+            "pkg.nested",
+            '"""Doc."""\n'
+            "def outer():\n"
+            '    """Calls its own nested helper."""\n'
+            "    def inner():\n"
+            '        """Nested."""\n'
+            "        return 1\n"
+            "    return inner()\n",
+        )
+    )
+    analysis = analyze(program)
+    edges = [
+        (e.caller, e.callee)
+        for e in analysis.graph.callees("pkg.nested.outer")
+    ]
+    assert edges == [("pkg.nested.outer", "pkg.nested.outer.<locals>.inner")]

@@ -1,0 +1,152 @@
+"""RPR604 — await-interleaving races in service classes.
+
+The CFG-lite evaluator must flag mutation→await→mutation sequences
+(including across loop iterations and through mutating same-class
+method calls) while staying quiet for mutate-then-await-only patterns,
+seam-routed writes, and branch-exclusive mutations.
+"""
+
+from tests.flow.conftest import codes_of, flow_violations
+
+
+def _service_class(body):
+    return (
+        "repro.service.widget",
+        '"""Service class fixture."""\n'
+        "import asyncio\n"
+        "class Widget:\n"
+        '    """Holds shared state."""\n' + body,
+    )
+
+
+def test_mutation_on_both_sides_of_await_flags():
+    module = _service_class(
+        "    async def go(self):\n"
+        '        """Classic torn update."""\n'
+        "        self.state = 1\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.state = 2\n"
+    )
+    violations = flow_violations(module, select=("RPR604",))
+    assert codes_of(violations) == ["RPR604"]
+    assert "self.state" in violations[0].message
+
+
+def test_mutations_only_before_first_await_are_clean():
+    module = _service_class(
+        "    async def go(self):\n"
+        '        """All writes complete before suspension."""\n'
+        "        self.a = 1\n"
+        "        self.b = 2\n"
+        "        await asyncio.sleep(0)\n"
+        "        return self.a\n"
+    )
+    assert flow_violations(module, select=("RPR604",)) == []
+
+
+def test_loop_carried_interleaving_is_caught():
+    module = _service_class(
+        "    async def go(self, items):\n"
+        '        """Mutates at the bottom, awaits at the top."""\n'
+        "        for item in items:\n"
+        "            await asyncio.sleep(0)\n"
+        "            self.latest = item\n"
+    )
+    violations = flow_violations(module, select=("RPR604",))
+    assert codes_of(violations) == ["RPR604"]
+
+
+def test_branch_exclusive_mutations_are_clean():
+    module = _service_class(
+        "    async def go(self, flag):\n"
+        '        """Each branch mutates on one side only."""\n'
+        "        if flag:\n"
+        "            self.a = 1\n"
+        "            return\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.b = 2\n"
+    )
+    assert flow_violations(module, select=("RPR604",)) == []
+
+
+def test_mutating_method_call_counts_as_mutation():
+    module = _service_class(
+        "    def bump(self):\n"
+        '        """Mutates shared state."""\n'
+        "        self.count = self.count + 1\n"
+        "    async def go(self):\n"
+        '        """Mutates, awaits, mutates via the method."""\n'
+        "        self.count = 0\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.bump()\n"
+    )
+    violations = flow_violations(module, select=("RPR604",))
+    assert codes_of(violations) == ["RPR604"]
+
+
+def test_handle_seam_calls_are_exempt():
+    module = _service_class(
+        "    def _handle(self, event):\n"
+        '        """The single-writer seam."""\n'
+        "        self.state = event\n"
+        "    async def go(self, event):\n"
+        '        """Routes the post-await write through the seam."""\n'
+        "        self.pending = True\n"
+        "        await asyncio.sleep(0)\n"
+        "        self._handle(event)\n"
+    )
+    assert flow_violations(module, select=("RPR604",)) == []
+
+
+def test_subscript_store_counts_as_mutation():
+    module = _service_class(
+        "    async def go(self, key, value):\n"
+        '        """Container-slot writes are shared-state writes."""\n'
+        "        self.table[key] = value\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.table[key] = value + 1\n"
+    )
+    violations = flow_violations(module, select=("RPR604",))
+    assert codes_of(violations) == ["RPR604"]
+
+
+def test_one_violation_per_function_at_first_offence():
+    module = _service_class(
+        "    async def go(self):\n"
+        '        """Several offences; one report."""\n'
+        "        self.a = 1\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.b = 2\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.c = 3\n"
+    )
+    violations = flow_violations(module, select=("RPR604",))
+    assert codes_of(violations) == ["RPR604"]
+    assert "self.b" in violations[0].message
+
+
+def test_classes_outside_service_are_not_roots():
+    module = (
+        "repro.jobs.widget",
+        '"""Same shape, different package."""\n'
+        "import asyncio\n"
+        "class Widget:\n"
+        '    """Not a service class."""\n'
+        "    async def go(self):\n"
+        '        """Out of scope."""\n'
+        "        self.state = 1\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.state = 2\n",
+    )
+    assert flow_violations(module, select=("RPR604",)) == []
+
+
+def test_noqa_waives_a_justified_site():
+    module = _service_class(
+        "    async def go(self):\n"
+        '        """Monotonic counter; justified waiver."""\n'
+        "        self.count = 0\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.count += 1  # repro: noqa[RPR604]\n"
+    )
+    assert flow_violations(module, select=("RPR604",)) == []

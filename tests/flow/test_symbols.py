@@ -1,0 +1,175 @@
+"""Symbol table: qnames, re-export chasing, hierarchy, attr types."""
+
+from tests.flow.conftest import make_program
+
+from repro.flow.symbols import SymbolTable
+
+
+def test_canonicalize_chases_package_reexport():
+    program = make_program(
+        (
+            "pkg",
+            '"""Package root."""\n'
+            "from pkg.impl import Thing, make\n"
+            '__all__ = ["Thing", "make"]\n',
+        ),
+        (
+            "pkg.impl",
+            '"""Impl."""\n'
+            "class Thing:\n"
+            '    """A thing."""\n'
+            "    def poke(self):\n"
+            '        """Poke."""\n'
+            "        return 1\n"
+            "def make():\n"
+            '    """Factory."""\n'
+            "    return Thing()\n",
+        ),
+    )
+    table = SymbolTable(program)
+    assert table.canonicalize("pkg.Thing") == "pkg.impl.Thing"
+    assert table.canonicalize("pkg.make") == "pkg.impl.make"
+    assert table.canonicalize("pkg.Thing.poke") == "pkg.impl.Thing.poke"
+    # Unknown names come back as deeply resolved as possible, unchanged
+    # here — callers treat them as external.
+    assert table.canonicalize("json.dumps") == "json.dumps"
+
+
+def test_method_resolution_walks_linked_bases():
+    program = make_program(
+        (
+            "pkg.base",
+            '"""Base."""\n'
+            "class Base:\n"
+            '    """Base."""\n'
+            "    def shared(self):\n"
+            '        """Inherited method."""\n'
+            "        return 0\n",
+        ),
+        (
+            "pkg.derived",
+            '"""Derived."""\n'
+            "from pkg.base import Base\n"
+            "class Derived(Base):\n"
+            '    """Derived."""\n'
+            "    def own(self):\n"
+            '        """Own method."""\n'
+            "        return 1\n",
+        ),
+    )
+    table = SymbolTable(program)
+    assert (
+        table.resolve_method("pkg.derived.Derived", "own")
+        == "pkg.derived.Derived.own"
+    )
+    assert (
+        table.resolve_method("pkg.derived.Derived", "shared")
+        == "pkg.base.Base.shared"
+    )
+    assert table.resolve_method("pkg.derived.Derived", "missing") is None
+
+
+def test_nested_function_qnames_use_locals_convention():
+    program = make_program(
+        (
+            "pkg.mod",
+            '"""Doc."""\n'
+            "def outer():\n"
+            '    """Outer."""\n'
+            "    def inner():\n"
+            '        """Inner."""\n'
+            "        return 1\n"
+            "    return inner\n",
+        )
+    )
+    table = SymbolTable(program)
+    assert "pkg.mod.outer" in table.functions
+    assert "pkg.mod.outer.<locals>.inner" in table.functions
+
+
+def test_attr_type_inferred_from_constructor_assignment():
+    program = make_program(
+        (
+            "pkg.parts",
+            '"""Parts."""\n'
+            "class Gearbox:\n"
+            '    """Gearbox."""\n'
+            "    def shift(self):\n"
+            '        """Shift."""\n'
+            "        return 1\n",
+        ),
+        (
+            "pkg.car",
+            '"""Car."""\n'
+            "from pkg.parts import Gearbox\n"
+            "class Car:\n"
+            '    """Car."""\n'
+            "    def __init__(self):\n"
+            '        """Init."""\n'
+            "        self.gearbox = Gearbox()\n",
+        ),
+    )
+    table = SymbolTable(program)
+    assert (
+        table.attr_type("pkg.car.Car", "gearbox") == "pkg.parts.Gearbox"
+    )
+
+
+def test_attr_type_inferred_from_optional_annotated_param():
+    program = make_program(
+        (
+            "pkg.parts",
+            '"""Parts."""\n'
+            "class Recorder:\n"
+            '    """Recorder."""\n'
+            "    def log(self):\n"
+            '        """Log."""\n'
+            "        return 1\n",
+        ),
+        (
+            "pkg.host",
+            '"""Host."""\n'
+            "from typing import Optional\n"
+            "from pkg.parts import Recorder\n"
+            "class Host:\n"
+            '    """Host."""\n'
+            "    def __init__(self, recorder: Optional[Recorder] = None):\n"
+            '        """Init."""\n'
+            "        self.recorder = recorder\n",
+        ),
+    )
+    table = SymbolTable(program)
+    assert (
+        table.attr_type("pkg.host.Host", "recorder") == "pkg.parts.Recorder"
+    )
+
+
+def test_conflicting_attr_types_demote_to_unknown():
+    program = make_program(
+        (
+            "pkg.mod",
+            '"""Doc."""\n'
+            "class A:\n"
+            '    """A."""\n'
+            "    def go(self):\n"
+            '        """Go."""\n'
+            "        return 1\n"
+            "class B:\n"
+            '    """B."""\n'
+            "    def go(self):\n"
+            '        """Go."""\n'
+            "        return 2\n"
+            "class Holder:\n"
+            '    """Assigns conflicting types to one attribute."""\n'
+            "    def __init__(self):\n"
+            '        """Init."""\n'
+            "        self.thing = A()\n"
+            "    def swap(self):\n"
+            '        """Rebinds to a different class."""\n'
+            "        self.thing = B()\n",
+        )
+    )
+    table = SymbolTable(program)
+    # A wrong edge is worse than no edge: conflicting evidence wins
+    # nothing.
+    assert table.attr_type("pkg.mod.Holder", "thing") is None

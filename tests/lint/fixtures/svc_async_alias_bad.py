@@ -1,0 +1,19 @@
+"""Fixture: aliased blocking imports inside coroutines (RPR501).
+
+The alias spellings that a naive name-match would miss: a from-import
+renamed at the import site, and a module import bound to a short alias.
+Linted as a ``repro.service`` module; expects two violations.
+"""
+
+import time as t
+from time import sleep as pause
+
+
+async def stall_via_from_alias():
+    """RPR501 through the renamed from-import."""
+    pause(0.1)  # RPR501
+
+
+async def stall_via_module_alias():
+    """RPR501 through the renamed module import."""
+    t.sleep(0.1)  # RPR501

@@ -38,6 +38,46 @@ def test_nested_sync_def_is_the_escape_hatch(lint_fixture):
     assert lint_source("svc.py", source, module=SERVICE_MODULE) == []
 
 
+def test_alias_spellings_still_flag(lint_fixture):
+    # Regression guard: `from time import sleep as pause` and
+    # `import time as t; t.sleep()` must both resolve through the alias
+    # map — a bare name-match would miss them.
+    violations = lint_fixture(
+        "svc_async_alias_bad.py", module=SERVICE_MODULE
+    )
+    assert codes_of(violations) == ["RPR501", "RPR501"]
+
+
+def test_aliased_helper_is_subsumed_by_the_flow_pass():
+    # One call hop is enough to blind RPR501; RPR602 closes the gap and
+    # still sees through the alias spelling inside the helper.
+    from repro.flow import Program, run_flow
+    from repro.lint.registry import all_flow_rules
+
+    helper = (
+        "src/repro/service/helpers.py",
+        '"""Aliased blocking helper."""\n'
+        "from time import sleep as pause\n"
+        "def settle():\n"
+        '    """Blocks via the alias."""\n'
+        "    pause(0.1)\n",
+        "repro.service.helpers",
+    )
+    caller = (
+        "src/repro/service/loop.py",
+        '"""Coroutine one hop from the aliased sleep."""\n'
+        "from repro.service.helpers import settle\n"
+        "async def run():\n"
+        '    """No lexical blocking call."""\n'
+        "    settle()\n",
+        "repro.service.loop",
+    )
+    rules = [r for r in all_flow_rules() if r.code == "RPR602"]
+    result = run_flow(Program.from_sources([helper, caller]), rules=rules)
+    assert codes_of(result.violations) == ["RPR602"]
+    assert "time.sleep" in result.violations[0].message
+
+
 def test_service_package_itself_is_clean():
     # The shipped daemon must satisfy its own responsiveness rule.
     from pathlib import Path
