@@ -1,0 +1,59 @@
+"""repro.adversary — adversarial workloads and the robustness harness.
+
+The attack side of the robustness story: seeded generators constructed
+against the stack's actual mechanisms (:mod:`repro.adversary.generators`
+— signature aliasing, footprint bombs, LRU thrashers, phase flappers),
+arrival traces that storm the online daemon
+(:mod:`repro.adversary.arrivals`), and the scoring harness that measures
+how gracefully the hardened scheduling stack degrades under each
+(:mod:`repro.adversary.report`).
+
+The defence side lives where the defended mechanisms live:
+:func:`repro.core.signature.signature_confidence` and the
+``assess_signature`` confidence verdicts, the
+:class:`~repro.service.mapper.IncrementalMapper` flap guard, and the
+:class:`~repro.estimate.gate.EstimateGate` backend-fallback valve.
+
+Everything here is inside the simulation core's determinism scope:
+generators draw exclusively from their seeded base-class rng, and two
+suite runs with equal parameters produce identical reports.
+"""
+
+from repro.adversary.arrivals import admission_storm_trace, flap_storm_trace
+from repro.adversary.generators import (
+    AliasingGenerator,
+    PhaseFlapGenerator,
+    SaturatingGenerator,
+    ThrashingGenerator,
+    alias_preimages,
+)
+from repro.adversary.report import (
+    ADVERSARY_KINDS,
+    HARDENED_DEFAULTS,
+    VICTIM_NAMES,
+    AdversaryReport,
+    MixScore,
+    adversary_machine,
+    adversary_mix,
+    run_adversary_suite,
+    score_adversary_mix,
+)
+
+__all__ = [
+    "alias_preimages",
+    "AliasingGenerator",
+    "SaturatingGenerator",
+    "ThrashingGenerator",
+    "PhaseFlapGenerator",
+    "flap_storm_trace",
+    "admission_storm_trace",
+    "ADVERSARY_KINDS",
+    "HARDENED_DEFAULTS",
+    "VICTIM_NAMES",
+    "MixScore",
+    "AdversaryReport",
+    "adversary_machine",
+    "adversary_mix",
+    "score_adversary_mix",
+    "run_adversary_suite",
+]

@@ -1,0 +1,146 @@
+"""Adversarial arrival traces for the online scheduling service.
+
+The benign arrival processes (:mod:`repro.workloads.arrivals`) model
+open-system churn. These two model *attacks* on the daemon's adaptation
+machinery:
+
+* :func:`flap_storm_trace` — a stable population in which a few victim
+  pids flip their workload profile on almost every event, far faster
+  than the registry's EWMA window. Against an unguarded
+  :class:`~repro.service.mapper.IncrementalMapper` every flip forces a
+  full remap (a remap storm); the flap guard dampens exactly this shape.
+* :func:`admission_storm_trace` — a sawtooth of admit-to-the-ceiling
+  bursts followed by drain-to-the-floor retirements with near-zero
+  gaps, the worst case for the admission queue and the drift counter.
+
+Both return ordinary :class:`~repro.workloads.arrivals.ArrivalTrace`
+values, replayable through :func:`repro.service.replay.run_replay`
+exactly like the benign traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workloads.arrivals import ArrivalTrace, _TraceBuilder, _validate
+from repro.workloads.spec import spec_profile_names
+
+__all__ = ["flap_storm_trace", "admission_storm_trace"]
+
+
+class _AdversaryBuilder(_TraceBuilder):
+    """Trace builder with *targeted* phase changes (victim pids)."""
+
+    def flap(self, pid: int) -> None:
+        """Flip *pid* to the next profile in pool order (deterministic)."""
+        current = self.live[pid]
+        candidates = [n for n in self.pool if n != current]
+        if not candidates:
+            raise WorkloadError("flapping needs at least two profiles")
+        name = candidates[self.events[-1].seq % len(candidates)] if self.events else candidates[0]
+        self.live[pid] = name
+        self._emit("phase_change", pid, name)
+
+
+def flap_storm_trace(
+    num_events: int,
+    seed: int,
+    *,
+    pool: Optional[Sequence[str]] = None,
+    population: int = 6,
+    flappers: int = 2,
+    flap_fraction: float = 0.9,
+    mean_interarrival: float = 0.01,
+) -> ArrivalTrace:
+    """A phase-flap attack: victim pids flip profiles on ~every event.
+
+    The trace admits ``population`` processes, then emits
+    ``flap_fraction`` of the remaining events as phase changes of the
+    ``flappers`` lowest pids (round-robin over them) with tiny gaps —
+    oscillation far faster than the EWMA/drift windows. The rest is
+    light background churn so the population never goes fully static.
+    """
+    names = list(pool) if pool is not None else list(spec_profile_names())
+    _validate(num_events, names, 1, max(population, 1), 0.0)
+    if len(names) < 2:
+        raise WorkloadError("flap storm needs at least two profiles")
+    if population < 2:
+        raise WorkloadError(f"population must be >= 2, got {population}")
+    if not 1 <= flappers <= population:
+        raise WorkloadError(
+            f"flappers must be in [1, {population}], got {flappers}"
+        )
+    if not 0.0 < flap_fraction <= 1.0:
+        raise WorkloadError(
+            f"flap_fraction must be in (0, 1], got {flap_fraction}"
+        )
+    if mean_interarrival <= 0:
+        raise WorkloadError(
+            f"mean_interarrival must be > 0, got {mean_interarrival}"
+        )
+    builder = _AdversaryBuilder(make_rng(seed), names, 1, population)
+    for _ in range(min(population, num_events)):
+        builder.advance(mean_interarrival)
+        builder.admit()
+    victims = sorted(builder.live)[:flappers]
+    turn = 0
+    while len(builder.events) < num_events:
+        builder.advance(mean_interarrival)
+        if builder.rng.random() < flap_fraction:
+            builder.flap(victims[turn % len(victims)])
+            turn += 1
+        else:
+            # Background churn: replace one non-victim so the population
+            # stays at the ceiling without ever retiring a victim.
+            bystanders = [p for p in sorted(builder.live) if p not in victims]
+            if bystanders and len(builder.live) >= population:
+                pid = bystanders[int(builder.rng.integers(len(bystanders)))]
+                name = builder.live.pop(pid)
+                builder._emit("retire", pid, name)
+            else:
+                builder.admit()
+    return ArrivalTrace(
+        kind="flap_storm", seed=seed, events=tuple(builder.events)
+    )
+
+
+def admission_storm_trace(
+    num_events: int,
+    seed: int,
+    *,
+    pool: Optional[Sequence[str]] = None,
+    min_live: int = 2,
+    max_live: int = 12,
+    burst_interarrival: float = 0.001,
+) -> ArrivalTrace:
+    """A sawtooth admission storm: fill to the ceiling, drain to the floor.
+
+    Unlike :func:`repro.workloads.arrivals.bursty_trace` (probabilistic
+    bursts), this is the deterministic worst case: every burst admits
+    straight to ``max_live`` and every drain retires straight to
+    ``min_live``, with near-zero gaps throughout — maximum queue
+    pressure and maximum drift accumulation per full remap.
+    """
+    names = list(pool) if pool is not None else list(spec_profile_names())
+    _validate(num_events, names, min_live, max_live, 0.0)
+    if burst_interarrival <= 0:
+        raise WorkloadError(
+            f"burst_interarrival must be > 0, got {burst_interarrival}"
+        )
+    builder = _TraceBuilder(make_rng(seed), names, min_live, max_live)
+    filling = True
+    while len(builder.events) < num_events:
+        builder.advance(burst_interarrival)
+        if filling:
+            builder.admit()
+            if len(builder.live) >= max_live:
+                filling = False
+        else:
+            builder.retire()
+            if len(builder.live) <= min_live:
+                filling = True
+    return ArrivalTrace(
+        kind="admission_storm", seed=seed, events=tuple(builder.events)
+    )

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.alloc.base import AllocationPolicy
-from repro.core.signature import HealthReport, assess_signature
+from repro.core.signature import HealthReport, SignatureHealth, assess_signature
 from repro.errors import AllocationError
 from repro.sched.affinity import Mapping, canonical_mapping
 from repro.sched.syscall import SyscallInterface, TaskView
@@ -78,6 +78,19 @@ class UserLevelMonitor:
         Declare a task's signature stale after this many consecutive
         invocations without a fresh sample (``None`` disables staleness
         tracking, the default).
+    num_hashes:
+        Hash functions behind the signature readings; sharpens the
+        alias-pressure estimate of the confidence checks.
+    confident_threshold / unusable_threshold:
+        Opt-in confidence gates (require ``signature_capacity``). A task
+        whose confidence score falls below ``confident_threshold`` is
+        *suspect*: the invocation proceeds but a structured
+        ``proceed-suspect-signature`` event is recorded. Below
+        ``unusable_threshold`` the reading is *unusable* and the
+        invocation degrades to the round-robin fallback exactly like a
+        corrupt reading. Both ``None`` (the default) disables confidence
+        grading — behaviour is byte-identical to the pre-confidence
+        monitor.
     memoize:
         Skip policy recomputation when the signature set is unchanged
         since the last healthy invocation (compared by digest over
@@ -100,11 +113,20 @@ class UserLevelMonitor:
         saturation_fraction: float = 1.0,
         stale_after: Optional[int] = None,
         memoize: bool = True,
+        num_hashes: int = 1,
+        confident_threshold: Optional[float] = None,
+        unusable_threshold: Optional[float] = None,
     ):
         if interval_cycles <= 0:
             raise AllocationError("interval_cycles must be positive")
         if stale_after is not None and stale_after < 1:
             raise AllocationError("stale_after must be >= 1 (or None)")
+        if (
+            confident_threshold is not None or unusable_threshold is not None
+        ) and signature_capacity is None:
+            raise AllocationError(
+                "confidence thresholds require signature_capacity"
+            )
         self.policy = policy
         self.interval_cycles = float(interval_cycles)
         self.apply = apply
@@ -112,6 +134,9 @@ class UserLevelMonitor:
         self.saturation_fraction = saturation_fraction
         self.stale_after = stale_after
         self.memoize = memoize
+        self.num_hashes = num_hashes
+        self.confident_threshold = confident_threshold
+        self.unusable_threshold = unusable_threshold
         self.decisions: List[Mapping] = []
         self.skipped_invocations = 0
         #: Invocations answered from the memo (unchanged signature set).
@@ -171,6 +196,9 @@ class UserLevelMonitor:
             saturation_fraction=self.saturation_fraction,
             samples_seen=task.samples_seen if last is not None else None,
             last_samples_seen=last,
+            num_hashes=self.num_hashes,
+            confident_threshold=self.confident_threshold,
+            unusable_threshold=self.unusable_threshold,
         )
 
     def invoke(self, syscall: SyscallInterface) -> Optional[Mapping]:
@@ -196,17 +224,53 @@ class UserLevelMonitor:
                 self._count(tel, "monitor_skipped_total")
                 return None
             unhealthy = {}
+            suspect = {}
             for task in tasks:
                 report = self._assess(task)
-                if not report.ok:
+                if report.status == SignatureHealth.SUSPECT:
+                    suspect[task.name] = report
+                elif not report.ok:
                     unhealthy[task.name] = report
+            if suspect:
+                # Suspect readings are still usable: record the event and
+                # proceed — the policy runs, but consumers can see the
+                # decision rested on alias-pressured signatures.
+                self.degradations.append(
+                    {
+                        "invocation": self._invocations,
+                        "action": "proceed-suspect-signature",
+                        "tasks": {
+                            name: {
+                                "status": r.status,
+                                "reason": r.reason,
+                                "confidence": (
+                                    None
+                                    if r.confidence is None
+                                    else r.confidence.score
+                                ),
+                            }
+                            for name, r in sorted(suspect.items())
+                        },
+                    }
+                )
+                self._count(tel, "monitor_suspect_total")
             if unhealthy:
                 self.degradations.append(
                     {
                         "invocation": self._invocations,
                         "action": "fallback-default-mapping",
                         "tasks": {
-                            name: {"status": r.status, "reason": r.reason}
+                            name: {
+                                "status": r.status,
+                                "reason": r.reason,
+                                # Confidence only appears for opted-in
+                                # monitors, keeping legacy events unchanged.
+                                **(
+                                    {"confidence": r.confidence.score}
+                                    if r.confidence is not None
+                                    else {}
+                                ),
+                            }
                             for name, r in sorted(unhealthy.items())
                         },
                     }

@@ -29,7 +29,15 @@ Subcommands
     ``--state-dir`` the daemon is crash-consistent (event WAL +
     snapshots, :mod:`repro.durable`); ``--recover`` rebuilds its exact
     pre-crash state from that directory. ``--request-timeout`` and
-    ``--shed-queue-depth`` arm the overload protections.
+    ``--shed-queue-depth`` arm the overload protections;
+    ``--ewma-alpha`` / ``--flap-window`` / ``--flap-threshold`` expose
+    the adaptation tuning (:class:`~repro.service.tuning.ServiceTuning`;
+    the flap guard stays disarmed unless ``--flap-threshold`` is given).
+``adversary``
+    Score the scheduling stack against adversarial workloads
+    (:mod:`repro.adversary`): signature-aliasing streams, footprint
+    bombs, LRU thrashers and phase flappers, each run hardened vs
+    unhardened — see ``docs/robustness.md``.
 ``submit``
     One-shot client for a running daemon: admit/retire/phase-change a
     process, or query status/mapping, printing the JSON response.
@@ -67,6 +75,11 @@ import sys
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
 
+from repro.adversary import (
+    ADVERSARY_KINDS,
+    adversary_machine,
+    run_adversary_suite,
+)
 from repro.alloc import (
     InterferenceGraphPolicy,
     WeightedInterferenceGraphPolicy,
@@ -233,6 +246,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--stale-after", type=float, default=None,
         help="seconds of event silence before status reports "
         "degraded=true (default: never)",
+    )
+    serve.add_argument(
+        "--ewma-alpha", type=float, default=None,
+        help="registry footprint-EWMA smoothing factor in (0, 1] "
+        "(default: the ServiceTuning default)",
+    )
+    serve.add_argument(
+        "--flap-window", type=_positive_int, default=None,
+        help="sliding event window for the mapper's flap guard "
+        "(default: the ServiceTuning default)",
+    )
+    serve.add_argument(
+        "--flap-threshold", type=_positive_int, default=None,
+        help="phase changes within --flap-window before a process is "
+        "damped (remaps rate-limited); omit to disarm the flap guard "
+        "(default: disarmed, byte-identical to the unguarded daemon)",
+    )
+
+    adv = sub.add_parser(
+        "adversary",
+        help="score the scheduling stack against adversarial workloads",
+    )
+    adv.add_argument(
+        "--kinds", nargs="+", choices=list(ADVERSARY_KINDS),
+        default=list(ADVERSARY_KINDS),
+        help="adversary classes to score (default: all)",
+    )
+    adv.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="weight-sort",
+        help="allocation policy (default: weight-sort)",
+    )
+    adv.add_argument("--instructions", type=_positive_int, default=150_000)
+    adv.add_argument("--seed", type=int, default=3)
+    adv.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="write the full AdversaryReport as JSON",
     )
 
     submit = sub.add_parser(
@@ -620,17 +669,82 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    """Score hardened vs unhardened stacks under each adversary class."""
+
+    def factory():
+        cls = _POLICIES[args.policy]
+        return cls() if cls is WeightSortPolicy else cls(seed=args.seed)
+
+    machine = adversary_machine()
+    report = run_adversary_suite(
+        machine,
+        [(args.policy, factory)],
+        kinds=tuple(args.kinds),
+        instructions=args.instructions,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            score.adversary,
+            "hardened" if score.hardened else "baseline",
+            f"{score.victim_worst_slowdown:.4f}",
+            f"{score.worst_slowdown:.4f}",
+            score.suspect_invocations,
+            score.degraded_invocations,
+            "yes" if score.gate_tripped else "",
+        ]
+        for score in report.scores
+    ]
+    print(
+        format_table(
+            ["adversary", "stack", "victim worst", "worst", "suspect",
+             "degraded", "gate"],
+            rows,
+            title=f"Adversary suite ({machine.name}, policy: {args.policy}, "
+            f"seed: {args.seed})",
+        )
+    )
+    print()
+    delta_rows = [
+        [kind, f"{entry['unhardened_victim_worst_slowdown']:.4f}",
+         f"{entry['hardened_victim_worst_slowdown']:.4f}",
+         f"{entry['delta']:+.4f}"]
+        for kind, entry in sorted(report.to_dict()["deltas"].items())
+    ]
+    print(
+        format_table(
+            ["adversary", "baseline", "hardened", "delta"],
+            delta_rows,
+            title="Hardening deltas (victim worst-case slowdown)",
+        )
+    )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"\nreport -> {args.json_out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the scheduling daemon until a ``shutdown`` op or Ctrl-C."""
     if args.recover and args.state_dir is None:
         print("error: --recover requires --state-dir", file=sys.stderr)
         return 2
+    tuning_kwargs = {}
+    if args.ewma_alpha is not None:
+        tuning_kwargs["ewma_alpha"] = args.ewma_alpha
+    if args.flap_window is not None:
+        tuning_kwargs["flap_window"] = args.flap_window
+    if args.flap_threshold is not None:
+        tuning_kwargs["flap_threshold"] = args.flap_threshold
     try:
         config = ServiceConfig(
             num_cores=args.cores,
             queue_capacity=args.queue_capacity,
             drift_threshold=args.drift_threshold,
             stale_after_seconds=args.stale_after,
+            **tuning_kwargs,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -764,6 +878,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "adversary":
+            return _cmd_adversary(args)
     raise AssertionError("unreachable")
 
 

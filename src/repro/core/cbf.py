@@ -12,6 +12,7 @@ false hit).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List
 
 import numpy as np
@@ -21,7 +22,27 @@ from repro.errors import CounterSaturationError
 from repro.utils.bitvec import BitVector
 from repro.utils.validation import require_positive
 
-__all__ = ["BloomFilter", "CountingBloomFilter"]
+__all__ = ["BloomFilter", "CountingBloomFilter", "false_positive_rate"]
+
+
+def false_positive_rate(num_entries: int, num_hashes: int, inserted: int) -> float:
+    """Analytical Bloom false-positive probability ``(1 - e^{-kn/m})^k``.
+
+    The textbook bound for a filter of ``m = num_entries`` slots, ``k =
+    num_hashes`` independent hash functions and ``n = inserted`` distinct
+    elements. This is the *alias-rate* ceiling the property tests (and the
+    adversarial suite's alias-pressure estimate) compare the empirical CBF
+    behaviour against: a uniformly-hashed workload stays at or below it,
+    while a constructed signature-aliasing workload concentrates far above
+    it on the targeted indices.
+    """
+    require_positive(num_entries, "num_entries")
+    require_positive(num_hashes, "num_hashes")
+    if inserted < 0:
+        raise ValueError(f"inserted must be >= 0, got {inserted}")
+    if inserted == 0:
+        return 0.0
+    return (1.0 - math.exp(-num_hashes * inserted / num_entries)) ** num_hashes
 
 
 class BloomFilter:
@@ -161,6 +182,35 @@ class CountingBloomFilter:
     def occupancy_weight(self) -> int:
         """Number of non-zero counters."""
         return int(np.count_nonzero(self.counters))
+
+    def occupancy_fraction(self) -> float:
+        """Fraction of counters that are non-zero (0.0 empty, 1.0 full)."""
+        return self.occupancy_weight() / self.num_entries
+
+    def saturation(self) -> float:
+        """Fraction of counters pinned at ``counter_max``.
+
+        A filter whose counters are mostly saturated has stopped counting:
+        inserts no longer change state and deletes under-report. This is
+        the raw signal behind the adversarial *footprint bomb* detector
+        (see :func:`repro.core.signature.signature_confidence`).
+        """
+        return int(np.count_nonzero(self.counters >= self.counter_max)) / (
+            self.num_entries
+        )
+
+    def decay(self, shift: int = 1) -> None:
+        """Age every counter by an arithmetic right-shift of *shift* bits.
+
+        Halving (the default) is the classic CBF aging scheme: stale
+        contributions fade geometrically while recently-reinserted entries
+        recover on their next insert. A right shift of a non-negative
+        integer can never underflow, so this is always safe to call — the
+        property suite pins ``counters >= 0`` and monotone non-increase
+        under repeated decay.
+        """
+        require_positive(shift, "shift")
+        np.right_shift(self.counters, shift, out=self.counters)
 
     def clear(self) -> None:
         """Reset all counters and event tallies."""

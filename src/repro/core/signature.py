@@ -67,6 +67,8 @@ __all__ = [
     "SignatureUnit",
     "SignatureHealth",
     "HealthReport",
+    "SignatureConfidence",
+    "signature_confidence",
     "assess_signature",
 ]
 
@@ -80,21 +82,76 @@ class SignatureHealth:
     allocation policies) classify each reading before trusting it:
 
     * :data:`OK` — the reading is plausible and fresh;
+    * :data:`SUSPECT` — the reading is plausible but its confidence score
+      (alias pressure from filter fill) has dropped below the caller's
+      confident threshold: usable, but flagged (opt-in, see
+      :func:`assess_signature`);
     * :data:`SATURATED` — the filter is (effectively) full: occupancy
       carries no discriminating signal between tasks;
     * :data:`STALE` — the reading has not been refreshed for too long
       (dropped sampling windows, a wedged signature unit);
+    * :data:`UNUSABLE` — confidence has collapsed below the caller's
+      unusable threshold: the filter is so alias-ridden that occupancy
+      and symbiosis are dominated by hash collisions (opt-in);
     * :data:`CORRUPT` — the reading is physically impossible (negative
       or non-finite occupancy/symbiosis, occupancy beyond capacity).
     """
 
     OK = "ok"
+    SUSPECT = "suspect"
     SATURATED = "saturated"
     STALE = "stale"
+    UNUSABLE = "unusable"
     CORRUPT = "corrupt"
 
     #: Every verdict, worst first (the order degradation reports sort by).
-    ALL = (CORRUPT, STALE, SATURATED, OK)
+    ALL = (CORRUPT, UNUSABLE, STALE, SATURATED, SUSPECT, OK)
+
+
+@dataclass(frozen=True)
+class SignatureConfidence:
+    """How much discriminating signal a signature reading carries.
+
+    A CBF-style signature degrades gracefully but silently: the fuller
+    the filter, the more of its popcount is hash aliasing rather than
+    genuine footprint. This summarises that degradation analytically:
+
+    * ``saturation_ratio`` — occupancy over filter capacity, clamped to
+      [0, 1]; the fill level driving alias probability.
+    * ``alias_pressure`` — probability that an arbitrary address aliases
+      into set bits, ``saturation_ratio ** num_hashes`` (the instantaneous
+      Bloom false-hit rate at the current fill level).
+    * ``score`` — ``1 - alias_pressure``: 1.0 means every set bit is
+      attributable, 0.0 means the reading is indistinguishable from a
+      full filter.
+    """
+
+    score: float
+    saturation_ratio: float
+    alias_pressure: float
+
+
+def signature_confidence(
+    occupancy: float, capacity: int, num_hashes: int = 1
+) -> SignatureConfidence:
+    """Confidence of a reading with *occupancy* set bits of *capacity*.
+
+    Pure and total: out-of-range occupancies clamp rather than raise, so
+    the function can grade even readings that a separate corruption check
+    will reject.
+    """
+    require_positive(capacity, "capacity")
+    require_positive(num_hashes, "num_hashes")
+    if not np.isfinite(occupancy):
+        ratio = 1.0
+    else:
+        ratio = min(max(float(occupancy) / capacity, 0.0), 1.0)
+    alias_pressure = ratio**num_hashes
+    return SignatureConfidence(
+        score=1.0 - alias_pressure,
+        saturation_ratio=ratio,
+        alias_pressure=alias_pressure,
+    )
 
 
 @dataclass(frozen=True)
@@ -107,15 +164,25 @@ class HealthReport:
         One of the :class:`SignatureHealth` verdicts.
     reason:
         Human-readable explanation ('' for healthy readings).
+    confidence:
+        The grading behind a confidence-derived verdict. ``None`` unless
+        the caller opted into confidence thresholds — which keeps reports
+        from threshold-free callers equal to their pre-confidence shape.
     """
 
     status: str
     reason: str = ""
+    confidence: Optional[SignatureConfidence] = None
 
     @property
     def ok(self) -> bool:
         """True when the reading can be trusted by an allocation policy."""
         return self.status == SignatureHealth.OK
+
+    @property
+    def usable(self) -> bool:
+        """True when a policy may still act on the reading (ok or suspect)."""
+        return self.status in (SignatureHealth.OK, SignatureHealth.SUSPECT)
 
 
 def assess_signature(
@@ -126,8 +193,12 @@ def assess_signature(
     saturation_fraction: float = 1.0,
     samples_seen: Optional[int] = None,
     last_samples_seen: Optional[int] = None,
+    num_hashes: int = 1,
+    confident_threshold: Optional[float] = None,
+    unusable_threshold: Optional[float] = None,
 ) -> HealthReport:
-    """Classify one signature reading as ok / saturated / stale / corrupt.
+    """Classify one signature reading (ok / suspect / saturated / stale /
+    unusable / corrupt).
 
     Parameters
     ----------
@@ -137,7 +208,7 @@ def assess_signature(
         Optional per-core symbiosis values of the same reading.
     capacity:
         Filter entry count (``SignatureConfig.num_entries``); enables the
-        saturation and beyond-capacity checks.
+        saturation, beyond-capacity, and confidence checks.
     saturation_fraction:
         Occupancy fraction of *capacity* at which the filter is declared
         saturated (1.0 = only an exactly-full filter, the conservative
@@ -146,13 +217,37 @@ def assess_signature(
         Sample counters from the current and previous observation; equal
         values mean no fresh sample arrived in between (stale). Pass
         ``None`` to skip the staleness check.
+    num_hashes:
+        Hash functions behind the reading (sharpens the alias-pressure
+        estimate; only used by the confidence checks).
+    confident_threshold / unusable_threshold:
+        Opt-in confidence gates (both require *capacity*). A reading whose
+        confidence score falls below ``confident_threshold`` is graded
+        :data:`SignatureHealth.SUSPECT`; below ``unusable_threshold`` it is
+        :data:`SignatureHealth.UNUSABLE`. With both ``None`` (the default)
+        no confidence is computed and reports are identical to the
+        pre-confidence behaviour.
 
     Checks are ordered worst-first: a corrupt reading is reported as
-    corrupt even if it would also count as saturated.
+    corrupt even if it would also count as saturated, and an unusable
+    confidence outranks staleness/saturation.
     """
+    if confident_threshold is not None and unusable_threshold is not None:
+        if unusable_threshold > confident_threshold:
+            raise ConfigurationError(
+                f"unusable_threshold {unusable_threshold} must not exceed "
+                f"confident_threshold {confident_threshold}"
+            )
+    confidence: Optional[SignatureConfidence] = None
+    if capacity is not None and (
+        confident_threshold is not None or unusable_threshold is not None
+    ):
+        confidence = signature_confidence(occupancy, capacity, num_hashes)
     if not np.isfinite(occupancy) or occupancy < 0:
         return HealthReport(
-            SignatureHealth.CORRUPT, f"occupancy {occupancy!r} is impossible"
+            SignatureHealth.CORRUPT,
+            f"occupancy {occupancy!r} is impossible",
+            confidence,
         )
     if symbiosis is not None:
         values = np.asarray(symbiosis, dtype=np.float64)
@@ -160,11 +255,25 @@ def assess_signature(
             return HealthReport(
                 SignatureHealth.CORRUPT,
                 "symbiosis vector contains negative or non-finite entries",
+                confidence,
             )
     if capacity is not None and occupancy > capacity:
         return HealthReport(
             SignatureHealth.CORRUPT,
             f"occupancy {occupancy:g} exceeds filter capacity {capacity}",
+            confidence,
+        )
+    if (
+        confidence is not None
+        and unusable_threshold is not None
+        and confidence.score < unusable_threshold
+    ):
+        return HealthReport(
+            SignatureHealth.UNUSABLE,
+            f"confidence {confidence.score:.3f} < unusable threshold "
+            f"{unusable_threshold:g} (alias pressure "
+            f"{confidence.alias_pressure:.3f})",
+            confidence,
         )
     if (
         samples_seen is not None
@@ -174,14 +283,28 @@ def assess_signature(
         return HealthReport(
             SignatureHealth.STALE,
             f"no fresh sample since the last check ({samples_seen} seen)",
+            confidence,
         )
     if capacity is not None and occupancy >= saturation_fraction * capacity:
         return HealthReport(
             SignatureHealth.SATURATED,
             f"occupancy {occupancy:g} >= {saturation_fraction:.0%} "
             f"of {capacity} entries",
+            confidence,
         )
-    return HealthReport(SignatureHealth.OK)
+    if (
+        confidence is not None
+        and confident_threshold is not None
+        and confidence.score < confident_threshold
+    ):
+        return HealthReport(
+            SignatureHealth.SUSPECT,
+            f"confidence {confidence.score:.3f} < confident threshold "
+            f"{confident_threshold:g} (alias pressure "
+            f"{confidence.alias_pressure:.3f})",
+            confidence,
+        )
+    return HealthReport(SignatureHealth.OK, confidence=confidence)
 
 
 def _next_power_of_two(n: int) -> int:

@@ -47,6 +47,8 @@ _CONFIG_FIELDS = (
     "breaker_threshold",
     "breaker_cooldown_waves",
     "wave_events",
+    "flap_window",
+    "flap_threshold",
 )
 
 

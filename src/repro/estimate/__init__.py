@@ -40,6 +40,7 @@ _EXPORTS = {
     "BACKENDS": "repro.estimate.dispatch",
     "estimate_mix": "repro.estimate.dispatch",
     "make_exact_simulator": "repro.estimate.dispatch",
+    "EstimateGate": "repro.estimate.gate",
     "EstimatorOptions": "repro.estimate.options",
     "Phase": "repro.estimate.phases",
     "detect_phases": "repro.estimate.phases",
@@ -78,6 +79,7 @@ def __dir__() -> List[str]:
 __all__ = [
     "BACKENDS",
     "AnalyticalModel",
+    "EstimateGate",
     "EstimatorOptions",
     "MappingPrediction",
     "MixValidation",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.estimate.gate import EstimateGate
 from repro.estimate.options import EstimatorOptions
 from repro.estimate.sampled import SampleReport
 from repro.perf.machine import MachineConfig
@@ -90,6 +91,7 @@ def estimate_mix(
     batch_accesses: int = 256,
     seed: int = 0,
     options: Optional[EstimatorOptions] = None,
+    gate: Optional[EstimateGate] = None,
 ) -> Tuple[SimulationResult, Optional[SampleReport]]:
     """Run one mix through the selected backend.
 
@@ -98,8 +100,23 @@ def estimate_mix(
     type is identical across backends, so downstream consumers
     (experiment drivers, the alloc degradation matrix, run-spec
     outcomes) never branch on the backend.
+
+    With a :class:`~repro.estimate.gate.EstimateGate` attached, a fast
+    backend request whose mix falls outside the gate's envelope
+    (signature aliasing, footprint-bomb pressure, collapsed confidence)
+    is rerouted to the exact engine: the gate books a structured
+    degradation event and the ``estimate_fallback_total`` metric is
+    incremented. ``gate=None`` (the default) is byte-identical to the
+    ungated seam.
     """
     _check_backend(backend)
+    fallback_event = None
+    if gate is not None and backend != "exact":
+        fallback_event = gate.evaluate(machine, tasks)
+        if fallback_event is not None:
+            fallback_event = {"requested_backend": backend, **fallback_event}
+            gate.record(fallback_event)
+            backend = "exact"
     mapping = as_mapping(mapping)
     options = options or EstimatorOptions()
     tel = telemetry_current()
@@ -154,6 +171,11 @@ def estimate_mix(
             f"estimate_{backend}_runs_total",
             help=f"mixes run through the {backend} backend",
         ).inc()
+        if fallback_event is not None:
+            metrics.counter(
+                "estimate_fallback_total",
+                help="fast-path mixes rerouted to the exact engine by the gate",
+            ).inc()
         metrics.counter(
             "estimate_refs_total",
             help="full-trace references covered by estimate runs",

@@ -43,6 +43,7 @@ SIM_CORE_PACKAGES: Tuple[str, ...] = (
     "repro.workloads",
     "repro.utils",
     "repro.estimate",
+    "repro.adversary",
 )
 
 

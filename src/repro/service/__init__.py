@@ -39,6 +39,7 @@ from repro.service.events import (
 )
 from repro.service.mapper import IncrementalMapper, MapDecision, StablePolicy
 from repro.service.registry import ProcessHandle, ProcessRegistry
+from repro.service.tuning import DEFAULT_TUNING, ServiceTuning
 from repro.service.replay import (
     RecoveryReport,
     ReplayReport,
@@ -52,6 +53,8 @@ from repro.service.server import ServiceServer
 __all__ = [
     "SchedulerService",
     "ServiceConfig",
+    "ServiceTuning",
+    "DEFAULT_TUNING",
     "AdmitEvent",
     "RetireEvent",
     "PhaseChangeEvent",

@@ -59,6 +59,7 @@ from repro.service.events import (
 )
 from repro.service.mapper import IncrementalMapper, MapDecision
 from repro.service.registry import DEFAULT_CAPACITY_LINES, ProcessRegistry
+from repro.service.tuning import DEFAULT_TUNING, ServiceTuning
 from repro.supervise import heartbeat
 from repro.supervise.breaker import CircuitBreaker
 from repro.telemetry.context import current as telemetry_current
@@ -81,20 +82,40 @@ class ServiceConfig:
     last-good mapping but flags ``degraded=true`` in ``status``. The
     default keeps every clock read out of the event path, so
     undegraded runs stay byte-identical to a build without the feature.
+
+    ``ewma_alpha``, ``drift_threshold``, ``flap_window`` and
+    ``flap_threshold`` mirror :class:`~repro.service.tuning.ServiceTuning`
+    (one source of truth for the defaults); the :attr:`tuning` property
+    rebuilds the dataclass the mapper consumes. ``flap_threshold=None``
+    (the default) disarms the mapper's flap guard, keeping benign
+    behaviour byte-identical to the pre-guard daemon.
     """
 
     num_cores: int = 2
     queue_capacity: int = 1024
-    drift_threshold: int = 16
+    drift_threshold: int = DEFAULT_TUNING.drift_threshold
     capacity_lines: int = DEFAULT_CAPACITY_LINES
-    ewma_alpha: float = 0.3
+    ewma_alpha: float = DEFAULT_TUNING.ewma_alpha
     breaker_threshold: int = 3
     breaker_cooldown_waves: int = 2
     wave_events: int = 64
     heartbeat_interval: float = 1.0
     stale_after_seconds: Optional[float] = None
+    flap_window: int = DEFAULT_TUNING.flap_window
+    flap_threshold: Optional[int] = None
+
+    @property
+    def tuning(self) -> ServiceTuning:
+        """The shared tuning view of this config's adaptation knobs."""
+        return ServiceTuning(
+            ewma_alpha=self.ewma_alpha,
+            drift_threshold=self.drift_threshold,
+            flap_window=self.flap_window,
+            flap_threshold=self.flap_threshold,
+        )
 
     def __post_init__(self) -> None:
+        self.tuning  # validates ewma/drift/flap fields in one place
         if self.queue_capacity < 1:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"
@@ -157,7 +178,7 @@ class SchedulerService:
         self.mapper = IncrementalMapper(
             policy,
             self.config.num_cores,
-            drift_threshold=self.config.drift_threshold,
+            tuning=self.config.tuning,
         )
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
@@ -605,6 +626,14 @@ class SchedulerService:
                 "incremental_updates": self.mapper.incremental_updates,
                 "drift": self.mapper.drift,
                 "drift_threshold": self.mapper.drift_threshold,
+                **(
+                    {
+                        "damped_updates": self.mapper.damped_updates,
+                        "flapping": list(self.mapper.flapping_pids),
+                    }
+                    if self.mapper.flap_armed
+                    else {}
+                ),
             },
             "breaker_open": self.breaker.open_keys(),
             "registry": self.registry.status(),

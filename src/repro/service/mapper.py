@@ -26,13 +26,14 @@ compare the incremental mapper against a full-remap oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.alloc.base import AllocationPolicy
 from repro.core.metrics import interference_from_symbiosis
 from repro.errors import ConfigurationError, ServiceError
 from repro.sched.affinity import Mapping, canonical_mapping
 from repro.sched.syscall import TaskView
+from repro.service.tuning import DEFAULT_TUNING, ServiceTuning
 
 __all__ = ["StablePolicy", "MapDecision", "IncrementalMapper"]
 
@@ -90,16 +91,43 @@ class IncrementalMapper:
     drift_threshold:
         Incremental repairs tolerated before the next event forces a
         full remap (1 = remap on every event, i.e. no incrementality).
+        Defaults to ``tuning.drift_threshold``; passing it explicitly
+        overrides the tuning value (legacy call sites).
+    tuning:
+        Shared :class:`~repro.service.tuning.ServiceTuning`; supplies the
+        drift threshold and the flap-guard knobs. With the default tuning
+        the guard is disarmed and behaviour is byte-identical to the
+        pre-guard mapper.
+
+    Flap guard
+    ----------
+    A phase change normally forces a full remap (the estimate is
+    invalidated). An adversary exploiting that — flapping phases faster
+    than the registry's EWMA window — turns every event into a
+    policy-rerun remap storm. With ``tuning.flap_threshold`` armed, the
+    mapper counts each pid's phase changes over a sliding
+    ``flap_window`` of events; a pid crossing the threshold is marked
+    *flapping* and its phase changes are damped to an incremental
+    re-placement (``action='damped'``) until its rate falls to half the
+    threshold (hysteresis). Damped steps still accrue drift, so the
+    drift threshold becomes the full-remap rate limit: at most one full
+    remap per ``drift_threshold`` events, no matter how fast the
+    adversary flaps.
     """
 
     def __init__(
         self,
         policy: AllocationPolicy,
         num_cores: int,
-        drift_threshold: int = 16,
+        drift_threshold: Optional[int] = None,
+        *,
+        tuning: Optional[ServiceTuning] = None,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError(f"num_cores must be >= 1, got {num_cores}")
+        self.tuning = tuning if tuning is not None else DEFAULT_TUNING
+        if drift_threshold is None:
+            drift_threshold = self.tuning.drift_threshold
         if drift_threshold < 1:
             raise ConfigurationError(
                 f"drift_threshold must be >= 1, got {drift_threshold}"
@@ -110,9 +138,14 @@ class IncrementalMapper:
         self.drift = 0
         self.full_remaps = 0
         self.incremental_updates = 0
+        self.damped_updates = 0
         #: Working partition, indexed by core (NOT canonicalised — core
         #: identity must survive incremental repair steps).
         self._groups: List[List[int]] = [[] for _ in range(num_cores)]
+        # Flap-guard state: only populated when the guard is armed.
+        self._event_index = 0
+        self._flap_history: Dict[int, List[int]] = {}
+        self._flapping: set = set()
 
     # -- queries -------------------------------------------------------
 
@@ -164,6 +197,52 @@ class IncrementalMapper:
             self._groups = [sorted(group) for group in decided.groups]
         return self._decide("full", before)
 
+    # -- flap guard ----------------------------------------------------
+
+    @property
+    def flap_armed(self) -> bool:
+        """Whether phase-change flap detection is active."""
+        return self.tuning.flap_threshold is not None
+
+    @property
+    def flapping_pids(self) -> Tuple[int, ...]:
+        """Pids currently damped by the flap guard (sorted)."""
+        return tuple(sorted(self._flapping))
+
+    def _tick(self) -> None:
+        """Advance the guard's event clock (armed mappers only)."""
+        if self.flap_armed:
+            self._event_index += 1
+
+    def _note_phase_change(self, pid: int) -> bool:
+        """Record one phase change of *pid*; True when it should be damped.
+
+        Hysteresis: a pid starts being damped at ``flap_threshold``
+        changes within the sliding window and stops only once its rate
+        decays to half that, so a borderline process does not oscillate
+        between damped and full-remap treatment.
+        """
+        window = self.tuning.flap_window
+        threshold = self.tuning.flap_threshold
+        assert threshold is not None
+        history = self._flap_history.setdefault(pid, [])
+        history.append(self._event_index)
+        cutoff = self._event_index - window
+        while history and history[0] <= cutoff:
+            history.pop(0)
+        count = len(history)
+        if pid in self._flapping:
+            if count <= threshold // 2:
+                self._flapping.discard(pid)
+        elif count >= threshold:
+            self._flapping.add(pid)
+        return pid in self._flapping
+
+    def _forget(self, pid: int) -> None:
+        """Drop a departed pid from the guard's books."""
+        self._flap_history.pop(pid, None)
+        self._flapping.discard(pid)
+
     # -- incremental repairs -------------------------------------------
 
     def _view_of(self, views: Sequence[TaskView], tid: int) -> TaskView:
@@ -212,8 +291,16 @@ class IncrementalMapper:
         back to a full remap when drift would cross the threshold.
         """
         before = self._cores_of()
+        self._tick()
         if self.drift + 1 >= self.drift_threshold:
             return self._full(views, before)
+        self._place(views, pid)
+        self.drift += 1
+        self.incremental_updates += 1
+        return self._decide("incremental", before)
+
+    def _place(self, views: Sequence[TaskView], pid: int) -> None:
+        """Append *pid* to the least-interfering of the smallest groups."""
         view = self._view_of(views, pid)
         sizes = [len(g) for g in self._groups]
         smallest = min(sizes)
@@ -223,13 +310,12 @@ class IncrementalMapper:
         )
         self._groups[core].append(pid)
         self._groups[core].sort()
-        self.drift += 1
-        self.incremental_updates += 1
-        return self._decide("incremental", before)
 
     def retire(self, views: Sequence[TaskView], pid: int) -> MapDecision:
         """Remove one departure; *views* is the post-removal snapshot."""
         before = self._cores_of()
+        self._tick()
+        self._forget(pid)
         if self.drift + 1 >= self.drift_threshold:
             for group in self._groups:
                 if pid in group:
@@ -251,10 +337,26 @@ class IncrementalMapper:
     def phase_change(
         self, views: Sequence[TaskView], pid: int
     ) -> MapDecision:
-        """A phase change invalidates the estimate: always remap fully."""
-        if pid not in self._cores_of():
+        """A phase change invalidates the estimate: remap fully — unless
+        the flap guard has marked *pid* as flapping, in which case the
+        change is damped to an incremental re-placement (and drift still
+        accrues, so the drift threshold rate-limits full remaps)."""
+        before = self._cores_of()
+        if pid not in before:
             raise ServiceError(f"pid {pid} is not in the current mapping")
-        return self._full(views, self._cores_of())
+        self._tick()
+        if self.flap_armed and self._note_phase_change(pid):
+            if self.drift + 1 >= self.drift_threshold:
+                return self._full(views, before)
+            for group in self._groups:
+                if pid in group:
+                    group.remove(pid)
+                    break
+            self._place(views, pid)
+            self.drift += 1
+            self.damped_updates += 1
+            return self._decide("damped", before)
+        return self._full(views, before)
 
     # -- snapshot support ----------------------------------------------
 
@@ -265,12 +367,26 @@ class IncrementalMapper:
         core identity is working state the incremental repair paths
         depend on, so it must survive a snapshot round-trip.
         """
-        return {
+        state = {
             "drift": self.drift,
             "full_remaps": self.full_remaps,
             "incremental_updates": self.incremental_updates,
             "groups": [list(group) for group in self._groups],
         }
+        if self.flap_armed:
+            # Guard state is exported only when armed: a disarmed mapper's
+            # snapshot stays byte-identical to the pre-guard format.
+            state["damped_updates"] = self.damped_updates
+            state["flap"] = {
+                "event_index": self._event_index,
+                "history": {
+                    str(pid): list(events)
+                    for pid, events in sorted(self._flap_history.items())
+                    if events
+                },
+                "flapping": sorted(self._flapping),
+            }
+        return state
 
     def restore(self, state: dict) -> None:
         """Replace partition and counters from :meth:`export_state` output."""
@@ -284,6 +400,19 @@ class IncrementalMapper:
         self.drift = int(state["drift"])
         self.full_remaps = int(state["full_remaps"])
         self.incremental_updates = int(state["incremental_updates"])
+        self.damped_updates = int(state.get("damped_updates", 0))
+        flap = state.get("flap")
+        if flap is not None and self.flap_armed:
+            self._event_index = int(flap["event_index"])
+            self._flap_history = {
+                int(pid): [int(e) for e in events]
+                for pid, events in flap["history"].items()
+            }
+            self._flapping = {int(pid) for pid in flap["flapping"]}
+        else:
+            self._event_index = 0
+            self._flap_history = {}
+            self._flapping = set()
 
     def settle(self, views: Sequence[TaskView]) -> MapDecision:
         """Clear accumulated drift with an unconditional full remap.

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ServiceError, WorkloadError
 from repro.sched.affinity import Mapping
 from repro.sched.syscall import TaskView
+from repro.service.tuning import DEFAULT_TUNING
 from repro.utils.rng import stable_seed
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.spec import SPEC_PROFILES
@@ -88,7 +89,7 @@ class ProcessRegistry:
         self,
         num_cores: int,
         capacity_lines: int = DEFAULT_CAPACITY_LINES,
-        ewma_alpha: float = 0.3,
+        ewma_alpha: float = DEFAULT_TUNING.ewma_alpha,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError(f"num_cores must be >= 1, got {num_cores}")

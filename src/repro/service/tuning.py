@@ -1,0 +1,91 @@
+"""One source of truth for the service's adaptation-speed tunables.
+
+Before this module existed, the registry's EWMA weight and the mapper's
+drift threshold were separate hard-coded constants (``0.3`` in
+``registry.py``, ``16`` in ``mapper.py`` and again in ``daemon.py``) —
+a grep-unfriendly duplication that made it impossible to reason about
+the service's *reaction window* as one quantity. :class:`ServiceTuning`
+hoists them into a single frozen dataclass that the registry, the
+mapper, the daemon config and the ``repro-cli serve`` flags all read.
+
+The same dataclass carries the **flap guard** knobs added for the
+adversarial-workload hardening (see ``docs/robustness.md``): a process
+whose phase changes arrive faster than the EWMA can re-converge would
+otherwise force a full remap per event (a remap storm). The guard is
+pure hysteresis bookkeeping in
+:class:`~repro.service.mapper.IncrementalMapper` and is **disarmed by
+default** (``flap_threshold=None``), which keeps every existing replay
+and snapshot byte-identical to the pre-guard daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServiceTuning", "DEFAULT_TUNING"]
+
+
+@dataclass(frozen=True)
+class ServiceTuning:
+    """Adaptation-speed tunables shared by registry, mapper and daemon.
+
+    Parameters
+    ----------
+    ewma_alpha:
+        Weight of the newest footprint sample in the registry's moving
+        average (1.0 = always trust the latest sample). This is the
+        service's *estimation* window: a signal faster than
+        ``1/ewma_alpha`` samples is smoothed away.
+    drift_threshold:
+        Incremental repairs the mapper tolerates before the next event
+        forces a full remap (1 = remap on every event). This is the
+        service's *decision* window, and — with the flap guard armed —
+        also the full-remap rate limit an adversary cannot beat.
+    flap_window:
+        Width, in mapper events, of the sliding window over which a
+        process's phase changes are counted for flap detection.
+    flap_threshold:
+        Phase changes within ``flap_window`` at which a process is
+        declared *flapping* (its phase changes are then damped into
+        incremental re-placements instead of full remaps, until it
+        quiets down below half the threshold — hysteresis). ``None``
+        (the default) disarms the guard entirely: no history is kept
+        and behaviour is byte-identical to the unguarded mapper.
+    """
+
+    ewma_alpha: float = 0.3
+    drift_threshold: int = 16
+    flap_window: int = 32
+    flap_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.drift_threshold < 1:
+            raise ConfigurationError(
+                f"drift_threshold must be >= 1, got {self.drift_threshold}"
+            )
+        if self.flap_window < 1:
+            raise ConfigurationError(
+                f"flap_window must be >= 1, got {self.flap_window}"
+            )
+        if self.flap_threshold is not None and self.flap_threshold < 2:
+            raise ConfigurationError(
+                "flap_threshold must be >= 2 (or None to disarm the "
+                f"guard), got {self.flap_threshold}"
+            )
+
+    @property
+    def flap_armed(self) -> bool:
+        """Whether the mapper's flap guard keeps per-pid history."""
+        return self.flap_threshold is not None
+
+
+#: The tuning every component defaults to — the single definition the
+#: old per-module constants collapsed into.
+DEFAULT_TUNING = ServiceTuning()

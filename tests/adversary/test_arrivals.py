@@ -1,0 +1,98 @@
+"""Adversarial arrival traces: determinism, attack shape, validation."""
+
+import pytest
+
+from repro.adversary import admission_storm_trace, flap_storm_trace
+from repro.errors import WorkloadError
+
+POOL = ["mcf", "povray", "astar", "milc"]
+
+
+class TestFlapStorm:
+    def test_same_seed_is_byte_identical(self):
+        a = flap_storm_trace(400, seed=11)
+        b = flap_storm_trace(400, seed=11)
+        assert a == b
+        assert a.kind == "flap_storm" and a.seed == 11
+        assert len(a) == 400
+
+    def test_victims_absorb_most_phase_changes(self):
+        trace = flap_storm_trace(400, seed=11, population=6, flappers=2)
+        admits = [e for e in trace if e.kind == "admit"]
+        victims = sorted(e.pid for e in admits[:6])[:2]
+        flips = [e for e in trace if e.kind == "phase_change"]
+        # Phase changes target only the victim pids, and they dominate
+        # the post-admission stream (flap_fraction defaults to 0.9).
+        assert {e.pid for e in flips} == set(victims)
+        assert len(flips) > 0.8 * (len(trace) - 6)
+
+    def test_victims_are_never_retired(self):
+        trace = flap_storm_trace(400, seed=3, population=6, flappers=2)
+        admits = [e for e in trace if e.kind == "admit"]
+        victims = set(sorted(e.pid for e in admits[:6])[:2])
+        retired = {e.pid for e in trace if e.kind == "retire"}
+        assert victims.isdisjoint(retired)
+        assert victims <= set(trace.final_population())
+
+    def test_consecutive_flips_change_the_profile(self):
+        trace = flap_storm_trace(200, seed=7, pool=POOL)
+        last = {}
+        for event in trace:
+            if event.kind == "phase_change":
+                assert last[event.pid] != event.name
+            last[event.pid] = event.name
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(population=1),
+            dict(flappers=0),
+            dict(flappers=7),
+            dict(flap_fraction=0.0),
+            dict(flap_fraction=1.5),
+            dict(mean_interarrival=0.0),
+            dict(pool=["mcf"]),
+        ],
+    )
+    def test_bad_parameters_are_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            flap_storm_trace(100, seed=0, **kwargs)
+
+
+class TestAdmissionStorm:
+    def test_same_seed_is_byte_identical(self):
+        a = admission_storm_trace(300, seed=7)
+        b = admission_storm_trace(300, seed=7)
+        assert a == b
+        assert a.kind == "admission_storm" and a.seed == 7
+
+    def test_sawtooth_rides_between_floor_and_ceiling(self):
+        trace = admission_storm_trace(300, seed=7, min_live=2, max_live=8)
+        assert trace.peak_population() == 8
+        live = 0
+        floor_hits = ceiling_hits = 0
+        for event in trace:
+            live += 1 if event.kind == "admit" else -1
+            assert live <= 8
+            if live == 8:
+                ceiling_hits += 1
+            if live == 2:
+                floor_hits += 1
+        # The deterministic sawtooth touches both extremes repeatedly.
+        assert ceiling_hits > 10 and floor_hits > 10
+
+    def test_contains_no_phase_changes(self):
+        trace = admission_storm_trace(300, seed=7)
+        assert {e.kind for e in trace} == {"admit", "retire"}
+
+    def test_gaps_are_paced_by_the_burst_interarrival(self):
+        trace = admission_storm_trace(500, seed=1, burst_interarrival=0.001)
+        times = [e.time for e in trace]
+        gaps = [later - earlier for earlier, later in zip(times, times[1:])]
+        assert all(gap > 0 for gap in gaps)
+        # Exponential gaps with mean 0.001: the sample mean is close.
+        assert sum(gaps) / len(gaps) == pytest.approx(0.001, rel=0.25)
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(WorkloadError):
+            admission_storm_trace(100, seed=0, burst_interarrival=0.0)

@@ -1,0 +1,133 @@
+"""The adversarial scoring harness: mix composition, scores, deltas."""
+
+import json
+
+import pytest
+
+from repro.adversary import (
+    ADVERSARY_KINDS,
+    AdversaryReport,
+    MixScore,
+    VICTIM_NAMES,
+    adversary_machine,
+    adversary_mix,
+    score_adversary_mix,
+)
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.errors import ConfigurationError
+
+MACHINE = adversary_machine()
+
+
+def score(kind, hardened, instructions=150_000):
+    return score_adversary_mix(
+        MACHINE,
+        kind,
+        WeightSortPolicy(),
+        "weight-sort",
+        hardened=hardened,
+        instructions=instructions,
+        seed=3,
+    )
+
+
+def fake_score(adversary, hardened, victim_worst, worst=None):
+    return MixScore(
+        adversary=adversary,
+        policy="weight-sort",
+        hardened=hardened,
+        worst_slowdown=worst if worst is not None else victim_worst,
+        victim_worst_slowdown=victim_worst,
+        avg_improvement=0.1,
+        degraded_invocations=0,
+        suspect_invocations=0,
+        gate_tripped=False,
+        chosen_groups=((0, 1), (2, 3)),
+    )
+
+
+class TestAdversaryMix:
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    def test_every_kind_is_two_attackers_plus_the_victims(self, kind):
+        tasks = adversary_mix(kind, MACHINE, instructions=30_000, seed=3)
+        names = [t.name for t in tasks]
+        assert len(tasks) == 4 and len(set(names)) == 4
+        # Victims ride last so the round-robin fallback pairs each
+        # attacker with one victim (the protective timesharing default).
+        assert tuple(names[2:]) == VICTIM_NAMES
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adversary_mix("ddos", MACHINE)
+
+    def test_mixes_are_seed_deterministic(self):
+        a = adversary_mix("aliasing", MACHINE, instructions=30_000, seed=3)
+        b = adversary_mix("aliasing", MACHINE, instructions=30_000, seed=3)
+        for left, right in zip(a, b):
+            assert left.name == right.name
+            batch = left.generator.next_batch(256)
+            assert (batch == right.generator.next_batch(256)).all()
+
+
+class TestScoreAdversaryMix:
+    def test_benign_mix_is_untouched_by_hardening(self):
+        baseline = score("benign", hardened=False)
+        hardened = score("benign", hardened=True)
+        assert hardened.victim_worst_slowdown == baseline.victim_worst_slowdown
+        assert hardened.worst_slowdown == baseline.worst_slowdown
+        assert hardened.chosen_groups == baseline.chosen_groups
+        assert hardened.suspect_invocations == 0
+        assert hardened.degraded_invocations == 0
+        assert not hardened.gate_tripped
+
+    def test_hardening_beats_the_aliasing_attack(self):
+        baseline = score("aliasing", hardened=False)
+        hardened = score("aliasing", hardened=True)
+        # The unhardened stack believes the aliased signatures and
+        # pairs the victims with the thrasher; the hardened gate trips
+        # and falls back to the protective default.
+        assert hardened.gate_tripped
+        assert (
+            hardened.victim_worst_slowdown < baseline.victim_worst_slowdown
+        )
+
+    def test_scores_serialise_to_json(self):
+        result = score("benign", hardened=True, instructions=40_000)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["adversary"] == "benign"
+        assert payload["policy"] == "weight-sort"
+        assert payload["hardened"] is True
+        assert len(payload["chosen_groups"]) == MACHINE.num_cores
+
+
+class TestAdversaryReport:
+    def test_delta_is_unhardened_minus_hardened(self):
+        report = AdversaryReport(machine="m", seed=3)
+        report.add(fake_score("aliasing", hardened=False, victim_worst=1.6))
+        report.add(fake_score("aliasing", hardened=True, victim_worst=1.1))
+        assert report.victim_worst_slowdown("aliasing", False) == 1.6
+        assert report.delta("aliasing") == pytest.approx(0.5)
+
+    def test_worst_across_policies_is_selected(self):
+        report = AdversaryReport(machine="m", seed=3)
+        report.add(fake_score("thrashing", hardened=False, victim_worst=1.2))
+        report.add(fake_score("thrashing", hardened=False, victim_worst=1.4))
+        assert report.victim_worst_slowdown("thrashing", False) == 1.4
+
+    def test_missing_cells_raise(self):
+        report = AdversaryReport(machine="m", seed=3)
+        report.add(fake_score("aliasing", hardened=False, victim_worst=1.6))
+        with pytest.raises(ConfigurationError):
+            report.victim_worst_slowdown("aliasing", True)
+        with pytest.raises(ConfigurationError):
+            report.delta("aliasing")
+
+    def test_to_dict_only_reports_complete_deltas(self):
+        report = AdversaryReport(machine="m", seed=3)
+        report.add(fake_score("aliasing", hardened=False, victim_worst=1.6))
+        report.add(fake_score("aliasing", hardened=True, victim_worst=1.1))
+        report.add(fake_score("benign", hardened=False, victim_worst=1.0))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert set(payload["deltas"]) == {"aliasing"}
+        assert payload["deltas"]["aliasing"]["delta"] == pytest.approx(0.5)
+        assert len(payload["scores"]) == 3

@@ -136,6 +136,101 @@ def test_monitor_healthy_path_still_decides():
 
 
 # ---------------------------------------------------------------------------
+# Confidence verdicts (assess_signature) and the monitor's suspect path
+# ---------------------------------------------------------------------------
+def test_confident_reading_is_ok_and_carries_the_grading():
+    report = assess_signature(
+        8.0, capacity=64, confident_threshold=0.5, unusable_threshold=0.1
+    )
+    assert report.ok and report.usable
+    assert report.confidence is not None
+    assert report.confidence.score == pytest.approx(1.0 - 8.0 / 64.0)
+
+
+def test_low_confidence_reading_is_suspect_but_usable():
+    report = assess_signature(
+        48.0, capacity=64, confident_threshold=0.5, unusable_threshold=0.1
+    )
+    assert report.status == SignatureHealth.SUSPECT
+    assert not report.ok and report.usable
+    assert "confident threshold" in report.reason
+
+
+def test_collapsed_confidence_is_unusable():
+    report = assess_signature(
+        60.0, capacity=64, confident_threshold=0.5, unusable_threshold=0.1
+    )
+    assert report.status == SignatureHealth.UNUSABLE
+    assert not report.usable
+    assert report.confidence.alias_pressure > 0.9
+
+
+def test_inverted_confidence_thresholds_are_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        assess_signature(
+            5.0, capacity=64, confident_threshold=0.1, unusable_threshold=0.5
+        )
+
+
+def test_threshold_free_reports_keep_their_pre_confidence_shape():
+    assert assess_signature(8.0, capacity=64).confidence is None
+
+
+def test_monitor_proceeds_on_suspect_reading_with_event():
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0),
+        signature_capacity=64,
+        confident_threshold=0.5,
+        unusable_threshold=0.1,
+    )
+    syscall = FakeSyscall([view(0, 48.0), view(1, 10.0)])
+    assert monitor.invoke(syscall) is not None  # usable: still decides
+    assert len(monitor.decisions) == 1
+    assert len(monitor.degradations) == 1
+    event = monitor.degradations[0]
+    assert event["action"] == "proceed-suspect-signature"
+    assert event["tasks"]["t0"]["status"] == SignatureHealth.SUSPECT
+
+
+def test_monitor_falls_back_on_unusable_reading():
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0),
+        signature_capacity=64,
+        confident_threshold=0.5,
+        unusable_threshold=0.1,
+    )
+    syscall = FakeSyscall([view(0, 60.0), view(1, 10.0)])
+    assert monitor.invoke(syscall) is None
+    assert monitor.decisions == []
+    event = monitor.degradations[0]
+    assert event["action"] == "fallback-default-mapping"
+    assert event["tasks"]["t0"]["status"] == SignatureHealth.UNUSABLE
+
+
+def test_monitor_recovers_once_readings_turn_healthy():
+    """Degradation is per-invocation state: when the fault stops, the
+    very next healthy reading decides normally again."""
+    monitor = UserLevelMonitor(
+        WeightedInterferenceGraphPolicy(seed=0),
+        signature_capacity=64,
+        confident_threshold=0.5,
+        unusable_threshold=0.1,
+    )
+    sick = FakeSyscall([view(0, 60.0, samples_seen=1), view(1, 10.0, samples_seen=1)])
+    assert monitor.invoke(sick) is None
+    healthy = FakeSyscall(
+        [view(0, 12.0, samples_seen=2), view(1, 10.0, samples_seen=2)]
+    )
+    assert monitor.invoke(healthy) is not None
+    assert len(monitor.decisions) == 1
+    # The earlier fallback stays on the books; no new event was added.
+    assert len(monitor.degradations) == 1
+    assert monitor.majority_mapping() is not None
+
+
+# ---------------------------------------------------------------------------
 # End-to-end degradation (serial and orchestrated sweeps)
 # ---------------------------------------------------------------------------
 def test_two_phase_with_saturated_signature_degrades_to_default():

@@ -1,0 +1,20 @@
+"""Fixture: an adversarial generator drawing from an unseeded RNG.
+
+Linted under a pretend ``repro.adversary`` module name: the adversary
+package is inside ``SIM_CORE_PACKAGES``, so the determinism rules must
+fire here exactly as they do in ``repro.workloads``.
+"""
+
+import numpy as np
+
+
+class SneakyGenerator:
+    """An attack stream whose randomness is not derived from a seed."""
+
+    def __init__(self, region_blocks):
+        self.region_blocks = region_blocks
+        self._rng = np.random.default_rng()  # RPR102: unseeded generator
+
+    def next_batch(self, n):
+        """Unreproducible addresses defeat the suite's determinism."""
+        return self._rng.integers(0, self.region_blocks, n)

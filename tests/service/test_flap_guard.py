@@ -1,0 +1,158 @@
+"""The IncrementalMapper flap guard: hysteresis, rate-limit, opt-in.
+
+The guard exists for exactly one adversary — a process flapping its
+phase faster than the EWMA window, turning every event into a full
+policy rerun — and must cost nothing when disarmed (the default): a
+``flap_threshold=None`` mapper makes byte-identical decisions and
+exports byte-identical snapshots to the pre-guard code.
+"""
+
+import pytest
+
+from repro.alloc.weight_sort import WeightSortPolicy
+from repro.errors import ConfigurationError
+from repro.service.mapper import IncrementalMapper
+from repro.service.registry import ProcessRegistry
+from repro.service.tuning import DEFAULT_TUNING, ServiceTuning
+
+PROFILES = ["mcf", "povray", "astar", "milc", "gcc", "bzip2"]
+
+
+def make_views(count, num_cores=2, observations=3):
+    """A registry snapshot of *count* deterministic processes."""
+    reg = ProcessRegistry(num_cores)
+    for pid in range(1, count + 1):
+        reg.admit(pid, PROFILES[(pid - 1) % len(PROFILES)])
+    for _ in range(observations):
+        for pid in range(1, count + 1):
+            reg.observe(pid)
+    return reg.views()
+
+
+def armed_mapper(threshold=4, window=32, drift_threshold=16):
+    return IncrementalMapper(
+        WeightSortPolicy(),
+        2,
+        drift_threshold=drift_threshold,
+        tuning=ServiceTuning(flap_window=window, flap_threshold=threshold),
+    )
+
+
+def storm(mapper, views, pid, events):
+    """Drive *events* phase changes of one pid; return the decisions."""
+    return [mapper.phase_change(views, pid) for _ in range(events)]
+
+
+class TestTuningValidation:
+    def test_defaults_are_disarmed(self):
+        assert DEFAULT_TUNING.flap_threshold is None
+        assert not IncrementalMapper(WeightSortPolicy(), 2).flap_armed
+
+    def test_bad_values_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceTuning(ewma_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceTuning(flap_window=0)
+        with pytest.raises(ConfigurationError):
+            ServiceTuning(flap_threshold=1)
+
+
+class TestDisarmedIsByteIdentical:
+    def test_decisions_match_the_default_mapper(self):
+        views = make_views(4)
+        plain = IncrementalMapper(WeightSortPolicy(), 2)
+        explicit = IncrementalMapper(
+            WeightSortPolicy(), 2,
+            tuning=ServiceTuning(flap_threshold=None),
+        )
+        for mapper in (plain, explicit):
+            for pid in (1, 2, 3, 4):
+                mapper.admit(views, pid)
+        for step in range(6):
+            pid = 1 + step % 4
+            assert plain.phase_change(views, pid) == explicit.phase_change(
+                views, pid
+            )
+        assert plain.full_remaps == explicit.full_remaps
+        assert plain.damped_updates == explicit.damped_updates == 0
+
+    def test_disarmed_snapshot_has_no_guard_state(self):
+        mapper = IncrementalMapper(WeightSortPolicy(), 2)
+        views = make_views(2)
+        mapper.admit(views, 1)
+        state = mapper.export_state()
+        assert "flap" not in state and "damped_updates" not in state
+
+
+class TestArmedGuard:
+    def test_flapper_is_detected_and_damped(self):
+        mapper = armed_mapper(threshold=4)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        decisions = storm(mapper, views, 1, 10)
+        # The first flips remap fully; once the rate crosses the
+        # threshold the pid is damped to incremental re-placements.
+        assert decisions[0].action == "full"
+        assert decisions[-1].action == "damped"
+        assert 1 in mapper.flapping_pids
+        assert mapper.damped_updates > 0
+
+    def test_full_remaps_are_rate_limited_by_drift(self):
+        drift_threshold = 8
+        mapper = armed_mapper(threshold=4, drift_threshold=drift_threshold)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        baseline = mapper.full_remaps
+        events = 64
+        storm(mapper, views, 1, events)
+        # Un-damped flips before detection plus drift-crossing remaps:
+        # far fewer than the one-per-event storm an unguarded mapper pays.
+        assert mapper.full_remaps - baseline <= (
+            4 + events // drift_threshold
+        )
+
+    def test_hysteresis_releases_a_quiet_pid(self):
+        mapper = armed_mapper(threshold=4, window=8)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        storm(mapper, views, 1, 6)
+        assert 1 in mapper.flapping_pids
+        # Quiet period: other events age pid 1's history out of the
+        # window; its next (single) flip is below threshold/2 = released.
+        without_4 = [v for v in views if v.tid != 4]
+        for _ in range(16):
+            mapper.retire(without_4, 4)
+            mapper.admit(views, 4)
+        assert mapper.phase_change(views, 1).action == "full"
+        assert 1 not in mapper.flapping_pids
+
+    def test_retire_forgets_guard_state(self):
+        mapper = armed_mapper(threshold=4)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        storm(mapper, views, 1, 6)
+        assert 1 in mapper.flapping_pids
+        mapper.retire(views, 1)
+        assert 1 not in mapper.flapping_pids
+
+    def test_armed_snapshot_round_trips_guard_state(self):
+        mapper = armed_mapper(threshold=4)
+        views = make_views(4)
+        for pid in (1, 2, 3, 4):
+            mapper.admit(views, pid)
+        storm(mapper, views, 1, 6)
+        state = mapper.export_state()
+        assert state["flap"]["flapping"] == [1]
+
+        restored = armed_mapper(threshold=4)
+        restored.restore(state)
+        assert restored.flapping_pids == mapper.flapping_pids
+        assert restored.damped_updates == mapper.damped_updates
+        # Post-restore behaviour continues where the original left off.
+        assert restored.phase_change(views, 1) == mapper.phase_change(
+            views, 1
+        )
